@@ -1,0 +1,28 @@
+//! Regenerate **Table 3**: dataset descriptions with train/test sizes.
+//!
+//! `cargo run --release -p saccs-bench --bin table3`
+
+use saccs_data::DatasetId;
+
+fn main() {
+    println!("Table 3: Dataset Descriptions with number of sentences for train and test");
+    println!();
+    println!(
+        "{:<9} {:<26} {:>6} {:>6} {:>6}",
+        "Dataset", "Description", "Train", "Test", "Total"
+    );
+    for id in DatasetId::ALL {
+        let (train, test) = id.sizes();
+        println!(
+            "{:<9} {:<26} {:>6} {:>6} {:>6}",
+            id.label(),
+            id.description(),
+            train,
+            test,
+            train + test
+        );
+    }
+    println!();
+    println!("(Synthetic substitutes are generated at exactly these sizes;");
+    println!(" see DESIGN.md §1 for the substitution rationale.)");
+}

@@ -1,0 +1,252 @@
+//! Shared setup code for the table/figure regeneration binaries.
+//!
+//! Every binary accepts two environment variables:
+//!
+//! * `SACCS_SCALE` — fractional scale of the paper's dataset sizes
+//!   (default varies per binary; `1.0` = exact paper sizes);
+//! * `SACCS_EPOCHS` — training epochs for the tagger sweeps (default 15,
+//!   the paper's setting).
+//!
+//! All runs are seeded; identical settings regenerate identical tables.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs_data::yelp::{YelpConfig, YelpCorpus};
+use saccs_data::{canonical_tags, CrowdSimulator, Query};
+use saccs_embed::{
+    build_vocab, finetune_tagging, general_corpus, train_mlm, MiniBert, MiniBertConfig, MlmConfig,
+};
+use saccs_eval::ndcg::ndcg;
+use saccs_index::index::{EntityEvidence, IndexConfig};
+use saccs_index::SubjectiveIndex;
+use saccs_text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+use std::rc::Rc;
+
+/// Parse `SACCS_SCALE` with a per-binary default.
+pub fn scale(default: f64) -> f64 {
+    std::env::var("SACCS_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+        .clamp(0.01, 1.0)
+}
+
+/// Parse `SACCS_EPOCHS` (default 15, the paper's §6.3 setting).
+pub fn epochs(default: usize) -> usize {
+    std::env::var("SACCS_EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The bench-grade MiniBert: larger grid, heavier MLM, with optional
+/// domain post-training and tagging fine-tuning. Deterministic.
+pub struct BenchBert;
+
+impl BenchBert {
+    pub fn config() -> MiniBertConfig {
+        MiniBertConfig {
+            dim: 48,
+            heads: 6,
+            layers: 4,
+            max_len: 48,
+            seed: 0xBE,
+        }
+    }
+
+    /// General-pretrained encoder (the "BERT" of the OpineDB baseline).
+    pub fn general(mlm_sentences: usize) -> MiniBert {
+        let vocab = build_vocab(&[Domain::Restaurants, Domain::Electronics, Domain::Hotels]);
+        let bert = MiniBert::new(vocab, Self::config());
+        train_mlm(
+            &bert,
+            &general_corpus(mlm_sentences, 0x6E),
+            &MlmConfig {
+                epochs: 4,
+                ..Default::default()
+            },
+        );
+        bert
+    }
+
+    /// Continue MLM on in-domain full-vocabulary text (the +DK step).
+    pub fn add_domain_knowledge(bert: &MiniBert, domain: Domain, sentences: usize) {
+        use saccs_data::{GeneratorConfig, SentenceGenerator};
+        let gen = SentenceGenerator::new(
+            Lexicon::new(domain),
+            GeneratorConfig {
+                train_vocabulary_only: false,
+                ..Default::default()
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(0xD0);
+        let corpus: Vec<Vec<String>> = (0..sentences)
+            .map(|_| gen.random_sentence(&mut rng).tokens)
+            .collect();
+        train_mlm(
+            bert,
+            &corpus,
+            &MlmConfig {
+                seed: 0xDD,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+/// Fully trained pairing-grade encoder: general MLM + in-domain post-train
+/// + tagging fine-tune (what §5.1's attention heuristic reads).
+pub fn pairing_bert(scale: f64) -> Rc<MiniBert> {
+    use saccs_data::{Dataset, DatasetId};
+    let bert = BenchBert::general((6000.0 * scale) as usize + 200);
+    BenchBert::add_domain_knowledge(&bert, Domain::Hotels, (2000.0 * scale) as usize + 100);
+    let hotels = Dataset::generate_scaled(DatasetId::S4, scale.max(0.2));
+    finetune_tagging(
+        &bert,
+        &hotels.train,
+        (12.0 * scale).ceil() as usize,
+        1e-3,
+        0xF7,
+    );
+    Rc::new(bert)
+}
+
+/// Gold evidence for every entity: review tags taken from the generator's
+/// gold pairs instead of the neural extractor.
+pub fn gold_evidence(corpus: &YelpCorpus) -> Vec<EntityEvidence> {
+    corpus
+        .entities
+        .iter()
+        .map(|entity| {
+            let review_ids = corpus.reviews_of(entity.id);
+            let mut review_tags = Vec::new();
+            for &ri in review_ids {
+                for s in &corpus.reviews[ri].sentences {
+                    for (a, o) in &s.pairs {
+                        review_tags
+                            .push(SubjectiveTag::new(&o.text(&s.tokens), &a.text(&s.tokens)));
+                    }
+                }
+            }
+            EntityEvidence {
+                entity_id: entity.id,
+                review_count: review_ids.len(),
+                review_tags,
+            }
+        })
+        .collect()
+}
+
+/// Per-review gold tag profiles for one entity (the fraud-robustness
+/// experiments need review granularity rather than a flat bag).
+pub fn gold_review_profiles(corpus: &YelpCorpus, entity: usize) -> Vec<saccs_index::ReviewProfile> {
+    corpus
+        .reviews_of(entity)
+        .iter()
+        .map(|&ri| {
+            let mut tags = Vec::new();
+            for s in &corpus.reviews[ri].sentences {
+                for (a, o) in &s.pairs {
+                    tags.push(SubjectiveTag::new(&o.text(&s.tokens), &a.text(&s.tokens)));
+                }
+            }
+            saccs_index::ReviewProfile::new(tags)
+        })
+        .collect()
+}
+
+/// Gold-extraction index: [`gold_evidence`] registered and the first
+/// `n_tags` canonical tags indexed. Used by the index/ranking ablation
+/// bins, which isolate Equation-1 / Algorithm-1 behaviour from extraction
+/// quality.
+pub fn gold_index(corpus: &YelpCorpus, config: IndexConfig, n_tags: usize) -> SubjectiveIndex {
+    let mut index = SubjectiveIndex::new(
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+        config,
+    );
+    for evidence in gold_evidence(corpus) {
+        index.register_entity(evidence);
+    }
+    let tags: Vec<SubjectiveTag> = canonical_tags()
+        .iter()
+        .take(n_tags)
+        .map(|t| t.tag())
+        .collect();
+    index.index_tags(&tags);
+    index
+}
+
+/// Mean NDCG@10 per difficulty level of a ranking function over query
+/// sets — the evaluation loop every Table-2-family bin shares. `rank`
+/// receives the query and its per-entity gains and must return ranked
+/// entity ids.
+pub fn mean_ndcg_by_level(
+    sets: &[(saccs_data::Difficulty, Vec<Query>)],
+    corpus: &YelpCorpus,
+    crowd: &CrowdSimulator,
+    mut rank: impl FnMut(&Query, &[f32]) -> Vec<usize>,
+) -> Vec<f32> {
+    sets.iter()
+        .map(|(_, queries)| {
+            let mut total = 0.0;
+            for q in queries {
+                let gains = query_gains(q, crowd, corpus);
+                let ranked = rank(q, &gains);
+                total += ndcg_of_ranking(&ranked, &gains, 10);
+            }
+            total / queries.len().max(1) as f32
+        })
+        .collect()
+}
+
+/// The Table-2 corpus at a given scale of the paper's 280/7061.
+pub fn table2_corpus(scale: f64) -> YelpCorpus {
+    let n_entities = ((280.0 * scale) as usize).max(20);
+    let n_reviews = ((7061.0 * scale) as usize).max(n_entities * 4);
+    YelpCorpus::generate(
+        Lexicon::new(Domain::Restaurants),
+        &YelpConfig {
+            n_entities,
+            n_reviews,
+            ..Default::default()
+        },
+    )
+}
+
+/// Per-query mean-sat gains for every entity.
+pub fn query_gains(query: &Query, crowd: &CrowdSimulator, corpus: &YelpCorpus) -> Vec<f32> {
+    (0..corpus.entities.len())
+        .map(|e| {
+            query
+                .tags
+                .iter()
+                .map(|t| crowd.sat(t, corpus, e))
+                .sum::<f32>()
+                / query.tags.len() as f32
+        })
+        .collect()
+}
+
+/// NDCG@k of a ranked id list against per-entity gains.
+pub fn ndcg_of_ranking(ranked: &[usize], gains: &[f32], k: usize) -> f32 {
+    let ranked_gains: Vec<f32> = ranked.iter().map(|&e| gains[e]).collect();
+    ndcg(&ranked_gains, gains, k)
+}
+
+/// Render one row of a fixed-width results table.
+pub fn row(label: &str, values: &[f32]) -> String {
+    let mut s = format!("{label:<18}");
+    for v in values {
+        s.push_str(&format!(" {v:>7.3}"));
+    }
+    s
+}
+
+/// Render a percentage row (Table 4/5 style).
+pub fn row_pct(label: &str, values: &[f32]) -> String {
+    let mut s = format!("{label:<22}");
+    for v in values {
+        s.push_str(&format!(" {:>6.2}", v * 100.0));
+    }
+    s
+}

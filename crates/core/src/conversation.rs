@@ -1,0 +1,304 @@
+//! Multi-turn conversation state.
+//!
+//! The paper situates SACCS inside task-oriented dialog systems (§1, §3),
+//! where a search is refined across turns: *"I want an Italian restaurant
+//! in Montreal"* → *"with a romantic ambiance"* → *"actually, forget the
+//! romantic part — just somewhere quiet"*. This module tracks the
+//! accumulated objective slots and subjective filters of one search
+//! episode, merging refinements and honoring retractions, so each turn
+//! re-runs Algorithm 1 over the *session's* constraint set rather than
+//! the last utterance alone.
+
+use crate::dialog::Slots;
+use saccs_text::{ConceptualSimilarity, SubjectiveTag};
+
+/// Words that signal the user is *removing* a constraint.
+const RETRACT_MARKERS: &[&str] = &[
+    "forget",
+    "drop",
+    "remove",
+    "without",
+    "scratch",
+    "nevermind",
+];
+
+/// The accumulated state of one search episode.
+#[derive(Debug, Default, Clone)]
+pub struct Conversation {
+    slots: Slots,
+    tags: Vec<SubjectiveTag>,
+    turns: usize,
+}
+
+impl Conversation {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of utterances absorbed.
+    pub fn turns(&self) -> usize {
+        self.turns
+    }
+
+    /// The session's current objective slots.
+    pub fn slots(&self) -> &Slots {
+        &self.slots
+    }
+
+    /// The session's active subjective filters.
+    pub fn tags(&self) -> &[SubjectiveTag] {
+        &self.tags
+    }
+
+    /// Absorb one turn: merge new slots (later turns override earlier
+    /// ones field-wise), and either add the turn's subjective tags or —
+    /// when the utterance carries a retraction marker — remove the active
+    /// tags similar to the mentioned ones.
+    ///
+    /// Returns the tags that were added or removed this turn.
+    pub fn absorb(
+        &mut self,
+        utterance: &str,
+        turn_slots: Slots,
+        turn_tags: Vec<SubjectiveTag>,
+        similarity: &ConceptualSimilarity,
+    ) -> TurnEffect {
+        self.turns += 1;
+        if turn_slots.cuisine.is_some() {
+            self.slots.cuisine = turn_slots.cuisine;
+        }
+        if turn_slots.location.is_some() {
+            self.slots.location = turn_slots.location;
+        }
+
+        // Word-boundary match: "unforgettable" must not trigger "forget".
+        let words = saccs_text::token::words_lower(utterance);
+        let retracting = words.iter().any(|w| RETRACT_MARKERS.contains(&w.as_str()));
+        let mut removed = Vec::new();
+        let mut remaining_turn_tags = turn_tags;
+        if retracting {
+            self.tags.retain(|active| {
+                let hit = remaining_turn_tags
+                    .iter()
+                    .any(|t| similarity.tag_similarity(active, t) > 0.6);
+                if hit {
+                    removed.push(active.clone());
+                }
+                !hit
+            });
+            // A retract-and-refine turn ("forget the romantic part — just
+            // somewhere quiet") still *adds* the tags that were not the
+            // subject of the retraction.
+            remaining_turn_tags.retain(|t| {
+                !removed
+                    .iter()
+                    .any(|r| similarity.tag_similarity(r, t) > 0.6)
+            });
+        }
+
+        let mut added = Vec::new();
+        for t in remaining_turn_tags {
+            // Deduplicate against near-identical active filters.
+            let duplicate = self
+                .tags
+                .iter()
+                .any(|a| similarity.tag_similarity(a, &t) > 0.95);
+            if !duplicate {
+                added.push(t.clone());
+                self.tags.push(t);
+            }
+        }
+        if retracting {
+            TurnEffect::Changed { added, removed }
+        } else {
+            TurnEffect::Added(added)
+        }
+    }
+
+    /// Start a fresh episode (e.g. on an explicit "new search").
+    pub fn reset(&mut self) {
+        *self = Conversation::default();
+    }
+}
+
+/// What one absorbed turn changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TurnEffect {
+    /// A plain refinement turn: these tags were added.
+    Added(Vec<SubjectiveTag>),
+    /// A retraction turn: `removed` filters were dropped, and any tags in
+    /// the same utterance that were *not* the subject of the retraction
+    /// were added ("forget the romantic part — just somewhere quiet").
+    Changed {
+        added: Vec<SubjectiveTag>,
+        removed: Vec<SubjectiveTag>,
+    },
+}
+
+impl TurnEffect {
+    /// Tags this turn added, regardless of variant.
+    pub fn added(&self) -> &[SubjectiveTag] {
+        match self {
+            TurnEffect::Added(a) => a,
+            TurnEffect::Changed { added, .. } => added,
+        }
+    }
+
+    /// Tags this turn removed.
+    pub fn removed(&self) -> &[SubjectiveTag] {
+        match self {
+            TurnEffect::Added(_) => &[],
+            TurnEffect::Changed { removed, .. } => removed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::{Domain, Lexicon};
+
+    fn sim() -> ConceptualSimilarity {
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+    }
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    #[test]
+    fn refinement_accumulates_tags_and_slots() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb(
+            "I want an Italian restaurant in Montreal",
+            Slots {
+                cuisine: Some("italian".into()),
+                location: Some("montreal".into()),
+            },
+            vec![],
+            &s,
+        );
+        let effect = c.absorb(
+            "with a romantic ambiance",
+            Slots::default(),
+            vec![tag("romantic", "ambiance")],
+            &s,
+        );
+        assert_eq!(effect, TurnEffect::Added(vec![tag("romantic", "ambiance")]));
+        assert_eq!(c.turns(), 2);
+        assert_eq!(c.slots().cuisine.as_deref(), Some("italian"));
+        assert_eq!(c.tags(), &[tag("romantic", "ambiance")]);
+    }
+
+    #[test]
+    fn later_slots_override_earlier() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb(
+            "in montreal",
+            Slots {
+                cuisine: None,
+                location: Some("montreal".into()),
+            },
+            vec![],
+            &s,
+        );
+        c.absorb(
+            "actually in lyon",
+            Slots {
+                cuisine: None,
+                location: Some("lyon".into()),
+            },
+            vec![],
+            &s,
+        );
+        assert_eq!(c.slots().location.as_deref(), Some("lyon"));
+    }
+
+    #[test]
+    fn retraction_removes_similar_tags() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb(
+            "x",
+            Slots::default(),
+            vec![tag("romantic", "ambiance"), tag("quick", "service")],
+            &s,
+        );
+        let effect = c.absorb(
+            "forget the romantic ambiance part",
+            Slots::default(),
+            vec![tag("romantic", "ambiance")],
+            &s,
+        );
+        assert_eq!(effect.removed(), &[tag("romantic", "ambiance")]);
+        assert!(effect.added().is_empty());
+        assert_eq!(c.tags(), &[tag("quick", "service")]);
+    }
+
+    #[test]
+    fn retract_and_refine_keeps_the_new_constraint() {
+        // The module doc's own example: one utterance both retracts and
+        // adds.
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb("x", Slots::default(), vec![tag("romantic", "ambiance")], &s);
+        let effect = c.absorb(
+            "forget the romantic part, just somewhere quiet",
+            Slots::default(),
+            vec![tag("romantic", "ambiance"), tag("quiet", "place")],
+            &s,
+        );
+        assert_eq!(effect.removed(), &[tag("romantic", "ambiance")]);
+        assert_eq!(effect.added(), &[tag("quiet", "place")]);
+        assert_eq!(c.tags(), &[tag("quiet", "place")]);
+    }
+
+    #[test]
+    fn retraction_catches_paraphrases() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb("x", Slots::default(), vec![tag("romantic", "ambiance")], &s);
+        // User retracts with a paraphrase ("intimate atmosphere").
+        c.absorb(
+            "drop the intimate atmosphere thing",
+            Slots::default(),
+            vec![tag("intimate", "atmosphere")],
+            &s,
+        );
+        assert!(c.tags().is_empty());
+    }
+
+    #[test]
+    fn near_duplicates_are_not_stacked() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb("x", Slots::default(), vec![tag("delicious", "food")], &s);
+        let effect = c.absorb("y", Slots::default(), vec![tag("delicious", "food")], &s);
+        assert_eq!(effect, TurnEffect::Added(vec![]));
+        assert_eq!(c.tags().len(), 1);
+        // A genuinely different filter still lands.
+        c.absorb("z", Slots::default(), vec![tag("quiet", "place")], &s);
+        assert_eq!(c.tags().len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_the_episode() {
+        let s = sim();
+        let mut c = Conversation::new();
+        c.absorb(
+            "x",
+            Slots {
+                cuisine: Some("thai".into()),
+                location: None,
+            },
+            vec![tag("quiet", "place")],
+            &s,
+        );
+        c.reset();
+        assert_eq!(c.turns(), 0);
+        assert!(c.tags().is_empty());
+        assert_eq!(c.slots(), &Slots::default());
+    }
+}

@@ -1,0 +1,154 @@
+//! Rule-based NLU: intent recognition and slot filling.
+//!
+//! §3 assumes "the underlying dialog system is already equipped with
+//! intent recognition [15, 23, 46] and slot filling techniques [4, 12]".
+//! This module supplies that substrate with transparent rules: keyword
+//! intent detection and pattern slot extraction ("I want to eat Italian
+//! food near Lyon…" → intent `SearchRestaurant`, cuisine `italian`,
+//! location `lyon`).
+
+use saccs_text::token::words_lower;
+
+/// Recognized user intents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intent {
+    /// The paper's running example: find a restaurant.
+    SearchRestaurant,
+    /// Greeting/small talk (out of SACCS scope, answered conversationally).
+    SmallTalk,
+    /// Anything else.
+    Unknown,
+}
+
+/// Objective slots extracted from the utterance.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Slots {
+    pub cuisine: Option<String>,
+    pub location: Option<String>,
+}
+
+const CUISINES: &[&str] = &[
+    "italian",
+    "french",
+    "chinese",
+    "japanese",
+    "indian",
+    "mexican",
+    "thai",
+    "greek",
+    "lebanese",
+    "vietnamese",
+];
+
+const SEARCH_MARKERS: &[&str] = &[
+    "restaurant",
+    "eat",
+    "dinner",
+    "lunch",
+    "food",
+    "place",
+    "table",
+    "reservation",
+    "dine",
+    "somewhere",
+    "anywhere",
+    "spot",
+];
+
+const GREETINGS: &[&str] = &["hello", "hi", "hey", "thanks", "thank", "bye", "goodbye"];
+
+/// The rule NLU.
+#[derive(Debug, Default, Clone)]
+pub struct RuleNlu;
+
+impl RuleNlu {
+    pub fn new() -> Self {
+        RuleNlu
+    }
+
+    /// Classify the intent of an utterance.
+    pub fn intent(&self, utterance: &str) -> Intent {
+        let words = words_lower(utterance);
+        if words.iter().any(|w| SEARCH_MARKERS.contains(&w.as_str())) {
+            return Intent::SearchRestaurant;
+        }
+        if words.iter().any(|w| GREETINGS.contains(&w.as_str())) {
+            return Intent::SmallTalk;
+        }
+        Intent::Unknown
+    }
+
+    /// Extract objective slots: a known cuisine anywhere, and the word
+    /// following "in" / "near" / "around" as the location.
+    pub fn slots(&self, utterance: &str) -> Slots {
+        let words = words_lower(utterance);
+        let cuisine = words
+            .iter()
+            .find(|w| CUISINES.contains(&w.as_str()))
+            .cloned();
+        let mut location = None;
+        for (i, w) in words.iter().enumerate() {
+            if matches!(w.as_str(), "in" | "near" | "around") {
+                if let Some(next) = words.get(i + 1) {
+                    // Skip articles ("in a romantic ambiance" is not a place).
+                    if !matches!(next.as_str(), "a" | "an" | "the") {
+                        location = Some(next.clone());
+                        break;
+                    }
+                }
+            }
+        }
+        Slots { cuisine, location }
+    }
+
+    /// Full parse: `(intent, slots)`.
+    pub fn parse(&self, utterance: &str) -> (Intent, Slots) {
+        (self.intent(utterance), self.slots(utterance))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_utterance() {
+        // §3: "I want to eat Italian food near Lyon in a romantic ambiance"
+        let nlu = RuleNlu::new();
+        let (intent, slots) =
+            nlu.parse("I want to eat Italian food near Lyon in a romantic ambiance");
+        assert_eq!(intent, Intent::SearchRestaurant);
+        assert_eq!(slots.cuisine.as_deref(), Some("italian"));
+        assert_eq!(slots.location.as_deref(), Some("lyon"));
+    }
+
+    #[test]
+    fn melbourne_example() {
+        let nlu = RuleNlu::new();
+        let (intent, slots) = nlu.parse(
+            "I want an Italian restaurant in Melbourne that serves delicious food and has a nice staff",
+        );
+        assert_eq!(intent, Intent::SearchRestaurant);
+        assert_eq!(slots.location.as_deref(), Some("melbourne"));
+    }
+
+    #[test]
+    fn article_after_in_is_not_a_location() {
+        let nlu = RuleNlu::new();
+        let slots = nlu.slots("I want a restaurant in a quiet place");
+        assert_eq!(slots.location, None);
+    }
+
+    #[test]
+    fn greeting_is_small_talk() {
+        let nlu = RuleNlu::new();
+        assert_eq!(nlu.intent("hello there"), Intent::SmallTalk);
+        assert_eq!(nlu.intent("qwz zzz"), Intent::Unknown);
+    }
+
+    #[test]
+    fn no_slots_when_absent() {
+        let nlu = RuleNlu::new();
+        assert_eq!(nlu.slots("any good place to eat"), Slots::default());
+    }
+}

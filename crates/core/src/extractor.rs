@@ -1,0 +1,355 @@
+//! The subjective-tag extraction pipeline (Figure 2: tagging → pairing).
+
+use saccs_pairing::PairingPipeline;
+use saccs_tagger::Tagger;
+use saccs_text::sentence::split_sentences;
+use saccs_text::{tokenize_lower, Lexicon, Span, SpanKind, SubjectiveTag};
+
+/// Extracts subjective tags from free text by tagging aspect/opinion spans
+/// (§4) and pairing them (§5). This is the `extract_tags` function of
+/// Algorithm 1 and the extractor box of Figure 1.
+pub struct TagExtractor {
+    tagger: Tagger,
+    pairing: PairingPipeline,
+    /// Optional gazetteer used for span repair (see
+    /// [`TagExtractor::with_lexicon_repair`]).
+    repair_lexicon: Option<Lexicon>,
+}
+
+impl TagExtractor {
+    pub fn new(tagger: Tagger, pairing: PairingPipeline) -> Self {
+        TagExtractor {
+            tagger,
+            pairing,
+            repair_lexicon: None,
+        }
+    }
+
+    /// Enable lexicon-guided span repair: a decoded multiword *aspect*
+    /// span whose prefix is a known opinion phrase and whose suffix is a
+    /// known aspect term is split into the two spans (and symmetrically
+    /// for opinion spans ending in an aspect term). This is standard
+    /// gazetteer-constrained decoding; it fixes the frequent neural-tagger
+    /// failure of fusing an adjacent opinion+aspect bigram ("delicious
+    /// food") into one span.
+    pub fn with_lexicon_repair(mut self, lexicon: Lexicon) -> Self {
+        self.repair_lexicon = Some(lexicon);
+        self
+    }
+
+    /// Deterministic gazetteer extraction, used as a fallback when the
+    /// neural pipeline extracts nothing from a sentence so the user-facing
+    /// hot path (utterances, §3.2) degrades to high-precision dictionary
+    /// matching instead of silence. Two surface orders are recognized:
+    /// opinion-then-aspect ("delicious food", optionally over one filler
+    /// token) and aspect-then-opinion across a short gap ("the food is
+    /// delicious").
+    fn lexicon_fallback(&self, tokens: &[String]) -> Vec<SubjectiveTag> {
+        let Some(lex) = &self.repair_lexicon else {
+            return Vec::new();
+        };
+        let mut out = self.fallback_opinion_first(tokens, lex);
+        if out.is_empty() {
+            out = self.fallback_aspect_first(tokens, lex);
+        }
+        out
+    }
+
+    /// "the food is delicious": known aspect term, then a known opinion
+    /// phrase within a 3-token window.
+    fn fallback_aspect_first(&self, tokens: &[String], lex: &Lexicon) -> Vec<SubjectiveTag> {
+        let mut out = Vec::new();
+        let n = tokens.len();
+        let mut i = 0usize;
+        while i < n {
+            let mut asp_end = None;
+            for len in (1..=2usize.min(n - i)).rev() {
+                if lex.aspect_concept(&tokens[i..i + len].join(" ")).is_some() {
+                    asp_end = Some(i + len);
+                    break;
+                }
+            }
+            let Some(asp_end) = asp_end else {
+                i += 1;
+                continue;
+            };
+            let mut found = None;
+            'gap: for skip in 0..=2usize {
+                let o_start = asp_end + skip;
+                for len in (1..=3usize.min(n.saturating_sub(o_start))).rev() {
+                    if lex
+                        .opinion_group(&tokens[o_start..o_start + len].join(" "))
+                        .is_some()
+                    {
+                        found = Some((o_start, o_start + len));
+                        break 'gap;
+                    }
+                }
+            }
+            if let Some((o_start, o_end)) = found {
+                out.push(SubjectiveTag::new(
+                    &tokens[o_start..o_end].join(" "),
+                    &tokens[i..asp_end].join(" "),
+                ));
+                i = o_end;
+            } else {
+                i = asp_end;
+            }
+        }
+        out
+    }
+
+    /// "delicious food": known opinion phrase, then a known aspect term.
+    fn fallback_opinion_first(&self, tokens: &[String], lex: &Lexicon) -> Vec<SubjectiveTag> {
+        let mut out = Vec::new();
+        let n = tokens.len();
+        let mut i = 0usize;
+        while i < n {
+            // Longest opinion phrase starting at i.
+            let mut op_end = None;
+            for len in (1..=3usize.min(n - i)).rev() {
+                let phrase = tokens[i..i + len].join(" ");
+                if lex.opinion_group(&phrase).is_some() {
+                    op_end = Some(i + len);
+                    break;
+                }
+            }
+            let Some(op_end) = op_end else {
+                i += 1;
+                continue;
+            };
+            // Aspect directly after, optionally skipping one filler token.
+            let mut found = None;
+            for skip in 0..=1usize {
+                let a_start = op_end + skip;
+                for len in (1..=2usize.min(n.saturating_sub(a_start))).rev() {
+                    let phrase = tokens[a_start..a_start + len].join(" ");
+                    if lex.aspect_concept(&phrase).is_some() {
+                        found = Some((a_start, a_start + len));
+                        break;
+                    }
+                }
+                if found.is_some() {
+                    break;
+                }
+            }
+            if let Some((a_start, a_end)) = found {
+                out.push(SubjectiveTag::new(
+                    &tokens[i..op_end].join(" "),
+                    &tokens[a_start..a_end].join(" "),
+                ));
+                i = a_end;
+            } else {
+                i = op_end;
+            }
+        }
+        out
+    }
+
+    /// Apply the gazetteer split rule to one span list.
+    fn repair(&self, tokens: &[String], spans: Vec<Span>) -> Vec<Span> {
+        let Some(lex) = &self.repair_lexicon else {
+            return spans;
+        };
+        let mut out = Vec::with_capacity(spans.len());
+        for s in spans {
+            if s.len() < 2 {
+                out.push(s);
+                continue;
+            }
+            let mut split_at = None;
+            for cut in s.start + 1..s.end {
+                let prefix = tokens[s.start..cut].join(" ");
+                let suffix = tokens[cut..s.end].join(" ");
+                if lex.opinion_group(&prefix).is_some() && lex.aspect_concept(&suffix).is_some() {
+                    split_at = Some(cut);
+                    break;
+                }
+            }
+            match split_at {
+                Some(cut) => {
+                    out.push(Span::opinion(s.start, cut));
+                    out.push(Span::aspect(cut, s.end));
+                }
+                None => out.push(s),
+            }
+        }
+        out
+    }
+
+    pub fn tagger(&self) -> &Tagger {
+        &self.tagger
+    }
+
+    pub fn pairing(&self) -> &PairingPipeline {
+        &self.pairing
+    }
+
+    /// Extract subjective tags from one sentence's tokens.
+    pub fn extract_from_tokens(&self, tokens: &[String]) -> Vec<SubjectiveTag> {
+        if tokens.is_empty() {
+            return Vec::new();
+        }
+        let spans = self.repair(tokens, self.tagger.extract_spans(tokens));
+        let aspects: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Aspect)
+            .copied()
+            .collect();
+        let opinions: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Opinion)
+            .copied()
+            .collect();
+        if aspects.is_empty() || opinions.is_empty() {
+            return self.lexicon_fallback(tokens);
+        }
+        let tags: Vec<SubjectiveTag> = self
+            .pairing
+            .pair_spans(tokens, &aspects, &opinions)
+            .into_iter()
+            .map(|(a, o)| SubjectiveTag::new(&o.text(tokens), &a.text(tokens)))
+            // Spans over punctuation-only tokens normalize to empty parts;
+            // an empty-sided tag is meaningless downstream.
+            .filter(|t| !t.opinion.is_empty() && !t.aspect.is_empty())
+            .collect();
+        if tags.is_empty() {
+            // Neural spans existed but every pairing was rejected or
+            // degenerate: same dictionary fallback as the no-span case.
+            return self.lexicon_fallback(tokens);
+        }
+        tags
+    }
+
+    /// Extract subjective tags from free text (reviews or utterances):
+    /// sentence-split, tokenize, tag, pair.
+    pub fn extract(&self, text: &str) -> Vec<SubjectiveTag> {
+        let mut out = Vec::new();
+        for sentence in split_sentences(text) {
+            let tokens: Vec<String> = tokenize_lower(&sentence)
+                .into_iter()
+                .map(|t| t.text)
+                .collect();
+            out.extend(self.extract_from_tokens(&tokens));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_data::{Dataset, DatasetId};
+    use saccs_embed::{build_vocab, MiniBert, MiniBertConfig};
+    use saccs_pairing::{PairingPipeline, PipelineConfig};
+    use saccs_tagger::{Tagger, TrainConfig};
+    use saccs_text::Domain;
+    use std::rc::Rc;
+
+    /// Minimal (barely trained) extractor with lexicon repair enabled —
+    /// these tests exercise the deterministic fallback paths, not model
+    /// quality.
+    fn tiny_extractor() -> TagExtractor {
+        let vocab = build_vocab(&[Domain::Restaurants, Domain::Electronics, Domain::Hotels]);
+        let bert = Rc::new(MiniBert::new(
+            vocab,
+            MiniBertConfig {
+                dim: 16,
+                heads: 2,
+                layers: 2,
+                max_len: 48,
+                seed: 21,
+            },
+        ));
+        let data = Dataset::generate_scaled(DatasetId::S4, 0.03);
+        let tagger = Tagger::train(
+            bert.clone(),
+            &data.train,
+            &TrainConfig {
+                epochs: 1,
+                ..Default::default()
+            },
+        );
+        let dev: Vec<_> = data.test.iter().take(5).cloned().collect();
+        let pairing = PairingPipeline::fit(
+            bert,
+            &data.train,
+            &dev,
+            PipelineConfig {
+                discriminative: saccs_pairing::DiscriminativeConfig {
+                    epochs: 1,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        );
+        TagExtractor::new(tagger, pairing)
+            .with_lexicon_repair(saccs_text::Lexicon::new(Domain::Restaurants))
+    }
+
+    fn toks(s: &str) -> Vec<String> {
+        saccs_text::tokenize_lower(s)
+            .into_iter()
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn fallback_recognizes_both_surface_orders() {
+        let ex = tiny_extractor();
+        // Force the fallback by calling it directly on in-lexicon phrases.
+        let lex = saccs_text::Lexicon::new(Domain::Restaurants);
+        let opinion_first = ex.fallback_opinion_first(&toks("any place with delicious food"), &lex);
+        assert!(
+            opinion_first.contains(&SubjectiveTag::new("delicious", "food")),
+            "{opinion_first:?}"
+        );
+        let aspect_first = ex.fallback_aspect_first(&toks("the food is really good here"), &lex);
+        assert!(
+            aspect_first
+                .iter()
+                .any(|t| t.aspect == "food" && t.opinion.contains("good")),
+            "{aspect_first:?}"
+        );
+    }
+
+    #[test]
+    fn fallback_ignores_out_of_lexicon_junk() {
+        let ex = tiny_extractor();
+        let lex = saccs_text::Lexicon::new(Domain::Restaurants);
+        assert!(ex
+            .fallback_opinion_first(&toks("zorgle blarf wibble"), &lex)
+            .is_empty());
+        assert!(ex
+            .fallback_aspect_first(&toks("zorgle blarf wibble"), &lex)
+            .is_empty());
+    }
+
+    #[test]
+    fn extraction_never_returns_empty_sided_tags() {
+        let ex = tiny_extractor();
+        for text in [
+            "🤖 !!! ~~~",
+            "the food is delicious",
+            "I want a restaurant with a nice staff",
+            "",
+        ] {
+            for t in ex.extract(text) {
+                assert!(!t.opinion.is_empty() && !t.aspect.is_empty(), "{t:?} from {text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiword_fallback_matches() {
+        let ex = tiny_extractor();
+        let lex = saccs_text::Lexicon::new(Domain::Restaurants);
+        // "really good" is a 2-token opinion variant; "wine list" a 2-token
+        // aspect member.
+        let tags = ex.fallback_opinion_first(&toks("really good wine list"), &lex);
+        assert!(
+            tags.contains(&SubjectiveTag::new("really good", "wine list")),
+            "{tags:?}"
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # saccs-core
+//!
+//! SACCS — the Subjectivity Aware Conversational Search Service of the
+//! EDBT 2021 paper, assembled from the substrate crates:
+//!
+//! * [`extractor`] — the subjective-tag extraction pipeline (tagger §4 +
+//!   pairing §5) turning raw utterances and reviews into
+//!   [`saccs_text::SubjectiveTag`]s;
+//! * [`dialog`] — the rule-based intent recognition and slot filling the
+//!   paper assumes the underlying dialog system provides (§3);
+//! * [`search_api`] — the objective search API stand-in (the
+//!   TripAdvisor/Yelp call of §3.2) over the synthetic entity database;
+//! * [`service`] — Algorithm 1: subjective filtering and ranking of the
+//!   API results against the tag index, with the §3.3 aggregation
+//!   operators (mean / product / min) as an explicit ablation axis;
+//! * [`builder`] — one-call construction of a fully trained service from a
+//!   corpus (pretrain MiniBert → train tagger → fit pairing → extract tags
+//!   from every review → build the index).
+
+pub mod builder;
+pub mod conversation;
+pub mod dialog;
+pub mod embedding_similarity;
+pub mod extractor;
+pub mod persist;
+pub mod profile;
+pub mod search_api;
+pub mod service;
+
+pub use builder::{SaccsBuilder, TrainedSaccs};
+pub use conversation::{Conversation, TurnEffect};
+pub use dialog::{Intent, RuleNlu, Slots};
+pub use embedding_similarity::EmbeddingSimilarity;
+pub use extractor::TagExtractor;
+pub use persist::{load_extractor_weights, save_extractor, PersistError};
+pub use profile::UserProfile;
+pub use search_api::SearchApi;
+pub use service::{Aggregation, SaccsConfig, SaccsService};

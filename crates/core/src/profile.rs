@@ -1,0 +1,162 @@
+//! User profiles (§7 future work).
+//!
+//! "Subjective digital assistants should be able to take into account
+//! user profiles and adjust their search and interaction behavior
+//! accordingly." This extension learns a per-user weighting over
+//! subjective dimensions from the tags the user keeps asking about, and
+//! biases Algorithm 1's aggregation toward the dimensions the user has
+//! historically cared about: a user who always asks about quiet places
+//! gets quietness weighted up even when today's query mentions it among
+//! five other filters.
+
+use saccs_text::{ConceptualSimilarity, SubjectiveTag};
+use std::collections::BTreeMap;
+
+/// A user's accumulated subjective interests.
+#[derive(Debug, Clone, Default)]
+pub struct UserProfile {
+    /// Interest mass per tag the user has expressed.
+    interests: BTreeMap<SubjectiveTag, f32>,
+    /// Total recorded mass (for normalization).
+    total: f32,
+}
+
+impl UserProfile {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the tags of one utterance.
+    pub fn observe(&mut self, tags: &[SubjectiveTag]) {
+        for t in tags {
+            *self.interests.entry(t.clone()).or_insert(0.0) += 1.0;
+            self.total += 1.0;
+        }
+    }
+
+    /// Exponentially decay old interests (call between sessions).
+    pub fn decay(&mut self, factor: f32) {
+        assert!((0.0..=1.0).contains(&factor));
+        self.total = 0.0;
+        for v in self.interests.values_mut() {
+            *v *= factor;
+            self.total += *v;
+        }
+        self.interests.retain(|_, v| *v > 1e-3);
+    }
+
+    /// Number of distinct tags with recorded interest.
+    pub fn len(&self) -> usize {
+        self.interests.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.interests.is_empty()
+    }
+
+    /// Interest weight for a query tag in `[1, 1 + boost]`: 1 for a tag
+    /// unrelated to anything the user ever asked, growing with the
+    /// similarity-weighted share of the user's interest mass. `boost`
+    /// bounds how much personalization can tilt the ranking.
+    pub fn weight(
+        &self,
+        tag: &SubjectiveTag,
+        similarity: &ConceptualSimilarity,
+        boost: f32,
+    ) -> f32 {
+        if self.total <= 0.0 {
+            return 1.0;
+        }
+        let mut affinity = 0.0;
+        for (t, &mass) in &self.interests {
+            affinity += similarity.tag_similarity(tag, t) * mass;
+        }
+        1.0 + boost * (affinity / self.total).clamp(0.0, 1.0)
+    }
+
+    /// The user's top interests, by mass.
+    pub fn top_interests(&self, k: usize) -> Vec<(SubjectiveTag, f32)> {
+        let mut v: Vec<(SubjectiveTag, f32)> = self
+            .interests
+            .iter()
+            .map(|(t, &m)| (t.clone(), m))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::{Domain, Lexicon};
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    fn sim() -> ConceptualSimilarity {
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+    }
+
+    #[test]
+    fn empty_profile_is_neutral() {
+        let p = UserProfile::new();
+        assert_eq!(p.weight(&tag("quiet", "place"), &sim(), 0.5), 1.0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn repeated_interest_raises_weight() {
+        let mut p = UserProfile::new();
+        for _ in 0..5 {
+            p.observe(&[tag("quiet", "place")]);
+        }
+        let s = sim();
+        let quiet = p.weight(&tag("quiet", "place"), &s, 0.5);
+        let delivery = p.weight(&tag("fast", "delivery"), &s, 0.5);
+        assert!(quiet > delivery, "quiet={quiet} delivery={delivery}");
+        assert!(quiet <= 1.5 + 1e-6, "boost bound violated: {quiet}");
+    }
+
+    #[test]
+    fn related_tags_inherit_interest() {
+        let mut p = UserProfile::new();
+        p.observe(&[tag("quiet", "place")]);
+        let s = sim();
+        // "calm spot" is a paraphrase of the user's standing interest.
+        let related = p.weight(&tag("calm", "spot"), &s, 0.5);
+        let unrelated = p.weight(&tag("generous", "portions"), &s, 0.5);
+        assert!(related > unrelated);
+    }
+
+    #[test]
+    fn decay_forgets_gradually() {
+        let mut p = UserProfile::new();
+        p.observe(&[tag("quiet", "place")]);
+        let s = sim();
+        let before = p.weight(&tag("quiet", "place"), &s, 0.5);
+        assert_eq!(before, 1.5); // full interest share
+        p.observe(&[tag("delicious", "food")]);
+        let diluted = p.weight(&tag("quiet", "place"), &s, 0.5);
+        assert!(diluted < before);
+        for _ in 0..20 {
+            p.decay(0.5);
+        }
+        assert!(p.is_empty(), "interests should fully decay away");
+    }
+
+    #[test]
+    fn top_interests_ordered_by_mass() {
+        let mut p = UserProfile::new();
+        p.observe(&[
+            tag("quiet", "place"),
+            tag("quiet", "place"),
+            tag("good", "wine"),
+        ]);
+        let top = p.top_interests(2);
+        assert_eq!(top[0].0, tag("quiet", "place"));
+        assert_eq!(top.len(), 2);
+    }
+}

@@ -1,0 +1,394 @@
+//! Algorithm 1: subjective filtering and ranking.
+//!
+//! ```text
+//! S_api ← search_api(u)            (objective results)
+//! tags  ← extract_tags(u)          (subjective tags in the utterance)
+//! for t in tags:
+//!     S_t ← index[t]               if t known
+//!     S_t ← ⋃ index[tag]·sim       otherwise (θ_filter gate)
+//! R ← ⋂ { S_api, S_t … }
+//! return sort(aggregate_scores(R))
+//! ```
+//!
+//! §3.3: with many tags, per-entity scores are aggregated with the
+//! arithmetic mean ("we also experimented with … the product or min
+//! operators, but the arithmetic mean works better in practice") — all
+//! three are implemented so the ablation bench can verify that claim.
+
+use crate::extractor::TagExtractor;
+use crate::profile::UserProfile;
+use saccs_index::SubjectiveIndex;
+use saccs_text::SubjectiveTag;
+use std::collections::HashMap;
+
+/// Score aggregation across tags (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    Mean,
+    Product,
+    Min,
+}
+
+impl Aggregation {
+    pub const ALL: [Aggregation; 3] = [Aggregation::Mean, Aggregation::Product, Aggregation::Min];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Aggregation::Mean => "mean",
+            Aggregation::Product => "product",
+            Aggregation::Min => "min",
+        }
+    }
+
+    fn combine(self, scores: &[f32]) -> f32 {
+        match self {
+            Aggregation::Mean => scores.iter().sum::<f32>() / scores.len().max(1) as f32,
+            Aggregation::Product => scores.iter().product(),
+            Aggregation::Min => scores.iter().fold(f32::INFINITY, |m, &s| m.min(s)),
+        }
+    }
+}
+
+/// Service parameters.
+#[derive(Debug, Clone)]
+pub struct SaccsConfig {
+    pub aggregation: Aggregation,
+    /// Number of results to return.
+    pub top_k: usize,
+    /// When the strict intersection of Algorithm 1 yields fewer than
+    /// `top_k` entities, pad with partially-matching entities (those found
+    /// under a subset of the tags), ranked below full matches. Without
+    /// padding, short candidate lists waste NDCG@k mass.
+    pub pad_partial_matches: bool,
+}
+
+impl Default for SaccsConfig {
+    fn default() -> Self {
+        SaccsConfig {
+            aggregation: Aggregation::Mean,
+            top_k: 10,
+            pad_partial_matches: true,
+        }
+    }
+}
+
+/// The assembled subjective search service.
+pub struct SaccsService {
+    index: SubjectiveIndex,
+    extractor: Option<TagExtractor>,
+    config: SaccsConfig,
+}
+
+impl SaccsService {
+    /// Build from a populated index and a trained extractor.
+    pub fn new(index: SubjectiveIndex, extractor: TagExtractor, config: SaccsConfig) -> Self {
+        SaccsService {
+            index,
+            extractor: Some(extractor),
+            config,
+        }
+    }
+
+    /// Build without a neural extractor; only
+    /// [`SaccsService::rank_with_tags`] is available. Useful for index-only
+    /// experiments and tests.
+    pub fn index_only(index: SubjectiveIndex, config: SaccsConfig) -> Self {
+        SaccsService {
+            index,
+            extractor: None,
+            config,
+        }
+    }
+
+    pub fn index(&self) -> &SubjectiveIndex {
+        &self.index
+    }
+
+    pub fn index_mut(&mut self) -> &mut SubjectiveIndex {
+        &mut self.index
+    }
+
+    /// The trained extractor, if this service has one.
+    pub fn extractor(&self) -> Option<&TagExtractor> {
+        self.extractor.as_ref()
+    }
+
+    pub fn config(&self) -> &SaccsConfig {
+        &self.config
+    }
+
+    pub fn set_aggregation(&mut self, aggregation: Aggregation) {
+        self.config.aggregation = aggregation;
+    }
+
+    /// Algorithm 1 with the utterance's tags already extracted (lines
+    /// 6–12). `api_results` is S_api. Returns `(entity, score)` sorted by
+    /// descending aggregated score, at most `top_k` entries.
+    pub fn rank_with_tags(
+        &mut self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+    ) -> Vec<(usize, f32)> {
+        self.rank_core(tags, api_results, None)
+    }
+
+    /// Personalized Algorithm 1 (§7 extension): per-tag scores are scaled
+    /// by the user's profile weight before aggregation, so standing
+    /// interests tilt the ranking. `boost` bounds the tilt (0 = no
+    /// personalization; 0.5 = up to +50% weight on favorite dimensions).
+    pub fn rank_with_tags_profiled(
+        &mut self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+        profile: &UserProfile,
+        boost: f32,
+    ) -> Vec<(usize, f32)> {
+        let weights: Vec<f32> = tags
+            .iter()
+            .map(|t| profile.weight(t, self.index.similarity(), boost))
+            .collect();
+        self.rank_core(tags, api_results, Some(&weights))
+    }
+
+    /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
+    /// per-tag weights (the personalization hook).
+    fn rank_core(
+        &mut self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+        weights: Option<&[f32]>,
+    ) -> Vec<(usize, f32)> {
+        let passthrough = |api: &[usize], k: usize| -> Vec<(usize, f32)> {
+            api.iter().take(k).map(|&e| (e, 0.0)).collect()
+        };
+        if tags.is_empty() {
+            // No subjective signal: return the API order as-is.
+            return passthrough(api_results, self.config.top_k);
+        }
+        // Per-tag score maps (lines 7–10), optionally profile-weighted.
+        let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
+        for (i, t) in tags.iter().enumerate() {
+            let w = weights.map_or(1.0, |ws| ws[i]);
+            per_tag.push(
+                self.index
+                    .probe(t)
+                    .into_iter()
+                    .map(|(e, s)| (e, s * w))
+                    .collect(),
+            );
+        }
+
+        // Line 11: strict intersection, plus optional partial matches.
+        let mut full: Vec<(usize, f32)> = Vec::new();
+        let mut partial: Vec<(usize, f32, usize)> = Vec::new();
+        for &e in api_results {
+            let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
+            if scores.len() == tags.len() {
+                full.push((e, self.config.aggregation.combine(&scores)));
+            } else if !scores.is_empty() && self.config.pad_partial_matches {
+                // Partials score as the aggregate of the *present* tags
+                // discounted by coverage. Under Mean this equals the
+                // zero-padded mean; under Product/Min it keeps partials
+                // comparable instead of collapsing them all to zero.
+                let coverage = scores.len() as f32 / tags.len() as f32;
+                let score = self.config.aggregation.combine(&scores) * coverage;
+                partial.push((e, score, scores.len()));
+            }
+        }
+        // Degenerate case: the subjective filters matched nothing at all
+        // (e.g. every extracted tag is below θ_filter similarity to every
+        // index tag). Fall back to the objective API order — SACCS then
+        // behaves exactly like the underlying search service.
+        if full.is_empty() && partial.is_empty() {
+            return passthrough(api_results, self.config.top_k);
+        }
+        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        partial.sort_by(|a, b| {
+            b.2.cmp(&a.2)
+                .then(b.1.partial_cmp(&a.1).unwrap())
+                .then(a.0.cmp(&b.0))
+        });
+        let mut out = full;
+        if out.len() < self.config.top_k {
+            out.extend(partial.into_iter().map(|(e, s, _)| (e, s)));
+        }
+        out.truncate(self.config.top_k);
+        out
+    }
+
+    /// Full Algorithm 1 from a raw utterance: extract tags with the neural
+    /// pipeline, then filter and rank. Panics if the service was built
+    /// [`SaccsService::index_only`].
+    pub fn rank_utterance(&mut self, utterance: &str, api_results: &[usize]) -> Vec<(usize, f32)> {
+        let extractor = self
+            .extractor
+            .as_ref()
+            .expect("service built without an extractor");
+        let tags = extractor.extract(utterance);
+        self.rank_with_tags(&tags, api_results)
+    }
+
+    /// Extract tags from an utterance without ranking (for inspection).
+    pub fn extract_tags(&self, utterance: &str) -> Vec<SubjectiveTag> {
+        self.extractor
+            .as_ref()
+            .expect("service built without an extractor")
+            .extract(utterance)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_index::index::{EntityEvidence, IndexConfig};
+    use saccs_text::{ConceptualSimilarity, Domain, Lexicon};
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    /// Index with three entities: 0 is great food + nice staff, 1 is
+    /// great food only, 2 is nice staff only.
+    fn service() -> SaccsService {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig::default(),
+        );
+        idx.register_entity(EntityEvidence {
+            entity_id: 0,
+            review_count: 5,
+            review_tags: vec![tag("delicious", "food"), tag("friendly", "staff")],
+        });
+        idx.register_entity(EntityEvidence {
+            entity_id: 1,
+            review_count: 5,
+            review_tags: vec![tag("delicious", "food")],
+        });
+        idx.register_entity(EntityEvidence {
+            entity_id: 2,
+            review_count: 5,
+            review_tags: vec![tag("friendly", "staff")],
+        });
+        idx.index_tags(&[tag("delicious", "food"), tag("nice", "staff")]);
+        SaccsService::index_only(idx, SaccsConfig::default())
+    }
+
+    #[test]
+    fn single_tag_ranks_by_degree() {
+        let mut s = service();
+        let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[0, 1, 2]);
+        let ids: Vec<usize> = ranked.iter().map(|(e, _)| *e).collect();
+        assert!(ids.contains(&0) && ids.contains(&1));
+        assert!(!ids.contains(&2) || ranked.iter().find(|(e, _)| *e == 2).unwrap().1 == 0.0);
+    }
+
+    #[test]
+    fn intersection_prefers_entities_matching_all_tags() {
+        let mut s = service();
+        let ranked = s.rank_with_tags(
+            &[tag("delicious", "food"), tag("nice", "staff")],
+            &[0, 1, 2],
+        );
+        assert_eq!(
+            ranked[0].0, 0,
+            "only entity 0 matches both tags: {ranked:?}"
+        );
+    }
+
+    #[test]
+    fn partial_matches_pad_below_full_matches() {
+        let mut s = service();
+        let ranked = s.rank_with_tags(
+            &[tag("delicious", "food"), tag("nice", "staff")],
+            &[0, 1, 2],
+        );
+        // All three entities appear (top_k 10, padding on), 0 first.
+        assert_eq!(ranked.len(), 3);
+        assert_eq!(ranked[0].0, 0);
+    }
+
+    #[test]
+    fn padding_can_be_disabled() {
+        let mut s = service();
+        s.config.pad_partial_matches = false;
+        let ranked = s.rank_with_tags(
+            &[tag("delicious", "food"), tag("nice", "staff")],
+            &[0, 1, 2],
+        );
+        assert_eq!(ranked.len(), 1);
+    }
+
+    #[test]
+    fn api_results_gate_the_candidates() {
+        let mut s = service();
+        let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[1]);
+        assert!(ranked.iter().all(|(e, _)| *e == 1));
+    }
+
+    #[test]
+    fn empty_tags_pass_api_order_through() {
+        let mut s = service();
+        let ranked = s.rank_with_tags(&[], &[2, 0, 1]);
+        assert_eq!(
+            ranked.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
+            vec![2, 0, 1]
+        );
+    }
+
+    #[test]
+    fn unknown_tag_uses_similarity_fallback_and_history() {
+        let mut s = service();
+        // "scrumptious food" is not an index tag; similar to delicious food.
+        let ranked = s.rank_with_tags(&[tag("scrumptious", "food")], &[0, 1, 2]);
+        assert!(!ranked.is_empty());
+        assert_eq!(s.index().history().len(), 1);
+    }
+
+    #[test]
+    fn aggregation_operators_differ() {
+        let mut s = service();
+        let tags = [tag("delicious", "food"), tag("nice", "staff")];
+        let mean = s.rank_with_tags(&tags, &[0, 1, 2]);
+        s.set_aggregation(Aggregation::Product);
+        let product = s.rank_with_tags(&tags, &[0, 1, 2]);
+        s.set_aggregation(Aggregation::Min);
+        let min = s.rank_with_tags(&tags, &[0, 1, 2]);
+        // Same top entity (0 matches everything), but different scores.
+        assert_eq!(mean[0].0, 0);
+        assert_eq!(product[0].0, 0);
+        assert_eq!(min[0].0, 0);
+        assert_ne!(mean[0].1, product[0].1);
+    }
+
+    #[test]
+    fn personalization_tilts_toward_standing_interests() {
+        let mut s = service();
+        // Query mentions both dimensions; entity 1 excels at food, entity
+        // 2 at staff. A staff-obsessed profile must pull entity 2 above 1.
+        let tags = [tag("delicious", "food"), tag("nice", "staff")];
+        let mut profile = crate::profile::UserProfile::new();
+        for _ in 0..8 {
+            profile.observe(&[tag("friendly", "staff")]);
+        }
+        let ranked = s.rank_with_tags_profiled(&tags, &[1, 2], &profile, 2.0);
+        // Both entities match exactly one tag each; the profile weight on
+        // the staff side must put entity 2 first.
+        let pos1 = ranked.iter().position(|(e, _)| *e == 1).unwrap();
+        let pos2 = ranked.iter().position(|(e, _)| *e == 2).unwrap();
+        assert!(pos2 < pos1, "profile did not tilt ranking: {ranked:?}");
+        // With boost 0 the order is purely score-based and deterministic.
+        let neutral = s.rank_with_tags_profiled(&tags, &[1, 2], &UserProfile::new(), 0.0);
+        assert_eq!(neutral.len(), 2);
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let mut s = service();
+        s.config.top_k = 1;
+        let ranked = s.rank_with_tags(
+            &[tag("delicious", "food"), tag("nice", "staff")],
+            &[0, 1, 2],
+        );
+        assert_eq!(ranked.len(), 1);
+    }
+}

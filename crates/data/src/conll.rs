@@ -1,0 +1,247 @@
+//! CoNLL-style serialization of labeled sentences.
+//!
+//! The paper's labeled datasets (SemEval-14/15 with the opinion labels of
+//! [31, 55, 56], the Booking.com set) circulate as token-per-line files.
+//! This module reads and writes that format so the *real* datasets can be
+//! dropped into the harness in place of the synthetic substitutes:
+//!
+//! ```text
+//! the        O
+//! food       B-AS
+//! is         O
+//! really     B-OP
+//! good       I-OP
+//! .          O
+//!            <- blank line separates sentences
+//! ```
+//!
+//! Gold aspect↔opinion pairs (which plain CoNLL cannot carry) are encoded
+//! in an optional trailing comment line `# pairs: a0-o0 a1-o1 …`, indexing
+//! the sentence's aspect and opinion spans in order of appearance. Files
+//! without pair comments load with pairing ground truth absent (fine for
+//! tagging experiments).
+
+use crate::generator::LabeledSentence;
+use saccs_text::iob::{spans_from_tags, IobTag, Span, SpanKind};
+use std::fmt::Write as _;
+
+/// Parse errors with line positions.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ParseError {
+    pub line: usize,
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize sentences to CoNLL text (with pair comments).
+pub fn to_conll(sentences: &[LabeledSentence]) -> String {
+    let mut out = String::new();
+    for s in sentences {
+        for (tok, tag) in s.tokens.iter().zip(&s.tags) {
+            writeln!(out, "{tok}\t{tag}").unwrap();
+        }
+        if !s.pairs.is_empty() {
+            let aspects: Vec<Span> = s.aspect_spans();
+            let opinions: Vec<Span> = s.opinion_spans();
+            let mut ids = Vec::new();
+            for (a, o) in &s.pairs {
+                let ai = aspects.iter().position(|x| x == a);
+                let oi = opinions.iter().position(|x| x == o);
+                if let (Some(ai), Some(oi)) = (ai, oi) {
+                    ids.push(format!("a{ai}-o{oi}"));
+                }
+            }
+            if !ids.is_empty() {
+                writeln!(out, "# pairs: {}", ids.join(" ")).unwrap();
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse CoNLL text into labeled sentences.
+pub fn from_conll(text: &str) -> Result<Vec<LabeledSentence>, ParseError> {
+    let mut sentences = Vec::new();
+    let mut tokens: Vec<String> = Vec::new();
+    let mut tags: Vec<IobTag> = Vec::new();
+    let mut pair_ids: Vec<(usize, usize)> = Vec::new();
+
+    let mut flush = |tokens: &mut Vec<String>,
+                     tags: &mut Vec<IobTag>,
+                     pair_ids: &mut Vec<(usize, usize)>,
+                     line: usize|
+     -> Result<(), ParseError> {
+        if tokens.is_empty() {
+            return Ok(());
+        }
+        let spans = spans_from_tags(tags);
+        let aspects: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Aspect)
+            .copied()
+            .collect();
+        let opinions: Vec<Span> = spans
+            .iter()
+            .filter(|s| s.kind == SpanKind::Opinion)
+            .copied()
+            .collect();
+        let mut pairs = Vec::new();
+        for &(ai, oi) in pair_ids.iter() {
+            let a = aspects.get(ai).ok_or_else(|| ParseError {
+                line,
+                message: format!(
+                    "pair references aspect {ai} but sentence has {}",
+                    aspects.len()
+                ),
+            })?;
+            let o = opinions.get(oi).ok_or_else(|| ParseError {
+                line,
+                message: format!(
+                    "pair references opinion {oi} but sentence has {}",
+                    opinions.len()
+                ),
+            })?;
+            pairs.push((*a, *o));
+        }
+        sentences.push(LabeledSentence {
+            tokens: std::mem::take(tokens),
+            tags: std::mem::take(tags),
+            pairs,
+        });
+        pair_ids.clear();
+        Ok(())
+    };
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            flush(&mut tokens, &mut tags, &mut pair_ids, line_no)?;
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# pairs:") {
+            for item in rest.split_whitespace() {
+                let parts: Vec<&str> = item.split('-').collect();
+                let parse_id = |p: &str, prefix: char| -> Result<usize, ParseError> {
+                    p.strip_prefix(prefix)
+                        .and_then(|n| n.parse().ok())
+                        .ok_or_else(|| ParseError {
+                            line: line_no,
+                            message: format!("bad pair id {item:?}"),
+                        })
+                };
+                if parts.len() != 2 {
+                    return Err(ParseError {
+                        line: line_no,
+                        message: format!("bad pair id {item:?}"),
+                    });
+                }
+                pair_ids.push((parse_id(parts[0], 'a')?, parse_id(parts[1], 'o')?));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments
+        }
+        let mut cols = line.split_whitespace();
+        let (tok, tag) = match (cols.next(), cols.next()) {
+            (Some(t), Some(g)) => (t, g),
+            _ => {
+                return Err(ParseError {
+                    line: line_no,
+                    message: format!("expected `token<TAB>tag`, got {line:?}"),
+                })
+            }
+        };
+        let tag = IobTag::parse(tag).ok_or_else(|| ParseError {
+            line: line_no,
+            message: format!("unknown tag {tag:?}"),
+        })?;
+        tokens.push(tok.to_string());
+        tags.push(tag);
+    }
+    flush(&mut tokens, &mut tags, &mut pair_ids, text.lines().count())?;
+    Ok(sentences)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{GeneratorConfig, SentenceGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use saccs_text::{Domain, Lexicon};
+
+    #[test]
+    fn parses_handwritten_file() {
+        let text = "\
+the\tO
+food\tB-AS
+is\tO
+really\tB-OP
+good\tI-OP
+.\tO
+# pairs: a0-o0
+
+staff\tB-AS
+friendly\tB-OP
+";
+        let sents = from_conll(text).unwrap();
+        assert_eq!(sents.len(), 2);
+        assert_eq!(sents[0].tokens[1], "food");
+        assert_eq!(sents[0].tags[3], IobTag::BOp);
+        assert_eq!(sents[0].pairs.len(), 1);
+        assert_eq!(sents[0].pairs[0].0, Span::aspect(1, 2));
+        assert_eq!(sents[0].pairs[0].1, Span::opinion(3, 5));
+        assert!(sents[1].pairs.is_empty());
+    }
+
+    #[test]
+    fn roundtrips_generated_sentences() {
+        let gen = SentenceGenerator::new(
+            Lexicon::new(Domain::Restaurants),
+            GeneratorConfig::default(),
+        );
+        let mut rng = StdRng::seed_from_u64(3);
+        let sentences: Vec<_> = (0..60).map(|_| gen.random_sentence(&mut rng)).collect();
+        let text = to_conll(&sentences);
+        let back = from_conll(&text).unwrap();
+        assert_eq!(back.len(), sentences.len());
+        for (a, b) in sentences.iter().zip(&back) {
+            assert_eq!(a.tokens, b.tokens);
+            assert_eq!(a.tags, b.tags);
+            let pa: std::collections::BTreeSet<_> = a.pairs.iter().collect();
+            let pb: std::collections::BTreeSet<_> = b.pairs.iter().collect();
+            assert_eq!(pa, pb, "pairs diverged for {:?}", a.tokens);
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_conll("token_without_tag\n").is_err());
+        assert!(from_conll("word\tB-XX\n").is_err());
+        let err = from_conll("food\tB-AS\n# pairs: a0-o0\n\n").unwrap_err();
+        assert!(err.message.contains("opinion"), "{err}");
+        assert!(from_conll("food\tB-AS\n# pairs: zz\n\n").is_err());
+    }
+
+    #[test]
+    fn empty_and_comment_only_inputs() {
+        assert!(from_conll("").unwrap().is_empty());
+        assert!(from_conll("# just a comment\n\n").unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_trailing_blank_line_still_flushes() {
+        let sents = from_conll("food\tB-AS").unwrap();
+        assert_eq!(sents.len(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! Simulated crowdsourcing of `sat(tag, entity)` ground truth.
+//!
+//! §6.2: workers inspect a (review, tag) pair and assign a relevance score
+//! in {0, ⅓, ⅔, 1}; three workers label each pair, the majority vote wins,
+//! and `sat(tag, entity)` is the mean over the entity's reviews. The Yandex
+//! Toloka workforce is replaced by simulated annotators: each worker
+//! observes the true relevance (known from the generating latents), adds
+//! personal noise, and quantizes to the four-point scale. A stuck majority
+//! (three distinct votes) resolves to the median, the standard tie rule
+//! for ordinal crowd labels.
+
+use crate::queries::CanonicalTag;
+use crate::yelp::YelpCorpus;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saccs_text::lexicon::Polarity;
+
+/// The four-point relevance scale of §6.2.
+pub const SCALE: [f32; 4] = [0.0, 1.0 / 3.0, 2.0 / 3.0, 1.0];
+
+fn quantize(v: f32) -> f32 {
+    let mut best = SCALE[0];
+    let mut dist = f32::INFINITY;
+    for &s in &SCALE {
+        let d = (v - s).abs();
+        if d < dist {
+            dist = d;
+            best = s;
+        }
+    }
+    best
+}
+
+/// Simulated three-worker annotation with per-observation Gaussian-ish
+/// noise (sum of two uniforms, cheap and bounded).
+#[derive(Debug, Clone)]
+pub struct CrowdSimulator {
+    /// Noise half-width per worker observation.
+    pub worker_noise: f32,
+    pub workers: usize,
+    pub seed: u64,
+}
+
+impl Default for CrowdSimulator {
+    fn default() -> Self {
+        CrowdSimulator {
+            worker_noise: 0.18,
+            workers: 3,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+impl CrowdSimulator {
+    /// One worker's label for a true relevance value.
+    fn worker_label(&self, truth: f32, rng: &mut StdRng) -> f32 {
+        let noise = (rng.gen_range(-self.worker_noise..self.worker_noise)
+            + rng.gen_range(-self.worker_noise..self.worker_noise))
+            / 2.0;
+        quantize((truth + noise).clamp(0.0, 1.0))
+    }
+
+    /// Majority vote of `self.workers` labels; median on full disagreement.
+    pub fn annotate(&self, truth: f32, rng: &mut StdRng) -> f32 {
+        let mut votes: Vec<f32> = (0..self.workers)
+            .map(|_| self.worker_label(truth, rng))
+            .collect();
+        votes.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Majority: any value occurring more than half? With 3 workers the
+        // median *is* the majority when one exists, and the tie-break
+        // otherwise.
+        votes[votes.len() / 2]
+    }
+
+    /// True (pre-crowd) relevance of a canonical tag for one review: the
+    /// review either observed the tag's latent dimension (relevance from
+    /// the observed polarity) or mentioned a related dimension (weak
+    /// relevance, the paper's "slow service is somewhat related to the
+    /// service being terrible" example) or neither (zero).
+    pub fn review_truth(tag: &CanonicalTag, corpus: &YelpCorpus, review_idx: usize) -> f32 {
+        let review = &corpus.reviews[review_idx];
+        let mut best: f32 = 0.0;
+        for &(concept, group, pol) in &review.observations {
+            let score = if concept == tag.concept && group == tag.group {
+                // Direct observation of the tag's dimension.
+                if pol == Polarity::Positive {
+                    1.0
+                } else {
+                    0.0
+                }
+            } else if concept == tag.concept {
+                // Same aspect, different opinion dimension: weak signal.
+                if pol == Polarity::Positive {
+                    1.0 / 3.0
+                } else {
+                    0.0
+                }
+            } else {
+                continue;
+            };
+            best = best.max(score);
+        }
+        best
+    }
+
+    /// `sat(tag, entity)`: mean of per-review crowd labels over the
+    /// entity's reviews (§6.2). Deterministic in the simulator seed.
+    pub fn sat(&self, tag: &CanonicalTag, corpus: &YelpCorpus, entity_id: usize) -> f32 {
+        let reviews = corpus.reviews_of(entity_id);
+        if reviews.is_empty() {
+            return 0.0;
+        }
+        let mut rng = StdRng::seed_from_u64(
+            self.seed
+                ^ (entity_id as u64).wrapping_mul(0x9E3779B97F4A7C15)
+                ^ (hash_tag(tag)).wrapping_mul(0xBF58476D1CE4E5B9),
+        );
+        let sum: f32 = reviews
+            .iter()
+            .map(|&ri| self.annotate(Self::review_truth(tag, corpus, ri), &mut rng))
+            .sum();
+        sum / reviews.len() as f32
+    }
+
+    /// Full sat table: `table[tag_idx][entity_id]`.
+    pub fn sat_table(&self, tags: &[CanonicalTag], corpus: &YelpCorpus) -> Vec<Vec<f32>> {
+        tags.iter()
+            .map(|t| {
+                (0..corpus.entities.len())
+                    .map(|e| self.sat(t, corpus, e))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+fn hash_tag(tag: &CanonicalTag) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    tag.group.hash(&mut h);
+    tag.concept.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queries::canonical_tags;
+    use crate::yelp::YelpConfig;
+    use saccs_text::{Domain, Lexicon};
+
+    fn corpus() -> YelpCorpus {
+        YelpCorpus::generate(
+            Lexicon::new(Domain::Restaurants),
+            &YelpConfig {
+                n_entities: 8,
+                n_reviews: 200,
+                seed: 3,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn quantize_snaps_to_scale() {
+        assert_eq!(quantize(0.1), 0.0);
+        assert_eq!(quantize(0.3), 1.0 / 3.0);
+        assert_eq!(quantize(0.9), 1.0);
+        for &s in &SCALE {
+            assert_eq!(quantize(s), s);
+        }
+    }
+
+    #[test]
+    fn annotate_tracks_truth_in_aggregate() {
+        let sim = CrowdSimulator::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for truth in [0.0f32, 0.33, 0.66, 1.0] {
+            let mean: f32 = (0..300).map(|_| sim.annotate(truth, &mut rng)).sum::<f32>() / 300.0;
+            assert!((mean - truth).abs() < 0.12, "truth={truth} mean={mean}");
+        }
+    }
+
+    #[test]
+    fn sat_is_deterministic() {
+        let c = corpus();
+        let sim = CrowdSimulator::default();
+        let tags = canonical_tags();
+        assert_eq!(sim.sat(&tags[0], &c, 3), sim.sat(&tags[0], &c, 3));
+    }
+
+    #[test]
+    fn sat_correlates_with_latent_quality() {
+        let c = corpus();
+        let sim = CrowdSimulator::default();
+        let tags = canonical_tags();
+        // Spearman-ish check: across entities, sat should order roughly by
+        // latent quality for a frequently-mentioned dimension.
+        let tag = tags.iter().find(|t| t.concept == "food").unwrap();
+        let mut pairs: Vec<(f32, f32)> = (0..c.entities.len())
+            .map(|e| {
+                (
+                    c.entities[e].quality_of(tag.concept, tag.group),
+                    sim.sat(tag, &c, e),
+                )
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        // Count concordant adjacent pairs.
+        let concordant = pairs.windows(2).filter(|w| w[1].1 >= w[0].1 - 0.15).count();
+        assert!(
+            concordant >= pairs.len() - 3,
+            "sat does not track quality: {pairs:?}"
+        );
+    }
+
+    #[test]
+    fn sat_table_shape() {
+        let c = corpus();
+        let sim = CrowdSimulator::default();
+        let tags = canonical_tags();
+        let table = sim.sat_table(&tags, &c);
+        assert_eq!(table.len(), tags.len());
+        assert!(table.iter().all(|row| row.len() == c.entities.len()));
+        for row in &table {
+            for &v in row {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn review_truth_weak_relevance() {
+        // A review observing (service, quick, Negative) is weakly relevant
+        // to "quick service"? No — direct dimension, negative ⇒ 0. But a
+        // review observing (service, good, Positive) is weakly relevant
+        // (1/3) to "quick service".
+        let c = corpus();
+        let tags = canonical_tags();
+        let quick_service = tags.iter().find(|t| t.group == "quick").unwrap();
+        let mut saw_weak = false;
+        for ri in 0..c.reviews.len() {
+            let truth = CrowdSimulator::review_truth(quick_service, &c, ri);
+            if (truth - 1.0 / 3.0).abs() < 1e-6 {
+                let direct = c.reviews[ri]
+                    .observations
+                    .iter()
+                    .any(|&(co, g, p)| co == "service" && g == "quick" && p == Polarity::Positive);
+                assert!(!direct);
+                saw_weak = true;
+            }
+        }
+        assert!(saw_weak, "no weak-relevance review found");
+    }
+}

@@ -1,0 +1,185 @@
+//! Fake-review campaign injection (§7 future work).
+//!
+//! "A reviewer might have been paid by a business owner to write positive
+//! reviews about it, or negative reviews about its competitors. We have
+//! to differentiate between truthful and fake reviews." This module
+//! simulates such campaigns so the robust-indexing extension
+//! (`saccs-index::robust`) has something real to defend against: a
+//! campaign floods one entity with a burst of near-identical reviews
+//! praising (or, for a smear, panning) one subjective dimension,
+//! regardless of the entity's latent quality.
+
+use crate::generator::{FacetSpec, GeneratorConfig, SentenceGenerator};
+use crate::yelp::{Review, YelpCorpus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs_text::lexicon::Polarity;
+
+/// One astroturfing campaign.
+#[derive(Debug, Clone)]
+pub struct FraudCampaign {
+    /// The paid-for entity.
+    pub entity_id: usize,
+    /// Number of fake reviews to inject.
+    pub n_reviews: usize,
+    /// The dimension the campaign pushes (canonical concept + group).
+    pub concept: &'static str,
+    pub group: &'static str,
+    /// `Positive` boosts the target; `Negative` smears it (the
+    /// competitor-attack case).
+    pub polarity: Polarity,
+}
+
+/// Inject campaigns into a corpus. Fake reviews are appended and flagged
+/// with [`Review::is_fake`] (diagnostic ground truth — the indexer never
+/// reads the flag) and *not* recorded in the latent observations, so the
+/// crowd sat ground truth stays the honest one.
+pub fn inject_fraud(corpus: &mut YelpCorpus, campaigns: &[FraudCampaign], seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Campaign text is deliberately repetitive: one facet, no noise, low
+    // variation — the fingerprint real astroturfing tends to leave.
+    let generator = SentenceGenerator::new(
+        corpus.lexicon().clone(),
+        GeneratorConfig {
+            typo_rate: 0.0,
+            noise_rate: 0.0,
+            train_vocabulary_only: true, // a paid writer reuses stock phrasing
+            trap_rate: 0.0,
+            correlated_facets: 0.0,
+        },
+    );
+    for campaign in campaigns {
+        assert!(campaign.entity_id < corpus.entities.len(), "unknown entity");
+        for _ in 0..campaign.n_reviews {
+            let facet = FacetSpec {
+                concept: campaign.concept,
+                group: campaign.group,
+                polarity: campaign.polarity,
+            };
+            let sentence = generator.sentence(&[facet], &mut rng);
+            corpus.push_review(Review {
+                entity_id: campaign.entity_id,
+                sentences: vec![sentence],
+                observations: Vec::new(), // fake reviews observe nothing real
+                is_fake: true,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yelp::YelpConfig;
+    use saccs_text::{Domain, Lexicon};
+
+    fn corpus() -> YelpCorpus {
+        YelpCorpus::generate(
+            Lexicon::new(Domain::Restaurants),
+            &YelpConfig {
+                n_entities: 6,
+                n_reviews: 60,
+                seed: 4,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn injection_appends_flagged_reviews() {
+        let mut c = corpus();
+        let before = c.reviews.len();
+        let before_target = c.reviews_of(2).len();
+        inject_fraud(
+            &mut c,
+            &[FraudCampaign {
+                entity_id: 2,
+                n_reviews: 15,
+                concept: "food",
+                group: "delicious",
+                polarity: Polarity::Positive,
+            }],
+            1,
+        );
+        assert_eq!(c.reviews.len(), before + 15);
+        assert_eq!(c.reviews_of(2).len(), before_target + 15);
+        let fakes = c
+            .reviews_of(2)
+            .iter()
+            .filter(|&&ri| c.reviews[ri].is_fake)
+            .count();
+        assert_eq!(fakes, 15);
+        // Other entities untouched.
+        assert!(c.reviews_of(0).iter().all(|&ri| !c.reviews[ri].is_fake));
+    }
+
+    #[test]
+    fn fake_reviews_push_the_campaign_dimension() {
+        let mut c = corpus();
+        inject_fraud(
+            &mut c,
+            &[FraudCampaign {
+                entity_id: 0,
+                n_reviews: 10,
+                concept: "staff",
+                group: "nice",
+                polarity: Polarity::Positive,
+            }],
+            2,
+        );
+        let lex = Lexicon::new(Domain::Restaurants);
+        for &ri in c.reviews_of(0) {
+            let r = &c.reviews[ri];
+            if r.is_fake {
+                // Every fake review mentions the staff positively.
+                let s = &r.sentences[0];
+                let found = s.pairs.iter().any(|(a, o)| {
+                    lex.aspect_concept(&a.text(&s.tokens))
+                        .is_some_and(|con| con.canonical == "staff")
+                        && lex
+                            .opinion_group(&o.text(&s.tokens))
+                            .is_some_and(|g| g.polarity == Polarity::Positive)
+                });
+                assert!(found, "fake review off-message: {}", s.text());
+            }
+        }
+    }
+
+    #[test]
+    fn observations_stay_honest() {
+        let mut c = corpus();
+        inject_fraud(
+            &mut c,
+            &[FraudCampaign {
+                entity_id: 1,
+                n_reviews: 8,
+                concept: "food",
+                group: "delicious",
+                polarity: Polarity::Positive,
+            }],
+            3,
+        );
+        for &ri in c.reviews_of(1) {
+            if c.reviews[ri].is_fake {
+                assert!(c.reviews[ri].observations.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown entity")]
+    fn rejects_out_of_range_entities() {
+        let mut c = corpus();
+        inject_fraud(
+            &mut c,
+            &[FraudCampaign {
+                entity_id: 999,
+                n_reviews: 1,
+                concept: "food",
+                group: "delicious",
+                polarity: Polarity::Positive,
+            }],
+            4,
+        );
+    }
+}

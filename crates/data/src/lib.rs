@@ -1,0 +1,42 @@
+//! # saccs-data
+//!
+//! Synthetic data generation for the SACCS reproduction. The paper
+//! evaluates on (a) the Yelp Open Dataset filtered to 280 Italian
+//! restaurants in Montreal with 7 061 reviews, (b) four labeled
+//! aspect/opinion datasets S1–S4 (SemEval-14/15 + Booking.com, Table 3),
+//! (c) crowdsourced `sat(tag, entity)` relevance judgments from Yandex
+//! Toloka, and (d) 100 queries per difficulty level built from 18 canonical
+//! subjective tags \[39\]. None of those artifacts are available offline, so
+//! this crate generates statistically equivalent substitutes whose ground
+//! truth is *known by construction* (see `DESIGN.md` §1):
+//!
+//! * [`generator`] — a template/paraphrase sentence grammar over the
+//!   [`saccs_text::Lexicon`], emitting gold IOB tags and gold
+//!   aspect↔opinion pairs;
+//! * [`labeled`] — S1–S4 with the paper's exact sizes and domains;
+//! * [`entity`] + [`yelp`] — restaurants with latent per-(aspect, opinion)
+//!   qualities, Yelp-style queryable attributes derived from them, and
+//!   reviews sampled from the latents;
+//! * [`crowd`] — the three-worker quantized majority-vote simulation;
+//! * [`queries`] — the 18 canonical tags and Short/Medium/Long query sets.
+//!
+//! Every generator takes an explicit seed; identical seeds reproduce
+//! identical datasets bit for bit.
+
+pub mod conll;
+pub mod crowd;
+pub mod entity;
+pub mod fraud;
+pub mod generator;
+pub mod labeled;
+pub mod queries;
+pub mod yelp;
+
+pub use conll::{from_conll, to_conll};
+pub use crowd::CrowdSimulator;
+pub use entity::Entity;
+pub use fraud::{inject_fraud, FraudCampaign};
+pub use generator::{FacetSpec, GeneratorConfig, LabeledSentence, SentenceGenerator};
+pub use labeled::{Dataset, DatasetId};
+pub use queries::{canonical_tags, CanonicalTag, Difficulty, Query};
+pub use yelp::{Review, YelpCorpus};

@@ -1,0 +1,241 @@
+//! The 18 canonical subjective tags and the Table-2 query sets.
+//!
+//! §6.2: "\[39\] identified the most important features restaurant seekers
+//! consider when choosing a restaurant … We chose 18 of them to serve as
+//! our subjective tags"; queries are uniform random combinations of those
+//! tags, 100 per difficulty level — Short (1–2 tags), Medium (3–4), Long
+//! (5–6).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use saccs_text::SubjectiveTag;
+
+/// One of the 18 test tags: its surface form plus the latent dimension
+/// (canonical opinion group × aspect concept) it evaluates against.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CanonicalTag {
+    /// Surface opinion word, as a user would type it.
+    pub surface_opinion: &'static str,
+    /// Surface aspect word.
+    pub surface_aspect: &'static str,
+    /// Canonical opinion group in the lexicon.
+    pub group: &'static str,
+    /// Canonical aspect concept in the lexicon.
+    pub concept: &'static str,
+}
+
+impl CanonicalTag {
+    /// The tag as a [`SubjectiveTag`].
+    pub fn tag(&self) -> SubjectiveTag {
+        SubjectiveTag::new(self.surface_opinion, self.surface_aspect)
+    }
+
+    /// Surface phrase ("delicious food").
+    pub fn phrase(&self) -> String {
+        format!("{} {}", self.surface_opinion, self.surface_aspect)
+    }
+}
+
+macro_rules! ctag {
+    ($op:literal, $asp:literal, $group:literal, $concept:literal) => {
+        CanonicalTag {
+            surface_opinion: $op,
+            surface_aspect: $asp,
+            group: $group,
+            concept: $concept,
+        }
+    };
+}
+
+/// The 18 canonical tags (Moura et al. \[39\] restaurant-choice features; the
+/// first four are quoted verbatim in §6.2).
+pub fn canonical_tags() -> Vec<CanonicalTag> {
+    vec![
+        ctag!("delicious", "food", "delicious", "food"),
+        ctag!("creative", "cooking", "creative", "cooking"),
+        ctag!("varied", "menu", "varied", "menu"),
+        ctag!("romantic", "ambiance", "romantic", "ambiance"),
+        ctag!("quick", "service", "quick", "service"),
+        ctag!("nice", "staff", "nice", "staff"),
+        ctag!("clean", "plates", "clean", "plates"),
+        ctag!("fair", "prices", "fair", "price"),
+        ctag!("cozy", "atmosphere", "cozy", "ambiance"),
+        ctag!("fresh", "ingredients", "fresh", "ingredients"),
+        ctag!("generous", "portions", "generous", "portions"),
+        ctag!("fast", "delivery", "quick", "delivery"),
+        ctag!("good", "wine", "good", "wine"),
+        ctag!("friendly", "waiters", "nice", "staff"),
+        ctag!("quiet", "place", "quiet", "place"),
+        ctag!("beautiful", "decor", "beautiful", "decor"),
+        ctag!("good", "music", "good", "music"),
+        ctag!("comfortable", "seating", "comfortable", "seating"),
+    ]
+}
+
+/// Query difficulty levels of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Difficulty {
+    /// 1–2 subjective tags.
+    Short,
+    /// 3–4 subjective tags.
+    Medium,
+    /// 5–6 subjective tags.
+    Long,
+}
+
+impl Difficulty {
+    pub const ALL: [Difficulty; 3] = [Difficulty::Short, Difficulty::Medium, Difficulty::Long];
+
+    /// Inclusive tag-count range for this difficulty.
+    pub fn tag_range(self) -> (usize, usize) {
+        match self {
+            Difficulty::Short => (1, 2),
+            Difficulty::Medium => (3, 4),
+            Difficulty::Long => (5, 6),
+        }
+    }
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Difficulty::Short => "Short",
+            Difficulty::Medium => "Medium",
+            Difficulty::Long => "Long",
+        }
+    }
+}
+
+/// A subjective test query: a combination of canonical tags plus the
+/// natural-language utterance it corresponds to.
+#[derive(Debug, Clone)]
+pub struct Query {
+    pub tags: Vec<CanonicalTag>,
+    pub difficulty: Difficulty,
+}
+
+impl Query {
+    /// Render as a user utterance, e.g. "I am looking for a restaurant that
+    /// delivers a quick service with clean plates." (§6.2's example form).
+    pub fn utterance(&self) -> String {
+        let phrases: Vec<String> = self.tags.iter().map(|t| t.phrase()).collect();
+        match phrases.len() {
+            1 => format!("I am looking for a restaurant with {}.", phrases[0]),
+            _ => {
+                let (last, init) = phrases.split_last().unwrap();
+                format!(
+                    "I am looking for a restaurant with {} and {}.",
+                    init.join(", "),
+                    last
+                )
+            }
+        }
+    }
+}
+
+/// Generate `per_level` queries for each difficulty by uniform random
+/// sampling of distinct tags (§6.2: "Each set contains 100 queries").
+pub fn query_sets(per_level: usize, seed: u64) -> Vec<(Difficulty, Vec<Query>)> {
+    let tags = canonical_tags();
+    let mut rng = StdRng::seed_from_u64(seed);
+    Difficulty::ALL
+        .iter()
+        .map(|&d| {
+            let (lo, hi) = d.tag_range();
+            let queries = (0..per_level)
+                .map(|_| {
+                    let n = rng.gen_range(lo..=hi);
+                    let mut chosen = tags.clone();
+                    chosen.shuffle(&mut rng);
+                    chosen.truncate(n);
+                    Query {
+                        tags: chosen,
+                        difficulty: d,
+                    }
+                })
+                .collect();
+            (d, queries)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::{Domain, Lexicon};
+
+    #[test]
+    fn eighteen_tags() {
+        assert_eq!(canonical_tags().len(), 18);
+    }
+
+    #[test]
+    fn tags_resolve_against_lexicon() {
+        let lex = Lexicon::new(Domain::Restaurants);
+        for t in canonical_tags() {
+            let g = lex
+                .opinion_group(t.surface_opinion)
+                .expect(t.surface_opinion);
+            assert_eq!(g.canonical, t.group, "{}", t.phrase());
+            let c = lex
+                .aspect_concept(t.surface_aspect)
+                .expect(t.surface_aspect);
+            assert_eq!(c.canonical, t.concept, "{}", t.phrase());
+        }
+    }
+
+    #[test]
+    fn query_sets_have_correct_sizes_and_ranges() {
+        let sets = query_sets(100, 1);
+        assert_eq!(sets.len(), 3);
+        for (d, queries) in &sets {
+            assert_eq!(queries.len(), 100);
+            let (lo, hi) = d.tag_range();
+            for q in queries {
+                assert!(q.tags.len() >= lo && q.tags.len() <= hi);
+                // Distinct tags within a query.
+                let set: std::collections::HashSet<_> = q.tags.iter().collect();
+                assert_eq!(set.len(), q.tags.len());
+            }
+        }
+    }
+
+    #[test]
+    fn utterance_renders_naturally() {
+        let tags = canonical_tags();
+        let q = Query {
+            tags: vec![tags[4].clone(), tags[6].clone()],
+            difficulty: Difficulty::Short,
+        };
+        assert_eq!(
+            q.utterance(),
+            "I am looking for a restaurant with quick service and clean plates."
+        );
+        let q1 = Query {
+            tags: vec![tags[0].clone()],
+            difficulty: Difficulty::Short,
+        };
+        assert_eq!(
+            q1.utterance(),
+            "I am looking for a restaurant with delicious food."
+        );
+    }
+
+    #[test]
+    fn query_sets_deterministic() {
+        let a = query_sets(10, 5);
+        let b = query_sets(10, 5);
+        for ((_, qa), (_, qb)) in a.iter().zip(&b) {
+            for (x, y) in qa.iter().zip(qb) {
+                assert_eq!(x.tags, y.tags);
+            }
+        }
+    }
+
+    #[test]
+    fn subjective_tag_conversion() {
+        let t = &canonical_tags()[0];
+        let st = t.tag();
+        assert_eq!(st.opinion, "delicious");
+        assert_eq!(st.aspect, "food");
+    }
+}

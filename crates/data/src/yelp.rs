@@ -1,0 +1,340 @@
+//! The synthetic stand-in for the Yelp Open Dataset slice used in §6.1:
+//! "280 entities (restaurants) with 7061 reviews" (Italian restaurants in
+//! Montreal).
+//!
+//! Reviews are noisy observations of each entity's latent qualities: a
+//! review sentence about dimension `(food, delicious)` praises the food
+//! with probability `q[(food, delicious)]` and pans it otherwise, so
+//! aggregate review content converges on the latent truth exactly the way
+//! real review corpora encode collective experience. Review volume follows
+//! a heavy-tailed per-entity distribution (every entity keeps at least one
+//! review), and text passes through the same template grammar as the
+//! labeled datasets — with typos and filler noise — so the extractor faces
+//! realistic surface variety.
+
+use crate::entity::Entity;
+use crate::generator::{FacetSpec, GeneratorConfig, LabeledSentence, SentenceGenerator};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use saccs_text::lexicon::{Lexicon, Polarity};
+
+/// One review: a few sentences about one entity, with the generating
+/// facets retained as diagnostic ground truth (the *system* never reads
+/// them — it sees only `text()`).
+#[derive(Debug, Clone)]
+pub struct Review {
+    pub entity_id: usize,
+    pub sentences: Vec<LabeledSentence>,
+    /// The latent dimensions this review observed: (concept, group,
+    /// realized polarity).
+    pub observations: Vec<(&'static str, &'static str, Polarity)>,
+    /// True for injected astroturf reviews (see [`crate::fraud`]). Ground
+    /// truth for the robustness experiments only — the indexing pipeline
+    /// never reads it.
+    pub is_fake: bool,
+}
+
+impl Review {
+    /// The review's surface text (sentences joined with spaces; each
+    /// sentence already ends in a terminator token).
+    pub fn text(&self) -> String {
+        self.sentences
+            .iter()
+            .map(|s| s.text())
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Corpus generation knobs.
+#[derive(Debug, Clone)]
+pub struct YelpConfig {
+    pub n_entities: usize,
+    pub n_reviews: usize,
+    pub max_sentences_per_review: usize,
+    /// Probability that a review sentence's polarity contradicts the
+    /// latent draw (reviewer idiosyncrasy).
+    pub flip_noise: f64,
+    pub typo_rate: f64,
+    pub seed: u64,
+}
+
+impl Default for YelpConfig {
+    fn default() -> Self {
+        // The paper's corpus dimensions.
+        YelpConfig {
+            n_entities: 280,
+            n_reviews: 7061,
+            max_sentences_per_review: 4,
+            flip_noise: 0.10,
+            typo_rate: 0.02,
+            seed: 0xE1DB,
+        }
+    }
+}
+
+/// The generated corpus: entities, reviews, and a per-entity review index.
+#[derive(Debug, Clone)]
+pub struct YelpCorpus {
+    pub entities: Vec<Entity>,
+    pub reviews: Vec<Review>,
+    by_entity: Vec<Vec<usize>>,
+    lexicon: Lexicon,
+}
+
+/// How often each aspect concept gets mentioned, relative to weight 1.
+fn mention_weight(concept: &str) -> u32 {
+    match concept {
+        "food" => 5,
+        "service" | "staff" => 3,
+        "ambiance" | "price" => 2,
+        _ => 1,
+    }
+}
+
+impl YelpCorpus {
+    /// Generate the corpus. Deterministic in `config.seed`.
+    pub fn generate(lexicon: Lexicon, config: &YelpConfig) -> Self {
+        assert!(
+            config.n_reviews >= config.n_entities,
+            "every entity needs a review"
+        );
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let entities: Vec<Entity> = (0..config.n_entities)
+            .map(|i| Entity::sample(i, &lexicon, &mut rng))
+            .collect();
+
+        // Heavy-tailed review volume: log-normal-ish weights, floor of one.
+        let weights: Vec<f64> = (0..config.n_entities)
+            .map(|_| (rng.gen_range(-1.0f64..1.0) * 1.2).exp())
+            .collect();
+        let total_w: f64 = weights.iter().sum();
+        let mut assignment: Vec<usize> = (0..config.n_entities).collect();
+        {
+            let mut remaining = config.n_reviews - config.n_entities;
+            let mut cum = Vec::with_capacity(config.n_entities);
+            let mut acc = 0.0;
+            for w in &weights {
+                acc += w / total_w;
+                cum.push(acc);
+            }
+            while remaining > 0 {
+                let u: f64 = rng.gen();
+                let idx = cum.partition_point(|&c| c < u).min(config.n_entities - 1);
+                assignment.push(idx);
+                remaining -= 1;
+            }
+        }
+        assignment.shuffle(&mut rng);
+
+        let generator = SentenceGenerator::new(
+            lexicon.clone(),
+            GeneratorConfig {
+                typo_rate: config.typo_rate,
+                noise_rate: 0.4,
+                train_vocabulary_only: false,
+                // Trap templates leave the second facet unexpressed, which
+                // would corrupt the recorded observations; keep them out of
+                // the latent-tracking corpus.
+                trap_rate: 0.0,
+                correlated_facets: 0.35,
+            },
+        );
+
+        // Pre-compute the weighted aspect pool once.
+        let mut aspect_pool: Vec<&'static str> = Vec::new();
+        for a in lexicon.aspects() {
+            for _ in 0..mention_weight(a.canonical) {
+                aspect_pool.push(a.canonical);
+            }
+        }
+
+        let mut reviews = Vec::with_capacity(config.n_reviews);
+        let mut by_entity = vec![Vec::new(); config.n_entities];
+        for entity_id in assignment {
+            let entity = &entities[entity_id];
+            let n_sent = rng.gen_range(1..=config.max_sentences_per_review);
+            let mut sentences = Vec::with_capacity(n_sent);
+            let mut observations = Vec::new();
+            for _ in 0..n_sent {
+                let n_facets = *[1usize, 1, 1, 2, 2, 3].choose(&mut rng).unwrap();
+                let mut facets = Vec::with_capacity(n_facets);
+                for _ in 0..n_facets {
+                    let concept = *aspect_pool.choose(&mut rng).unwrap();
+                    let positives: Vec<&'static str> = lexicon
+                        .opinions_for_aspect(concept)
+                        .into_iter()
+                        .filter(|g| g.polarity == Polarity::Positive)
+                        .map(|g| g.canonical)
+                        .collect();
+                    let group = *positives.choose(&mut rng).unwrap();
+                    let q = entity.quality_of(concept, group) as f64;
+                    let mut positive = rng.gen_bool(q);
+                    if rng.gen_bool(config.flip_noise) {
+                        positive = !positive;
+                    }
+                    let polarity = if positive {
+                        Polarity::Positive
+                    } else {
+                        Polarity::Negative
+                    };
+                    observations.push((concept, group, polarity));
+                    facets.push(FacetSpec {
+                        concept,
+                        group,
+                        polarity,
+                    });
+                }
+                sentences.push(generator.sentence(&facets, &mut rng));
+            }
+            by_entity[entity_id].push(reviews.len());
+            reviews.push(Review {
+                entity_id,
+                sentences,
+                observations,
+                is_fake: false,
+            });
+        }
+
+        YelpCorpus {
+            entities,
+            reviews,
+            by_entity,
+            lexicon,
+        }
+    }
+
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Indices into [`YelpCorpus::reviews`] for one entity.
+    pub fn reviews_of(&self, entity_id: usize) -> &[usize] {
+        &self.by_entity[entity_id]
+    }
+
+    /// Append a review (used by the fraud injector), keeping the
+    /// per-entity index consistent.
+    pub fn push_review(&mut self, review: Review) {
+        let entity_id = review.entity_id;
+        assert!(entity_id < self.entities.len(), "unknown entity");
+        self.by_entity[entity_id].push(self.reviews.len());
+        self.reviews.push(review);
+    }
+
+    /// Every sentence in the corpus — the unlabeled in-domain text used for
+    /// MiniBert domain post-training (§4.2 / \[58\]).
+    pub fn all_sentences(&self) -> impl Iterator<Item = &LabeledSentence> {
+        self.reviews.iter().flat_map(|r| r.sentences.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::Domain;
+
+    fn small_corpus() -> YelpCorpus {
+        let config = YelpConfig {
+            n_entities: 12,
+            n_reviews: 150,
+            seed: 42,
+            ..Default::default()
+        };
+        YelpCorpus::generate(Lexicon::new(Domain::Restaurants), &config)
+    }
+
+    #[test]
+    fn corpus_has_requested_dimensions() {
+        let c = small_corpus();
+        assert_eq!(c.entities.len(), 12);
+        assert_eq!(c.reviews.len(), 150);
+    }
+
+    #[test]
+    fn every_entity_has_at_least_one_review() {
+        let c = small_corpus();
+        for e in 0..c.entities.len() {
+            assert!(!c.reviews_of(e).is_empty(), "entity {e} has no reviews");
+        }
+    }
+
+    #[test]
+    fn review_index_is_consistent() {
+        let c = small_corpus();
+        for (e, idxs) in (0..c.entities.len()).map(|e| (e, c.reviews_of(e))) {
+            for &i in idxs {
+                assert_eq!(c.reviews[i].entity_id, e);
+            }
+        }
+        let total: usize = (0..c.entities.len()).map(|e| c.reviews_of(e).len()).sum();
+        assert_eq!(total, c.reviews.len());
+    }
+
+    #[test]
+    fn review_volume_is_heavy_tailed() {
+        let c = small_corpus();
+        let counts: Vec<usize> = (0..c.entities.len())
+            .map(|e| c.reviews_of(e).len())
+            .collect();
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max >= 2 * min.max(1), "volumes too uniform: {counts:?}");
+    }
+
+    #[test]
+    fn observations_track_latents() {
+        // Aggregated over many mentions, the positive-mention rate of a
+        // dimension should correlate with the latent quality.
+        let config = YelpConfig {
+            n_entities: 4,
+            n_reviews: 600,
+            seed: 7,
+            flip_noise: 0.05,
+            ..Default::default()
+        };
+        let c = YelpCorpus::generate(Lexicon::new(Domain::Restaurants), &config);
+        let mut errs = Vec::new();
+        for e in 0..c.entities.len() {
+            let mut counts: std::collections::HashMap<(&str, &str), (u32, u32)> =
+                std::collections::HashMap::new();
+            for &ri in c.reviews_of(e) {
+                for &(concept, group, pol) in &c.reviews[ri].observations {
+                    let ent = counts.entry((concept, group)).or_insert((0, 0));
+                    ent.1 += 1;
+                    if pol == Polarity::Positive {
+                        ent.0 += 1;
+                    }
+                }
+            }
+            for ((concept, group), (pos, tot)) in counts {
+                if tot >= 20 {
+                    let rate = pos as f32 / tot as f32;
+                    let q = c.entities[e].quality_of(concept, group);
+                    errs.push((rate - q).abs());
+                }
+            }
+        }
+        assert!(!errs.is_empty());
+        let mean_err = errs.iter().sum::<f32>() / errs.len() as f32;
+        assert!(mean_err < 0.2, "reviews diverge from latents: {mean_err}");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_corpus();
+        let b = small_corpus();
+        assert_eq!(a.reviews.len(), b.reviews.len());
+        for (ra, rb) in a.reviews.iter().zip(&b.reviews) {
+            assert_eq!(ra.text(), rb.text());
+        }
+    }
+
+    #[test]
+    fn paper_scale_corpus_generates_quickly() {
+        let c = YelpCorpus::generate(Lexicon::new(Domain::Restaurants), &YelpConfig::default());
+        assert_eq!(c.entities.len(), 280);
+        assert_eq!(c.reviews.len(), 7061);
+    }
+}

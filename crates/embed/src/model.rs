@@ -1,0 +1,364 @@
+//! The MiniBert encoder.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs_nn::layers::{Embedding, Layer, LayerNorm, Linear, MultiHeadSelfAttention};
+use saccs_nn::{Matrix, Var};
+use saccs_text::vocab::{Vocab, CLS};
+
+/// Encoder hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MiniBertConfig {
+    pub dim: usize,
+    pub heads: usize,
+    pub layers: usize,
+    pub max_len: usize,
+    pub seed: u64,
+}
+
+impl Default for MiniBertConfig {
+    fn default() -> Self {
+        MiniBertConfig {
+            dim: 32,
+            heads: 4,
+            layers: 3,
+            max_len: 64,
+            seed: 0xBE27,
+        }
+    }
+}
+
+/// One pre-norm transformer block.
+struct Block {
+    attn: MultiHeadSelfAttention,
+    ln1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    ln2: LayerNorm,
+}
+
+impl Block {
+    fn new(dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        Block {
+            attn: MultiHeadSelfAttention::new(dim, heads, rng),
+            ln1: LayerNorm::new(dim),
+            ff1: Linear::new(dim, 2 * dim, rng),
+            ff2: Linear::new(2 * dim, dim, rng),
+            ln2: LayerNorm::new(dim),
+        }
+    }
+
+    fn forward(&self, x: &Var) -> Var {
+        let a = self.attn.forward(&self.ln1.forward(x));
+        let x = x.add(&a);
+        let f = self
+            .ff2
+            .forward(&self.ff1.forward(&self.ln2.forward(&x)).relu());
+        x.add(&f)
+    }
+}
+
+impl Layer for Block {
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.attn.params();
+        p.extend(self.ln1.params());
+        p.extend(self.ff1.params());
+        p.extend(self.ff2.params());
+        p.extend(self.ln2.params());
+        p
+    }
+}
+
+/// The encoder: token + position embeddings through `layers` transformer
+/// blocks, plus a masked-LM head used only during (post-)training.
+pub struct MiniBert {
+    config: MiniBertConfig,
+    vocab: Vocab,
+    tok_emb: Embedding,
+    pos_emb: Embedding,
+    blocks: Vec<Block>,
+    mlm_head: Linear,
+    /// Ids of the sequence whose attention matrices are currently stored
+    /// in the blocks (see [`MiniBert::ensure_attentions`]).
+    attention_key: std::cell::RefCell<Option<Vec<usize>>>,
+}
+
+impl MiniBert {
+    /// Fresh, untrained encoder over `vocab`.
+    pub fn new(vocab: Vocab, config: MiniBertConfig) -> Self {
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let tok_emb = Embedding::new(vocab.len(), config.dim, &mut rng);
+        let pos_emb = Embedding::new(config.max_len, config.dim, &mut rng);
+        let blocks = (0..config.layers)
+            .map(|_| Block::new(config.dim, config.heads, &mut rng))
+            .collect();
+        let mlm_head = Linear::new(config.dim, vocab.len(), &mut rng);
+        MiniBert {
+            config,
+            vocab,
+            tok_emb,
+            pos_emb,
+            blocks,
+            mlm_head,
+            attention_key: std::cell::RefCell::new(None),
+        }
+    }
+
+    pub fn config(&self) -> &MiniBertConfig {
+        &self.config
+    }
+
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    pub fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    /// Encode token strings to ids, prepending `[CLS]` and truncating to
+    /// `max_len`.
+    pub fn ids(&self, tokens: &[String]) -> Vec<usize> {
+        let mut ids = Vec::with_capacity(tokens.len() + 1);
+        ids.push(CLS);
+        for t in tokens {
+            ids.push(self.vocab.id(t));
+        }
+        ids.truncate(self.config.max_len);
+        ids
+    }
+
+    /// Full differentiable encode: ids → `T×dim` contextual embeddings.
+    /// Per-head attentions are recorded for [`MiniBert::attention`].
+    pub fn encode(&self, ids: &[usize]) -> Var {
+        assert!(
+            !ids.is_empty() && ids.len() <= self.config.max_len,
+            "bad sequence length"
+        );
+        // Any fresh forward overwrites the recorded attentions.
+        *self.attention_key.borrow_mut() = None;
+        let pos: Vec<usize> = (0..ids.len()).collect();
+        let mut x = self.tok_emb.forward(ids).add(&self.pos_emb.forward(&pos));
+        for b in &self.blocks {
+            x = b.forward(&x);
+        }
+        x
+    }
+
+    /// Encode and detach: a plain matrix of contextual embeddings with no
+    /// graph behind it. This is how the tagger consumes MiniBert (frozen
+    /// feature extractor; the paper fine-tunes full BERT, we freeze for
+    /// tractability — the FGSM perturbation applies to these features
+    /// either way, exactly as in Miyato et al. \[38\]).
+    pub fn encode_frozen(&self, ids: &[usize]) -> Matrix {
+        self.encode(ids).value_clone()
+    }
+
+    /// Convenience: tokens (without `[CLS]`) → frozen features *without*
+    /// the `[CLS]` row, aligned 1:1 with the input tokens.
+    pub fn features(&self, tokens: &[String]) -> Matrix {
+        let ids = self.ids(tokens);
+        let full = self.encode_frozen(&ids);
+        full.slice_rows(1, full.rows())
+    }
+
+    /// Make sure the blocks' recorded attention matrices correspond to
+    /// `ids`, re-encoding only when the last recorded sequence differs.
+    /// The pairing heuristics probe many (layer, head) combinations per
+    /// sentence; this turns O(heads) encodes into one.
+    pub fn ensure_attentions(&self, ids: &[usize]) {
+        if self.attention_key.borrow().as_deref() == Some(ids) {
+            return;
+        }
+        let _ = self.encode(ids);
+        *self.attention_key.borrow_mut() = Some(ids.to_vec());
+    }
+
+    /// Attention matrix of `layer:head` from the most recent
+    /// [`MiniBert::encode`] call (1-based layer index to match the paper's
+    /// `lf_bert_l:h` naming). Rows/cols include the `[CLS]` position when
+    /// the encoded ids did.
+    pub fn attention(&self, layer: usize, head: usize) -> Matrix {
+        assert!(
+            layer >= 1 && layer <= self.blocks.len(),
+            "layer out of range"
+        );
+        self.blocks[layer - 1].attn.last_attention(head)
+    }
+
+    /// `(layers, heads)` available for attention probing.
+    pub fn attention_grid(&self) -> (usize, usize) {
+        (self.blocks.len(), self.config.heads)
+    }
+
+    /// Masked-LM logits for a (possibly masked) id sequence: `T×vocab`.
+    pub fn mlm_logits(&self, ids: &[usize]) -> Var {
+        self.mlm_head.forward(&self.encode(ids))
+    }
+
+    /// Mean-pooled phrase embedding (frozen), e.g. for similarity probes.
+    pub fn phrase_embedding(&self, tokens: &[String]) -> Vec<f32> {
+        let feats = self.features(tokens);
+        if feats.rows() == 0 {
+            return vec![0.0; self.config.dim];
+        }
+        feats
+            .sum_rows()
+            .scale(1.0 / feats.rows() as f32)
+            .data()
+            .to_vec()
+    }
+}
+
+impl MiniBert {
+    /// Serialize all parameters (embedding tables, blocks, MLM head) to
+    /// bytes with the `saccs-nn` state codec.
+    pub fn save_bytes(&self) -> bytes::Bytes {
+        saccs_nn::encode_state(&self.state())
+    }
+
+    /// Restore parameters from [`MiniBert::save_bytes`] output. The model
+    /// must have been constructed with the same config and vocabulary.
+    pub fn load_bytes(&self, bytes: &[u8]) -> Result<(), saccs_nn::CodecError> {
+        let state = saccs_nn::decode_state(bytes)?;
+        self.load_state(&state);
+        Ok(())
+    }
+}
+
+impl Layer for MiniBert {
+    fn params(&self) -> Vec<Var> {
+        let mut p = self.tok_emb.params();
+        p.extend(self.pos_emb.params());
+        for b in &self.blocks {
+            p.extend(b.params());
+        }
+        p.extend(self.mlm_head.params());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bert() -> MiniBert {
+        let vocab = Vocab::from_tokens(
+            ["the", "food", "is", "delicious", "staff", "nice", "."]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        MiniBert::new(
+            vocab,
+            MiniBertConfig {
+                dim: 16,
+                heads: 2,
+                layers: 2,
+                max_len: 16,
+                seed: 1,
+            },
+        )
+    }
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn encode_shapes() {
+        let b = tiny_bert();
+        let ids = b.ids(&toks(&["the", "food", "is", "delicious"]));
+        assert_eq!(ids.len(), 5); // CLS + 4
+        let out = b.encode(&ids);
+        assert_eq!(out.shape(), (5, 16));
+    }
+
+    #[test]
+    fn features_align_with_tokens() {
+        let b = tiny_bert();
+        let f = b.features(&toks(&["food", "is", "nice"]));
+        assert_eq!(f.shape(), (3, 16));
+    }
+
+    #[test]
+    fn truncation_respects_max_len() {
+        let b = tiny_bert();
+        let long: Vec<String> = (0..40).map(|_| "the".to_string()).collect();
+        let ids = b.ids(&long);
+        assert_eq!(ids.len(), 16);
+    }
+
+    #[test]
+    fn attention_is_recorded_per_layer_head() {
+        let b = tiny_bert();
+        let ids = b.ids(&toks(&["the", "food", "is", "delicious"]));
+        let _ = b.encode(&ids);
+        let (layers, heads) = b.attention_grid();
+        assert_eq!((layers, heads), (2, 2));
+        for l in 1..=layers {
+            for h in 0..heads {
+                let a = b.attention(l, h);
+                assert_eq!(a.shape(), (5, 5));
+                for r in 0..5 {
+                    let s: f32 = a.row(r).iter().sum();
+                    assert!((s - 1.0).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn context_changes_embeddings() {
+        // The same token in different contexts must embed differently —
+        // the whole point of contextual embeddings.
+        let b = tiny_bert();
+        let f1 = b.features(&toks(&["delicious", "food"]));
+        let f2 = b.features(&toks(&["the", "staff", "is", "delicious"]));
+        // "delicious" rows:
+        let r1 = f1.row(0);
+        let r2 = f2.row(3);
+        let diff: f32 = r1.iter().zip(r2).map(|(a, b)| (a - b).abs()).sum();
+        assert!(diff > 1e-3, "contextual embeddings identical");
+    }
+
+    #[test]
+    fn mlm_logits_cover_vocab() {
+        let b = tiny_bert();
+        let ids = b.ids(&toks(&["food", "is", "nice"]));
+        let logits = b.mlm_logits(&ids);
+        assert_eq!(logits.shape(), (4, b.vocab().len()));
+    }
+
+    #[test]
+    fn phrase_embedding_has_model_dim() {
+        let b = tiny_bert();
+        let e = b.phrase_embedding(&toks(&["nice", "staff"]));
+        assert_eq!(e.len(), 16);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let a = tiny_bert();
+        let ids = a.ids(&toks(&["food", "is", "delicious"]));
+        let before = a.encode_frozen(&ids);
+        let bytes = a.save_bytes();
+        // Wreck the weights, then restore.
+        use saccs_nn::layers::Layer;
+        for p in a.params() {
+            p.update_value(|v| *v = v.scale(0.0));
+        }
+        assert_ne!(a.encode_frozen(&ids), before);
+        a.load_bytes(&bytes).unwrap();
+        assert_eq!(a.encode_frozen(&ids), before);
+        // Garbage is rejected.
+        assert!(a.load_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let a = tiny_bert();
+        let b = tiny_bert();
+        let ids = a.ids(&toks(&["food"]));
+        assert_eq!(a.encode_frozen(&ids), b.encode_frozen(&ids));
+    }
+}

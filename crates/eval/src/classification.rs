@@ -1,0 +1,151 @@
+//! Binary-classification metrics for the pairing evaluation (Table 5).
+
+/// Accumulating confusion counts for a binary classifier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BinaryConfusion {
+    pub tp: usize,
+    pub fp: usize,
+    pub tn: usize,
+    pub fn_: usize,
+}
+
+impl BinaryConfusion {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one (predicted, gold) observation.
+    pub fn observe(&mut self, predicted: bool, gold: bool) {
+        match (predicted, gold) {
+            (true, true) => self.tp += 1,
+            (true, false) => self.fp += 1,
+            (false, false) => self.tn += 1,
+            (false, true) => self.fn_ += 1,
+        }
+    }
+
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Fraction of correct predictions; 0 on an empty confusion.
+    pub fn accuracy(&self) -> f32 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        (self.tp + self.tn) as f32 / t as f32
+    }
+
+    /// TP / (TP + FP); 0 when nothing was predicted positive.
+    pub fn precision(&self) -> f32 {
+        if self.tp + self.fp == 0 {
+            return 0.0;
+        }
+        self.tp as f32 / (self.tp + self.fp) as f32
+    }
+
+    /// TP / (TP + FN); 0 when there are no gold positives.
+    pub fn recall(&self) -> f32 {
+        if self.tp + self.fn_ == 0 {
+            return 0.0;
+        }
+        self.tp as f32 / (self.tp + self.fn_) as f32
+    }
+
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub fn f1(&self) -> f32 {
+        let (p, r) = (self.precision(), self.recall());
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+
+    /// Merge counts from another confusion.
+    pub fn merge(&mut self, other: &BinaryConfusion) {
+        self.tp += other.tp;
+        self.fp += other.fp;
+        self.tn += other.tn;
+        self.fn_ += other.fn_;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_values() {
+        let mut c = BinaryConfusion::new();
+        // 3 TP, 1 FP, 4 TN, 2 FN
+        for _ in 0..3 {
+            c.observe(true, true);
+        }
+        c.observe(true, false);
+        for _ in 0..4 {
+            c.observe(false, false);
+        }
+        for _ in 0..2 {
+            c.observe(false, true);
+        }
+        assert_eq!(c.total(), 10);
+        assert!((c.accuracy() - 0.7).abs() < 1e-6);
+        assert!((c.precision() - 0.75).abs() < 1e-6);
+        assert!((c.recall() - 0.6).abs() < 1e-6);
+        assert!((c.f1() - 2.0 * 0.75 * 0.6 / 1.35).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cases_are_zero_not_nan() {
+        let c = BinaryConfusion::new();
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(), 0.0);
+        assert_eq!(c.recall(), 0.0);
+        assert_eq!(c.f1(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = BinaryConfusion {
+            tp: 1,
+            fp: 2,
+            tn: 3,
+            fn_: 4,
+        };
+        let b = BinaryConfusion {
+            tp: 10,
+            fp: 20,
+            tn: 30,
+            fn_: 40,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            BinaryConfusion {
+                tp: 11,
+                fp: 22,
+                tn: 33,
+                fn_: 44
+            }
+        );
+    }
+
+    proptest! {
+        /// All four metrics stay in [0, 1] and F1 lies between min and max
+        /// of precision and recall.
+        #[test]
+        fn prop_bounds(tp in 0usize..50, fp in 0usize..50, tn in 0usize..50, fn_ in 0usize..50) {
+            let c = BinaryConfusion { tp, fp, tn, fn_ };
+            for m in [c.accuracy(), c.precision(), c.recall(), c.f1()] {
+                prop_assert!((0.0..=1.0).contains(&m));
+            }
+            let (p, r) = (c.precision(), c.recall());
+            if p > 0.0 && r > 0.0 {
+                prop_assert!(c.f1() >= p.min(r) - 1e-6);
+                prop_assert!(c.f1() <= p.max(r) + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Rank-correlation metrics.
+//!
+//! Complements NDCG for comparing a system ranking against the latent
+//! ground truth (used in the integration tests and the fraud analysis):
+//! Spearman's ρ over full rankings and Kendall's τ-a for small lists.
+
+/// Average ranks of the values (ties share the mean rank), 1-based.
+fn ranks(values: &[f32]) -> Vec<f32> {
+    let mut idx: Vec<usize> = (0..values.len()).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).unwrap());
+    let mut out = vec![0.0f32; values.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        let mean_rank = (i + j) as f32 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = mean_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation of two equal-length slices; 0 when either side is
+/// constant.
+fn pearson(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len() as f32;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f32>() / n;
+    let mb = b.iter().sum::<f32>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return 0.0;
+    }
+    cov / (va.sqrt() * vb.sqrt())
+}
+
+/// Spearman's ρ between two paired samples (tie-aware, via rank Pearson).
+pub fn spearman(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "spearman: length mismatch");
+    pearson(&ranks(a), &ranks(b))
+}
+
+/// Kendall's τ-a between two paired samples (O(n²); fine for the ≤ 300
+/// entity lists this crate evaluates).
+pub fn kendall_tau(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "kendall: length mismatch");
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut concordant = 0i64;
+    let mut discordant = 0i64;
+    for i in 0..n {
+        for j in i + 1..n {
+            let da = a[i] - a[j];
+            let db = b[i] - b[j];
+            let s = da * db;
+            if s > 0.0 {
+                concordant += 1;
+            } else if s < 0.0 {
+                discordant += 1;
+            }
+        }
+    }
+    let pairs = (n * (n - 1) / 2) as f32;
+    (concordant - discordant) as f32 / pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_and_inverse_correlation() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-5);
+        assert!((kendall_tau(&a, &b) - 1.0).abs() < 1e-5);
+        let r: Vec<f32> = b.iter().rev().copied().collect();
+        assert!((spearman(&a, &r) + 1.0).abs() < 1e-5);
+        assert!((kendall_tau(&a, &r) + 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn constant_side_is_zero() {
+        let a = [1.0, 1.0, 1.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(spearman(&a, &b), 0.0);
+        assert_eq!(kendall_tau(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn ties_share_mean_rank() {
+        let r = ranks(&[2.0, 1.0, 2.0]);
+        assert_eq!(r, vec![2.5, 1.0, 2.5]);
+    }
+
+    #[test]
+    fn monotone_transform_invariance_of_spearman() {
+        let a: [f32; 4] = [0.1, 0.5, 0.9, 0.3];
+        let b: Vec<f32> = a.iter().map(|x: &f32| x.powi(3) * 100.0).collect();
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_bounded_and_symmetric(
+            a in proptest::collection::vec(-10.0f32..10.0, 2..20),
+            b in proptest::collection::vec(-10.0f32..10.0, 2..20),
+        ) {
+            let n = a.len().min(b.len());
+            let (a, b) = (&a[..n], &b[..n]);
+            for f in [spearman, kendall_tau] {
+                let v = f(a, b);
+                prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&v));
+                prop_assert!((v - f(b, a)).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_self_correlation_is_one(a in proptest::collection::vec(-10.0f32..10.0, 2..20)) {
+            // Skip all-constant draws where correlation is undefined (0).
+            let distinct: std::collections::BTreeSet<_> =
+                a.iter().map(|v| v.to_bits()).collect();
+            prop_assume!(distinct.len() > 1);
+            prop_assert!((spearman(&a, &a) - 1.0).abs() < 1e-4);
+            prop_assert!((kendall_tau(&a, &a) - 1.0).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! # saccs-eval
+//!
+//! Evaluation metrics for the SACCS reproduction:
+//!
+//! * [`mod@ndcg`] — Normalized Discounted Cumulative Gain exactly as defined in
+//!   Equations 10–11 of the paper (Table 2's metric),
+//! * [`span`] — exact-match span F1 for aspect/opinion tagging (Table 4's
+//!   metric, following the NER convention the paper cites),
+//! * [`classification`] — accuracy / precision / recall / F1 for the
+//!   pairing classifiers (Table 5's metrics).
+
+pub mod bootstrap;
+pub mod classification;
+pub mod correlation;
+pub mod ndcg;
+pub mod span;
+
+pub use bootstrap::{bootstrap_ci, mean};
+pub use classification::BinaryConfusion;
+pub use correlation::{kendall_tau, spearman};
+pub use ndcg::{dcg, ndcg};
+pub use span::SpanF1;

@@ -1,0 +1,158 @@
+//! NDCG exactly as Equations 10–11 define it.
+//!
+//! For a query `Q = {q₁…q_m}` of subjective tags and a returned top-k list
+//! `E = {e₁…e_k}`:
+//!
+//! ```text
+//! DCG(Q, E)  = Σ_{j=1..k} (2^{ (1/m) Σ_i sat(q_i, e_j) } − 1) / log₂(j + 1)
+//! NDCG(Q, E) = DCG(Q, E) / iDCG(Q)
+//! ```
+//!
+//! where `sat(q, e) ∈ [0, 1]` is the crowd (here: simulated-crowd) ground
+//! truth and `iDCG` is the DCG of the ideal ordering — entities sorted by
+//! the sum of their `sat` scores (§6.2, "it is only a matter of sorting the
+//! entities with respect to the sum of their sat scores").
+
+/// DCG of a ranked list given each ranked entity's *mean* sat score over
+/// the query tags. `gains[0]` is rank 1.
+pub fn dcg(mean_sats: &[f32]) -> f32 {
+    mean_sats
+        .iter()
+        .enumerate()
+        .map(|(j, &g)| (2f32.powf(g) - 1.0) / ((j + 2) as f32).log2())
+        .sum()
+}
+
+/// NDCG@k of a ranking.
+///
+/// * `ranked` — mean sat score of each returned entity, in rank order;
+/// * `pool` — mean sat scores of *every* candidate entity (used to build
+///   the ideal ordering);
+/// * `k` — cutoff applied to both the ranking and the ideal list.
+///
+/// Returns a value in `[0, 1]`; 1.0 when the pool has no positive gain at
+/// all (an empty ideal is trivially matched).
+pub fn ndcg(ranked: &[f32], pool: &[f32], k: usize) -> f32 {
+    let top: Vec<f32> = ranked.iter().copied().take(k).collect();
+    let mut ideal: Vec<f32> = pool.to_vec();
+    ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+    ideal.truncate(k);
+    let idcg = dcg(&ideal);
+    if idcg <= 0.0 {
+        return 1.0;
+    }
+    (dcg(&top) / idcg).clamp(0.0, 1.0)
+}
+
+/// Mean of per-query NDCG scores (the paper reports "the arithmetic mean
+/// over all queries", §6.2).
+pub fn mean_ndcg(scores: &[f32]) -> f32 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    scores.iter().sum::<f32>() / scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn perfect_ranking_scores_one() {
+        let pool = [1.0, 0.8, 0.5, 0.1];
+        assert!((ndcg(&pool, &pool, 4) - 1.0).abs() < 1e-6);
+        assert!((ndcg(&pool[..2], &pool, 2) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn reversed_ranking_scores_below_one() {
+        let pool = [1.0, 0.8, 0.5, 0.1];
+        let rev = [0.1, 0.5, 0.8, 1.0];
+        let v = ndcg(&rev, &pool, 4);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    #[test]
+    fn better_ranking_scores_higher() {
+        let pool = [1.0, 0.6, 0.3];
+        let good = [1.0, 0.6, 0.3];
+        let mediocre = [0.6, 1.0, 0.3];
+        let bad = [0.3, 0.6, 1.0];
+        let (g, m, b) = (
+            ndcg(&good, &pool, 3),
+            ndcg(&mediocre, &pool, 3),
+            ndcg(&bad, &pool, 3),
+        );
+        assert!(g > m && m > b, "g={g} m={m} b={b}");
+    }
+
+    #[test]
+    fn zero_gain_pool_is_trivially_ideal() {
+        assert_eq!(ndcg(&[0.0, 0.0], &[0.0, 0.0, 0.0], 3), 1.0);
+    }
+
+    #[test]
+    fn dcg_discounts_by_rank() {
+        // Same gain later in the list contributes less.
+        let early = dcg(&[1.0, 0.0]);
+        let late = dcg(&[0.0, 1.0]);
+        assert!(early > late);
+        assert!((early - 1.0).abs() < 1e-6); // 2^1−1 / log2(2) = 1
+    }
+
+    #[test]
+    fn shorter_ranking_is_allowed() {
+        // A system may return fewer than k entities; missing slots earn 0.
+        let pool = [1.0, 1.0, 1.0];
+        let v = ndcg(&[1.0], &pool, 3);
+        assert!(v < 1.0 && v > 0.0);
+    }
+
+    #[test]
+    fn mean_ndcg_averages() {
+        assert_eq!(mean_ndcg(&[1.0, 0.5]), 0.75);
+        assert_eq!(mean_ndcg(&[]), 0.0);
+    }
+
+    proptest! {
+        /// NDCG is always within [0, 1] for gains in [0, 1].
+        #[test]
+        fn prop_ndcg_bounded(
+            ranked in proptest::collection::vec(0.0f32..=1.0, 0..10),
+            extra in proptest::collection::vec(0.0f32..=1.0, 0..10),
+            k in 1usize..12,
+        ) {
+            let mut pool = ranked.clone();
+            pool.extend(extra);
+            let v = ndcg(&ranked, &pool, k);
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+
+        /// The ideal ordering of the full pool always reaches exactly 1.
+        #[test]
+        fn prop_ideal_is_one(pool in proptest::collection::vec(0.0f32..=1.0, 1..12), k in 1usize..12) {
+            let mut ideal = pool.clone();
+            ideal.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            let v = ndcg(&ideal, &pool, k);
+            prop_assert!((v - 1.0).abs() < 1e-5);
+        }
+
+        /// Swapping two adjacently-ranked entities so the better one comes
+        /// first never decreases NDCG.
+        #[test]
+        fn prop_swap_monotone(
+            mut ranked in proptest::collection::vec(0.0f32..=1.0, 2..8),
+            i in 0usize..6,
+        ) {
+            let i = i % (ranked.len() - 1);
+            let pool = ranked.clone();
+            let before = ndcg(&ranked, &pool, ranked.len());
+            if ranked[i] < ranked[i + 1] {
+                ranked.swap(i, i + 1);
+            }
+            let after = ndcg(&ranked, &pool, ranked.len());
+            prop_assert!(after >= before - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Search automaton over tag phrases (§7 future work).
+//!
+//! "As future work, we plan to investigate the incorporation of search
+//! automata as a substitute for inverted indexes." This module implements
+//! that substitute: a byte-trie automaton over tag phrases with posting
+//! lists at accepting states, supporting
+//!
+//! * exact phrase lookup in `O(|phrase|)` independent of index size,
+//! * prefix enumeration (autocomplete for conversational UIs),
+//! * fuzzy lookup within Levenshtein distance 1 (typo'd user tags), via
+//!   the classic product-construction walk of the trie against a
+//!   single-error automaton.
+//!
+//! The automaton answers *surface* queries; semantic fallback (similar
+//! tags via [`crate::index::SubjectiveIndex::probe`]) remains the inverted
+//! index's job. The `retrieval_bench` criterion suite compares the two on
+//! exact probes.
+
+use crate::index::IndexEntry;
+use saccs_text::SubjectiveTag;
+use std::collections::BTreeMap;
+
+/// One trie node: byte-labeled children plus an optional posting list.
+#[derive(Debug, Default)]
+struct Node {
+    children: BTreeMap<u8, usize>,
+    postings: Option<Vec<IndexEntry>>,
+}
+
+/// A byte-trie search automaton over tag phrases.
+#[derive(Debug)]
+pub struct TagAutomaton {
+    nodes: Vec<Node>,
+    len: usize,
+}
+
+impl Default for TagAutomaton {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TagAutomaton {
+    pub fn new() -> Self {
+        TagAutomaton {
+            nodes: vec![Node::default()],
+            len: 0,
+        }
+    }
+
+    /// Build from `(tag, postings)` pairs.
+    pub fn build<I: IntoIterator<Item = (SubjectiveTag, Vec<IndexEntry>)>>(entries: I) -> Self {
+        let mut automaton = Self::new();
+        for (tag, postings) in entries {
+            automaton.insert(&tag, postings);
+        }
+        automaton
+    }
+
+    /// Insert (or replace) a tag's postings.
+    pub fn insert(&mut self, tag: &SubjectiveTag, postings: Vec<IndexEntry>) {
+        let phrase = tag.phrase();
+        let mut cur = 0usize;
+        for &b in phrase.as_bytes() {
+            let next = match self.nodes[cur].children.get(&b) {
+                Some(&n) => n,
+                None => {
+                    let n = self.nodes.len();
+                    self.nodes.push(Node::default());
+                    self.nodes[cur].children.insert(b, n);
+                    n
+                }
+            };
+            cur = next;
+        }
+        if self.nodes[cur].postings.replace(postings).is_none() {
+            self.len += 1;
+        }
+    }
+
+    /// Number of stored tags.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of trie states (for size accounting).
+    pub fn states(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Exact lookup.
+    pub fn get(&self, tag: &SubjectiveTag) -> Option<&[IndexEntry]> {
+        let phrase = tag.phrase();
+        let mut cur = 0usize;
+        for &b in phrase.as_bytes() {
+            cur = *self.nodes[cur].children.get(&b)?;
+        }
+        self.nodes[cur].postings.as_deref()
+    }
+
+    /// All stored tags beginning with `prefix`, with their postings
+    /// (conversational autocomplete). Results in lexicographic order.
+    pub fn with_prefix(&self, prefix: &str) -> Vec<(String, &[IndexEntry])> {
+        let mut cur = 0usize;
+        for &b in prefix.as_bytes() {
+            match self.nodes[cur].children.get(&b) {
+                Some(&n) => cur = n,
+                None => return Vec::new(),
+            }
+        }
+        let mut out = Vec::new();
+        let mut stack = vec![(cur, prefix.as_bytes().to_vec())];
+        while let Some((node, path)) = stack.pop() {
+            if let Some(postings) = &self.nodes[node].postings {
+                out.push((
+                    String::from_utf8_lossy(&path).into_owned(),
+                    postings.as_slice(),
+                ));
+            }
+            // Reverse order so the stack pops lexicographically.
+            for (&b, &child) in self.nodes[node].children.iter().rev() {
+                let mut p = path.clone();
+                p.push(b);
+                stack.push((child, p));
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Fuzzy lookup: all stored tags within Levenshtein distance 1 of the
+    /// query phrase (one substitution, insertion or deletion — the typo
+    /// model of §5.1's robustness discussion). Exact matches come first.
+    pub fn fuzzy_get(&self, tag: &SubjectiveTag) -> Vec<(String, &[IndexEntry])> {
+        let query = tag.phrase();
+        let q = query.as_bytes();
+        let mut out: Vec<(String, &[IndexEntry])> = Vec::new();
+        // (node, position in query, errors used, path)
+        let mut stack: Vec<(usize, usize, u8, Vec<u8>)> = vec![(0, 0, 0, Vec::new())];
+        while let Some((node, pos, errs, path)) = stack.pop() {
+            if pos == q.len() {
+                if let Some(postings) = &self.nodes[node].postings {
+                    out.push((String::from_utf8_lossy(&path).into_owned(), postings));
+                }
+                // One trailing insertion still allowed.
+                if errs == 0 {
+                    for (&b, &child) in &self.nodes[node].children {
+                        if let Some(postings) = &self.nodes[child].postings {
+                            let mut p = path.clone();
+                            p.push(b);
+                            out.push((String::from_utf8_lossy(&p).into_owned(), postings));
+                        }
+                    }
+                }
+                continue;
+            }
+            // Deletion of q[pos] (skip a query byte).
+            if errs == 0 {
+                stack.push((node, pos + 1, 1, path.clone()));
+            }
+            for (&b, &child) in &self.nodes[node].children {
+                let mut p = path.clone();
+                p.push(b);
+                if b == q[pos] {
+                    // Exact step.
+                    stack.push((child, pos + 1, errs, p));
+                } else if errs == 0 {
+                    // Substitution.
+                    stack.push((child, pos + 1, 1, p.clone()));
+                    // Insertion of b (stay at q[pos]).
+                    stack.push((child, pos, 1, p));
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            let exact_a = a.0 == query;
+            let exact_b = b.0 == query;
+            exact_b.cmp(&exact_a).then(a.0.cmp(&b.0))
+        });
+        out.dedup_by(|a, b| a.0 == b.0);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: usize) -> IndexEntry {
+        IndexEntry {
+            entity_id: id,
+            degree_of_truth: 1.0,
+            normalized: 1.0,
+        }
+    }
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    fn automaton() -> TagAutomaton {
+        TagAutomaton::build(vec![
+            (tag("delicious", "food"), vec![entry(1)]),
+            (tag("delicate", "food"), vec![entry(2)]),
+            (tag("nice", "staff"), vec![entry(3)]),
+            (tag("quick", "service"), vec![entry(4)]),
+        ])
+    }
+
+    #[test]
+    fn exact_lookup() {
+        let a = automaton();
+        assert_eq!(a.len(), 4);
+        assert_eq!(a.get(&tag("delicious", "food")).unwrap()[0].entity_id, 1);
+        assert!(a.get(&tag("bland", "food")).is_none());
+    }
+
+    #[test]
+    fn insert_replaces() {
+        let mut a = automaton();
+        a.insert(&tag("nice", "staff"), vec![entry(9)]);
+        assert_eq!(a.len(), 4, "replacement must not grow the tag count");
+        assert_eq!(a.get(&tag("nice", "staff")).unwrap()[0].entity_id, 9);
+    }
+
+    #[test]
+    fn prefix_enumeration_is_sorted() {
+        let a = automaton();
+        let hits = a.with_prefix("delic");
+        let phrases: Vec<&str> = hits.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(phrases, vec!["delicate food", "delicious food"]);
+        assert!(a.with_prefix("zzz").is_empty());
+        assert_eq!(a.with_prefix("").len(), 4);
+    }
+
+    #[test]
+    fn fuzzy_matches_one_edit() {
+        let a = automaton();
+        // Substitution: "delicioas food".
+        let hits = a.fuzzy_get(&tag("delicioas", "food"));
+        assert!(hits.iter().any(|(p, _)| p == "delicious food"), "{hits:?}");
+        // Deletion in query (query is missing a char): "delicous food".
+        let hits = a.fuzzy_get(&tag("delicous", "food"));
+        assert!(hits.iter().any(|(p, _)| p == "delicious food"));
+        // Insertion in query (query has an extra char): "deliciouss food".
+        let hits = a.fuzzy_get(&tag("deliciouss", "food"));
+        assert!(hits.iter().any(|(p, _)| p == "delicious food"));
+        // Two edits away: nothing.
+        let hits = a.fuzzy_get(&tag("delxcxous", "food"));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn fuzzy_puts_exact_match_first() {
+        let a = automaton();
+        let hits = a.fuzzy_get(&tag("delicious", "food"));
+        assert_eq!(hits[0].0, "delicious food");
+    }
+
+    #[test]
+    fn empty_automaton() {
+        let a = TagAutomaton::new();
+        assert!(a.is_empty());
+        assert!(a.get(&tag("any", "thing")).is_none());
+        assert!(a.fuzzy_get(&tag("any", "thing")).is_empty());
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every inserted tag is exactly retrievable, and the automaton
+            /// size equals the number of distinct phrases.
+            #[test]
+            fn prop_insert_get_roundtrip(
+                words in proptest::collection::vec(("[a-c]{1,4}", "[a-c]{1,4}"), 1..12)
+            ) {
+                let mut a = TagAutomaton::new();
+                let mut distinct = std::collections::BTreeSet::new();
+                for (i, (op, asp)) in words.iter().enumerate() {
+                    let t = tag(op, asp);
+                    distinct.insert(t.phrase());
+                    a.insert(&t, vec![entry(i)]);
+                }
+                prop_assert_eq!(a.len(), distinct.len());
+                for (op, asp) in &words {
+                    prop_assert!(a.get(&tag(op, asp)).is_some());
+                }
+            }
+
+            /// Fuzzy lookup is a superset of exact lookup and everything it
+            /// returns is within edit distance 1 of the query phrase.
+            #[test]
+            fn prop_fuzzy_sound(
+                words in proptest::collection::vec(("[a-b]{1,3}", "[a-b]{1,3}"), 1..8),
+                q_op in "[a-b]{1,3}", q_asp in "[a-b]{1,3}",
+            ) {
+                let mut a = TagAutomaton::new();
+                for (i, (op, asp)) in words.iter().enumerate() {
+                    a.insert(&tag(op, asp), vec![entry(i)]);
+                }
+                let q = tag(&q_op, &q_asp);
+                let hits = a.fuzzy_get(&q);
+                if a.get(&q).is_some() {
+                    prop_assert_eq!(&hits[0].0, &q.phrase());
+                }
+                for (p, _) in &hits {
+                    let d = saccs_text::metrics::levenshtein(p, &q.phrase());
+                    prop_assert!(d <= 1, "fuzzy returned {} at distance {}", p, d);
+                }
+            }
+        }
+    }
+}

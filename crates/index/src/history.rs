@@ -1,0 +1,99 @@
+//! The user tag history (§3.1, Figure 1).
+//!
+//! "Because this tag is unknown to SACCS, it adds it to the user tag
+//! history. Consequently, in the next indexing round, SACCS includes \[it\]
+//! to the index … This mechanism enables SACCS to adapt to new user
+//! needs." The history also counts how often each unknown tag was asked,
+//! so re-indexing rounds can prioritize frequent requests.
+
+use saccs_text::SubjectiveTag;
+use std::collections::BTreeMap;
+
+/// Accumulator of unknown tags seen in user utterances.
+#[derive(Debug, Default, Clone)]
+pub struct UserTagHistory {
+    counts: BTreeMap<SubjectiveTag, usize>,
+}
+
+impl UserTagHistory {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one request for an unknown tag.
+    pub fn record(&mut self, tag: SubjectiveTag) {
+        *self.counts.entry(tag).or_insert(0) += 1;
+    }
+
+    /// Number of distinct pending tags.
+    pub fn len(&self) -> usize {
+        self.counts.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    pub fn contains(&self, tag: &SubjectiveTag) -> bool {
+        self.counts.contains_key(tag)
+    }
+
+    /// How often `tag` was requested.
+    pub fn count(&self, tag: &SubjectiveTag) -> usize {
+        self.counts.get(tag).copied().unwrap_or(0)
+    }
+
+    /// Remove and return all pending tags, most-requested first.
+    pub fn drain(&mut self) -> Vec<SubjectiveTag> {
+        let mut pending: Vec<(SubjectiveTag, usize)> =
+            std::mem::take(&mut self.counts).into_iter().collect();
+        pending.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        pending.into_iter().map(|(t, _)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    #[test]
+    fn records_and_counts() {
+        let mut h = UserTagHistory::new();
+        assert!(h.is_empty());
+        h.record(tag("romantic", "ambiance"));
+        h.record(tag("romantic", "ambiance"));
+        h.record(tag("quiet", "place"));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.count(&tag("romantic", "ambiance")), 2);
+        assert!(h.contains(&tag("quiet", "place")));
+    }
+
+    #[test]
+    fn drain_orders_by_frequency_and_empties() {
+        let mut h = UserTagHistory::new();
+        h.record(tag("quiet", "place"));
+        h.record(tag("romantic", "ambiance"));
+        h.record(tag("romantic", "ambiance"));
+        let drained = h.drain();
+        assert_eq!(drained[0], tag("romantic", "ambiance"));
+        assert_eq!(drained.len(), 2);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn frequency_ties_break_deterministically() {
+        let mut h = UserTagHistory::new();
+        h.record(tag("b", "food"));
+        h.record(tag("a", "food"));
+        let d1 = h.drain();
+        let mut h2 = UserTagHistory::new();
+        h2.record(tag("a", "food"));
+        h2.record(tag("b", "food"));
+        let d2 = h2.drain();
+        assert_eq!(d1, d2);
+    }
+}

@@ -1,0 +1,711 @@
+//! The inverted index and Equation 1.
+
+use crate::history::UserTagHistory;
+use saccs_text::{ConceptualSimilarity, SubjectiveTag, TagSimilarity};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One entity mapping under an index tag.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexEntry {
+    pub entity_id: usize,
+    /// Degree of truth per Equation 1 (raw; grows with log review volume).
+    pub degree_of_truth: f32,
+    /// Degree rescaled to `[0, 1]` across the tag's entities — the form
+    /// Table 1 displays.
+    pub normalized: f32,
+}
+
+/// The degree-of-truth formula (Equation 1 and its variants).
+///
+/// Equation 1 reads `Deg(tag, e) = log(|R_e|+1) / |T_e^tag| · Σ_{t∈T_e^tag}
+/// Sim(tag, t)` — i.e. log review volume times the *mean similarity of the
+/// matching mentions*. That literal reading discards the mention **rate**
+/// (one matching mention among 100 reviews scores like thirty), which is a
+/// reproduction finding documented in `EXPERIMENTS.md`: against a ground
+/// truth that is itself a per-review mean (the paper's crowdsourced
+/// `sat`), the literal formula underperforms rate-carrying variants. The
+/// `MentionRate` variant is the alternative reading where the denominator
+/// is *all* extracted tags `|T_e|`, making the score `log volume ×
+/// matching rate × similarity`; the others isolate individual factors.
+/// All variants are exercised by the `degree_of_truth_ablation` bench.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeFormula {
+    /// Equation 1 verbatim: `log(|R_e|+1) × mean sim of matching tags`.
+    Equation1,
+    /// `log(matches+1) × mean sim` — matching-mention volume.
+    MatchVolume,
+    /// Alternative Eq-1 reading: `log(|R_e|+1) × Σ sim / |T_e|`.
+    MentionRate,
+    /// `Σ sim / |T_e|` — pure matching rate, no volume factor.
+    PureRate,
+    /// `mean sim of matching tags` — no volume factor.
+    PureMean,
+}
+
+/// Index construction/query parameters.
+#[derive(Debug, Clone)]
+pub struct IndexConfig {
+    /// θ_index of Equation 1: minimum similarity for a review tag to count
+    /// toward an index tag's degree of truth.
+    pub theta_index: f32,
+    /// θ_filter of Algorithm 1: minimum similarity for an index tag to
+    /// answer a probe for an unknown tag.
+    pub theta_filter: f32,
+    /// Degree-of-truth formula.
+    pub degree_formula: DegreeFormula,
+    /// §7 future-work extension: adjust θ_filter "dynamically depending on
+    /// the semantics of the subjective tags being compared". When enabled,
+    /// probes for tags with *generic* opinions (good/bad — promiscuous
+    /// matchers under the generic bridge) use a raised threshold, while
+    /// specific in-lexicon tags probe with a slightly lowered one.
+    pub dynamic_thresholds: bool,
+}
+
+impl Default for IndexConfig {
+    fn default() -> Self {
+        IndexConfig {
+            theta_index: 0.45,
+            theta_filter: 0.45,
+            degree_formula: DegreeFormula::Equation1,
+            dynamic_thresholds: false,
+        }
+    }
+}
+
+/// Per-entity evidence handed to the indexer: the bag of subjective tags
+/// the extractor pulled out of the entity's reviews, plus the review count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EntityEvidence {
+    pub entity_id: usize,
+    pub review_count: usize,
+    pub review_tags: Vec<SubjectiveTag>,
+}
+
+/// The subjective-tag inverted index.
+pub struct SubjectiveIndex {
+    config: IndexConfig,
+    similarity: ConceptualSimilarity,
+    /// Optional override for the tag-similarity measure used in degree
+    /// computation and probes (e.g. embedding cosine for the footnote-2
+    /// ablation). The lexicon-backed [`ConceptualSimilarity`] stays in
+    /// place for dynamic thresholds and profile weighting.
+    custom_similarity: Option<Box<dyn TagSimilarity>>,
+    /// Index tag → entity mappings, sorted by descending degree of truth.
+    entries: BTreeMap<SubjectiveTag, Vec<IndexEntry>>,
+    /// Evidence retained for incremental re-indexing rounds.
+    evidence: Vec<EntityEvidence>,
+    history: UserTagHistory,
+}
+
+/// Serializable snapshot of the index state.
+#[derive(Serialize, Deserialize)]
+pub struct IndexSnapshot {
+    pub entries: BTreeMap<String, Vec<IndexEntry>>,
+}
+
+impl SubjectiveIndex {
+    pub fn new(similarity: ConceptualSimilarity, config: IndexConfig) -> Self {
+        SubjectiveIndex {
+            config,
+            similarity,
+            custom_similarity: None,
+            entries: BTreeMap::new(),
+            evidence: Vec::new(),
+            history: UserTagHistory::new(),
+        }
+    }
+
+    /// Replace the similarity measure used for degrees and probes (the
+    /// conceptual-vs-cosine ablation hook). Call before `index_tags`.
+    pub fn with_custom_similarity(mut self, similarity: impl TagSimilarity + 'static) -> Self {
+        self.custom_similarity = Some(Box::new(similarity));
+        self
+    }
+
+    /// The similarity score used for degrees and probes.
+    fn sim(&self, a: &SubjectiveTag, b: &SubjectiveTag) -> f32 {
+        match &self.custom_similarity {
+            Some(s) => s.similarity(a, b),
+            None => self.similarity.tag_similarity(a, b),
+        }
+    }
+
+    pub fn config(&self) -> &IndexConfig {
+        &self.config
+    }
+
+    /// The similarity checker backing this index.
+    pub fn similarity(&self) -> &ConceptualSimilarity {
+        &self.similarity
+    }
+
+    /// Switch the degree formula. Takes effect on the next
+    /// [`SubjectiveIndex::index_tags`] call; existing postings are not
+    /// recomputed automatically.
+    pub fn set_degree_formula(&mut self, formula: DegreeFormula) {
+        self.config.degree_formula = formula;
+    }
+
+    /// Register extracted evidence for one entity (idempotent per entity:
+    /// later registrations replace earlier ones).
+    pub fn register_entity(&mut self, evidence: EntityEvidence) {
+        if let Some(existing) = self
+            .evidence
+            .iter_mut()
+            .find(|e| e.entity_id == evidence.entity_id)
+        {
+            *existing = evidence;
+        } else {
+            self.evidence.push(evidence);
+        }
+    }
+
+    /// Degree of truth of `tag` for one entity (Equation 1):
+    /// `log(|R_e| + 1) × mean{ Sim(tag, t) : t ∈ T_e, Sim > θ_index }`,
+    /// or `None` when no review tag clears the threshold.
+    fn degree_of_truth(&self, tag: &SubjectiveTag, evidence: &EntityEvidence) -> Option<f32> {
+        let mut sum = 0.0f32;
+        let mut n = 0usize;
+        for t in &evidence.review_tags {
+            let sim = self.sim(tag, t);
+            if sim > self.config.theta_index {
+                sum += sim;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            return None;
+        }
+        let mean = sum / n as f32;
+        let total_tags = evidence.review_tags.len().max(1) as f32;
+        let log_reviews = ((evidence.review_count + 1) as f32).ln();
+        Some(match self.config.degree_formula {
+            DegreeFormula::Equation1 => log_reviews * mean,
+            DegreeFormula::MatchVolume => ((n + 1) as f32).ln() * mean,
+            DegreeFormula::MentionRate => log_reviews * sum / total_tags,
+            DegreeFormula::PureRate => sum / total_tags,
+            DegreeFormula::PureMean => mean,
+        })
+    }
+
+    /// Compute one tag's posting list from the registered evidence.
+    fn build_postings(&self, tag: &SubjectiveTag) -> Vec<IndexEntry> {
+        let mut postings: Vec<IndexEntry> = self
+            .evidence
+            .iter()
+            .filter_map(|ev| {
+                self.degree_of_truth(tag, ev).map(|d| IndexEntry {
+                    entity_id: ev.entity_id,
+                    degree_of_truth: d,
+                    normalized: 0.0,
+                })
+            })
+            .collect();
+        postings.sort_by(|a, b| b.degree_of_truth.partial_cmp(&a.degree_of_truth).unwrap());
+        let max = postings.first().map(|e| e.degree_of_truth).unwrap_or(0.0);
+        if max > 0.0 {
+            for e in &mut postings {
+                e.normalized = e.degree_of_truth / max;
+            }
+        }
+        postings
+    }
+
+    /// (Re)index the given tags against all registered evidence. Existing
+    /// tags are recomputed; construction parallelizes over tags with
+    /// crossbeam scoped threads.
+    pub fn index_tags(&mut self, tags: &[SubjectiveTag]) {
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let results = parking_lot::Mutex::new(Vec::with_capacity(tags.len()));
+        crossbeam::thread::scope(|scope| {
+            let chunk = tags.len().div_ceil(threads.max(1)).max(1);
+            for batch in tags.chunks(chunk) {
+                let results = &results;
+                let this = &*self;
+                scope.spawn(move |_| {
+                    let mut local = Vec::with_capacity(batch.len());
+                    for tag in batch {
+                        local.push((tag.clone(), this.build_postings(tag)));
+                    }
+                    results.lock().extend(local);
+                });
+            }
+        })
+        .expect("index worker panicked");
+        for (tag, postings) in results.into_inner() {
+            self.entries.insert(tag, postings);
+        }
+    }
+
+    /// Run an indexing round over the accumulated user tag history
+    /// (Figure 1's "next indexing round"): every tag users asked about and
+    /// the index didn't know becomes a first-class index tag. Returns how
+    /// many new tags were indexed.
+    pub fn reindex_from_history(&mut self) -> usize {
+        let pending = self.history.drain();
+        let fresh: Vec<SubjectiveTag> = pending
+            .into_iter()
+            .filter(|t| !self.entries.contains_key(t))
+            .collect();
+        self.index_tags(&fresh);
+        fresh.len()
+    }
+
+    /// Drop all indexed tags (registered evidence is kept, so a fresh
+    /// `index_tags` call rebuilds from the same extractions). Used by the
+    /// Table-2 runs to evaluate 6/12/18-tag index states on one pipeline.
+    pub fn clear_tags(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Number of index tags.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over the index tags.
+    pub fn tags(&self) -> impl Iterator<Item = &SubjectiveTag> {
+        self.entries.keys()
+    }
+
+    /// Export the current posting lists into a [`crate::TagAutomaton`]
+    /// (the §7 search-automaton alternative: exact/prefix/fuzzy surface
+    /// lookups in O(|phrase|)).
+    pub fn to_automaton(&self) -> crate::TagAutomaton {
+        crate::TagAutomaton::build(self.entries.iter().map(|(t, p)| (t.clone(), p.clone())))
+    }
+
+    /// Exact posting-list lookup.
+    pub fn lookup(&self, tag: &SubjectiveTag) -> Option<&[IndexEntry]> {
+        self.entries.get(tag).map(|v| v.as_slice())
+    }
+
+    /// Effective θ_filter for a probe tag (the §7 dynamic-threshold
+    /// extension; equals the configured θ_filter when disabled).
+    pub fn theta_filter_for(&self, tag: &SubjectiveTag) -> f32 {
+        if !self.config.dynamic_thresholds {
+            return self.config.theta_filter;
+        }
+        let lex = self.similarity.lexicon();
+        let base = self.config.theta_filter;
+        match lex.opinion_group(&tag.opinion) {
+            // Never *loosen* a generic probe, even when the configured
+            // base already sits above the 0.95 cap.
+            Some(g) if g.generic => (base + 0.15).min(0.95).max(base),
+            Some(_) if lex.aspect_concept(&tag.aspect).is_some() => (base - 0.05).max(0.05),
+            _ => base,
+        }
+    }
+
+    /// Probe the index for a (possibly unknown) tag, per §3.2:
+    ///
+    /// * known tag → its postings verbatim;
+    /// * unknown tag → union of postings of all index tags with
+    ///   `similarity > θ_filter`, each entity's score summed over matching
+    ///   tags as `Σ sim × degree`, and the tag is recorded in the user tag
+    ///   history for the next indexing round.
+    ///
+    /// Returns `(entity_id, score)` sorted by descending score.
+    pub fn probe(&mut self, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
+        if !self.entries.contains_key(tag) {
+            self.history.record(tag.clone());
+        }
+        self.probe_readonly(tag)
+    }
+
+    /// Read-only probe (no history side effect), for concurrent serving.
+    pub fn probe_readonly(&self, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
+        if let Some(postings) = self.entries.get(tag) {
+            // A known tag answers verbatim (§3.2) — unless its posting
+            // list is empty (indexed, but no entity's reviews mention it),
+            // in which case the similarity fallback is strictly more
+            // informative than silence.
+            if !postings.is_empty() {
+                return postings
+                    .iter()
+                    .map(|e| (e.entity_id, e.degree_of_truth))
+                    .collect();
+            }
+        }
+        let theta = self.theta_filter_for(tag);
+        let mut scores: BTreeMap<usize, f32> = BTreeMap::new();
+        for (index_tag, postings) in &self.entries {
+            let sim = self.sim(tag, index_tag);
+            if sim > theta {
+                for e in postings {
+                    *scores.entry(e.entity_id).or_insert(0.0) += sim * e.degree_of_truth;
+                }
+            }
+        }
+        let mut out: Vec<(usize, f32)> = scores.into_iter().collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Pending unknown tags (user tag history).
+    pub fn history(&self) -> &UserTagHistory {
+        &self.history
+    }
+
+    /// Serialize the posting lists to bytes (serde + JSON-free compact
+    /// format via bincode-style manual framing is overkill; postings are
+    /// small, so JSON it is).
+    pub fn snapshot(&self) -> bytes::Bytes {
+        let snap = IndexSnapshot {
+            entries: self
+                .entries
+                .iter()
+                .map(|(t, v)| (format!("{}|{}", t.opinion, t.aspect), v.clone()))
+                .collect(),
+        };
+        bytes::Bytes::from(serde_json::to_vec(&snap))
+    }
+
+    /// Render the Table-1 view of the index (tags with their top entities
+    /// and normalized degrees of truth).
+    pub fn render_table(&self, top_k: usize, name_of: impl Fn(usize) -> String) -> String {
+        let mut out = String::from("Tag                    Entities\n");
+        for (tag, postings) in &self.entries {
+            let mut first = true;
+            for e in postings.iter().take(top_k) {
+                if first {
+                    out.push_str(&format!("{:<22} ", tag.phrase()));
+                    first = false;
+                } else {
+                    out.push_str(&" ".repeat(23));
+                }
+                out.push_str(&format!("{} ({:.2})\n", name_of(e.entity_id), e.normalized));
+            }
+            if postings.is_empty() {
+                out.push_str(&format!("{:<22} (no entities)\n", tag.phrase()));
+            }
+        }
+        out
+    }
+}
+
+// `serde_json` is not among the allowed crates; serialize with a tiny
+// hand-rolled encoder instead. Kept module-private.
+mod serde_json {
+    use super::IndexSnapshot;
+
+    /// Minimal, dependency-free serializer: `tag\tid:degree:norm,...\n`.
+    pub fn to_vec(snap: &IndexSnapshot) -> Vec<u8> {
+        let mut out = String::new();
+        for (tag, entries) in &snap.entries {
+            out.push_str(tag);
+            out.push('\t');
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{}:{}:{}",
+                    e.entity_id, e.degree_of_truth, e.normalized
+                ));
+            }
+            out.push('\n');
+        }
+        out.into_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::{Domain, Lexicon};
+
+    fn index() -> SubjectiveIndex {
+        SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig::default(),
+        )
+    }
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    fn evidence(id: usize, reviews: usize, tags: &[(&str, &str)]) -> EntityEvidence {
+        EntityEvidence {
+            entity_id: id,
+            review_count: reviews,
+            review_tags: tags.iter().map(|(o, a)| tag(o, a)).collect(),
+        }
+    }
+
+    #[test]
+    fn figure1_scenario() {
+        // E1: "good food", E3: "superb atmosphere", E5: "amazing pizza".
+        // Index tags: "good food", "great atmosphere". E1 and E5 must land
+        // under "good food"; E3 must not.
+        let mut idx = index();
+        idx.register_entity(evidence(1, 1, &[("good", "food")]));
+        idx.register_entity(evidence(3, 1, &[("superb", "atmosphere")]));
+        idx.register_entity(evidence(5, 1, &[("amazing", "pizza")]));
+        idx.index_tags(&[tag("good", "food"), tag("great", "atmosphere")]);
+
+        let food = idx.lookup(&tag("good", "food")).unwrap();
+        let food_ids: Vec<usize> = food.iter().map(|e| e.entity_id).collect();
+        assert!(food_ids.contains(&1));
+        assert!(
+            food_ids.contains(&5),
+            "amazing pizza ≈ good food (concept subsumption)"
+        );
+        assert!(!food_ids.contains(&3));
+
+        let atmo = idx.lookup(&tag("great", "atmosphere")).unwrap();
+        let atmo_ids: Vec<usize> = atmo.iter().map(|e| e.entity_id).collect();
+        assert_eq!(atmo_ids, vec![3]);
+    }
+
+    #[test]
+    fn exact_mention_outranks_similar_mention() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 3, &[("good", "food"), ("good", "food")]));
+        idx.register_entity(evidence(1, 3, &[("amazing", "pizza")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let postings = idx.lookup(&tag("good", "food")).unwrap();
+        assert_eq!(postings[0].entity_id, 0);
+        assert!(postings[0].degree_of_truth > postings[1].degree_of_truth);
+        assert_eq!(postings[0].normalized, 1.0);
+    }
+
+    #[test]
+    fn review_volume_weights_degrees() {
+        // Same mention profile, more reviews → higher degree (Eq. 1's
+        // log(|R_e|+1) factor: "SACCS privileges the entities having more
+        // reviews").
+        let mut idx = index();
+        idx.register_entity(evidence(0, 2, &[("good", "food")]));
+        idx.register_entity(evidence(1, 50, &[("good", "food")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let postings = idx.lookup(&tag("good", "food")).unwrap();
+        assert_eq!(postings[0].entity_id, 1);
+        let ratio = postings[0].degree_of_truth / postings[1].degree_of_truth;
+        assert!((ratio - (51f32.ln() / 3f32.ln())).abs() < 1e-4);
+    }
+
+    #[test]
+    fn volume_weight_can_be_ablated() {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig {
+                degree_formula: DegreeFormula::PureMean,
+                ..Default::default()
+            },
+        );
+        idx.register_entity(evidence(0, 2, &[("good", "food")]));
+        idx.register_entity(evidence(1, 50, &[("good", "food")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let postings = idx.lookup(&tag("good", "food")).unwrap();
+        assert!((postings[0].degree_of_truth - postings[1].degree_of_truth).abs() < 1e-6);
+    }
+
+    #[test]
+    fn match_count_weight_rewards_mention_rate() {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig {
+                degree_formula: DegreeFormula::MatchVolume,
+                ..Default::default()
+            },
+        );
+        // Same review volume; entity 1 has three matching mentions, entity
+        // 0 has one.
+        idx.register_entity(evidence(0, 10, &[("good", "food")]));
+        idx.register_entity(evidence(
+            1,
+            10,
+            &[("good", "food"), ("good", "food"), ("good", "food")],
+        ));
+        idx.index_tags(&[tag("good", "food")]);
+        let postings = idx.lookup(&tag("good", "food")).unwrap();
+        assert_eq!(postings[0].entity_id, 1);
+    }
+
+    #[test]
+    fn probe_unknown_tag_unions_similar_tags_and_records_history() {
+        // §3.2's walk-through: "delicious food" is absent; it pulls from
+        // "good food" and "creative cooking" postings.
+        let mut idx = index();
+        idx.register_entity(evidence(0, 1, &[("good", "food")]));
+        idx.register_entity(evidence(1, 1, &[("creative", "cooking")]));
+        idx.register_entity(evidence(2, 1, &[("fast", "delivery")]));
+        idx.index_tags(&[
+            tag("good", "food"),
+            tag("creative", "cooking"),
+            tag("fast", "delivery"),
+        ]);
+        let result = idx.probe(&tag("delicious", "food"));
+        let ids: Vec<usize> = result.iter().map(|(e, _)| *e).collect();
+        assert!(ids.contains(&0), "good food contributor missing");
+        assert!(ids.contains(&1), "creative cooking contributor missing");
+        assert!(!ids.contains(&2), "fast delivery must not contribute");
+        // good food is the closer tag → entity 0 scores above entity 1.
+        assert_eq!(result[0].0, 0);
+        assert_eq!(idx.history().len(), 1);
+        assert!(idx.history().contains(&tag("delicious", "food")));
+    }
+
+    #[test]
+    fn known_tag_probe_is_verbatim_and_leaves_no_history() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 1, &[("nice", "staff")]));
+        idx.index_tags(&[tag("nice", "staff")]);
+        let result = idx.probe(&tag("nice", "staff"));
+        assert_eq!(result.len(), 1);
+        assert!(idx.history().is_empty());
+    }
+
+    #[test]
+    fn reindex_from_history_adds_tags() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 2, &[("romantic", "ambiance")]));
+        idx.index_tags(&[tag("good", "food")]);
+        assert_eq!(idx.len(), 1);
+        let _ = idx.probe(&tag("romantic", "ambiance")); // unknown → history
+        let added = idx.reindex_from_history();
+        assert_eq!(added, 1);
+        assert_eq!(idx.len(), 2);
+        // Now a first-class tag with direct postings.
+        let postings = idx.lookup(&tag("romantic", "ambiance")).unwrap();
+        assert_eq!(postings[0].entity_id, 0);
+        assert!(idx.history().is_empty());
+    }
+
+    #[test]
+    fn opposite_polarity_never_enters_postings() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 1, &[("bland", "food")]));
+        idx.index_tags(&[tag("delicious", "food")]);
+        assert!(idx.lookup(&tag("delicious", "food")).unwrap().is_empty());
+    }
+
+    #[test]
+    fn parallel_and_serial_builds_agree() {
+        let mut idx = index();
+        for i in 0..40 {
+            idx.register_entity(evidence(
+                i,
+                i + 1,
+                &[("good", "food"), ("nice", "staff"), ("quick", "service")],
+            ));
+        }
+        let tags: Vec<SubjectiveTag> = vec![
+            tag("good", "food"),
+            tag("delicious", "food"),
+            tag("nice", "staff"),
+            tag("friendly", "waiters"),
+            tag("quick", "service"),
+            tag("fast", "delivery"),
+        ];
+        idx.index_tags(&tags);
+        for t in &tags {
+            let via_parallel = idx.lookup(t).unwrap().to_vec();
+            let direct = idx.build_postings(t);
+            assert_eq!(via_parallel.len(), direct.len());
+            for (a, b) in via_parallel.iter().zip(&direct) {
+                assert_eq!(a.entity_id, b.entity_id);
+                assert!((a.degree_of_truth - b.degree_of_truth).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_contains_all_tags() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 1, &[("good", "food")]));
+        idx.index_tags(&[tag("good", "food"), tag("nice", "staff")]);
+        let bytes = idx.snapshot();
+        let text = String::from_utf8(bytes.to_vec()).unwrap();
+        assert!(text.contains("good|food"));
+        assert!(text.contains("nice|staff"));
+    }
+
+    #[test]
+    fn render_table_matches_table1_shape() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 3, &[("good", "food")]));
+        idx.register_entity(evidence(1, 2, &[("tasty", "pizza")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let table = idx.render_table(3, |id| format!("Entity-{id}"));
+        assert!(table.contains("good food"));
+        assert!(table.contains("Entity-0"));
+        assert!(table.contains("(1.00)"));
+    }
+
+    #[test]
+    fn dynamic_thresholds_raise_the_bar_for_generic_opinions() {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig {
+                dynamic_thresholds: true,
+                ..Default::default()
+            },
+        );
+        let base = idx.config().theta_filter;
+        // Generic opinion → raised threshold.
+        assert!(idx.theta_filter_for(&tag("good", "lasagna")) > base);
+        // Specific in-lexicon tag → lowered threshold.
+        assert!(idx.theta_filter_for(&tag("romantic", "ambiance")) < base);
+        // Out-of-lexicon → unchanged.
+        assert_eq!(idx.theta_filter_for(&tag("zorgly", "blarg")), base);
+        // Disabled → always the base.
+        let idx2 = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig::default(),
+        );
+        assert_eq!(idx2.theta_filter_for(&tag("good", "lasagna")), base);
+        // And the raised bar actually filters: a generic probe that would
+        // match under the static threshold matches fewer tags.
+        idx.register_entity(evidence(0, 1, &[("delicious", "food")]));
+        idx.register_entity(evidence(1, 1, &[("fresh", "ingredients")]));
+        idx.index_tags(&[tag("delicious", "food"), tag("fresh", "ingredients")]);
+        let dynamic_hits = idx.probe_readonly(&tag("great", "meal")).len();
+        let mut static_idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig::default(),
+        );
+        static_idx.register_entity(evidence(0, 1, &[("delicious", "food")]));
+        static_idx.register_entity(evidence(1, 1, &[("fresh", "ingredients")]));
+        static_idx.index_tags(&[tag("delicious", "food"), tag("fresh", "ingredients")]);
+        let static_hits = static_idx.probe_readonly(&tag("great", "meal")).len();
+        assert!(dynamic_hits <= static_hits);
+    }
+
+    #[test]
+    fn automaton_export_matches_lookup() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 2, &[("good", "food"), ("nice", "staff")]));
+        idx.index_tags(&[tag("good", "food"), tag("nice", "staff")]);
+        let automaton = idx.to_automaton();
+        assert_eq!(automaton.len(), 2);
+        for t in [tag("good", "food"), tag("nice", "staff")] {
+            let via_index = idx.lookup(&t).unwrap();
+            let via_automaton = automaton.get(&t).unwrap();
+            assert_eq!(via_index.len(), via_automaton.len());
+        }
+        // Fuzzy absorbs a one-letter typo the BTreeMap cannot.
+        assert!(idx.lookup(&tag("goud", "food")).is_none());
+        assert!(!automaton.fuzzy_get(&tag("goud", "food")).is_empty());
+    }
+
+    #[test]
+    fn register_entity_is_idempotent_per_entity() {
+        let mut idx = index();
+        idx.register_entity(evidence(0, 1, &[("good", "food")]));
+        idx.register_entity(evidence(0, 9, &[("good", "food")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let postings = idx.lookup(&tag("good", "food")).unwrap();
+        assert_eq!(postings.len(), 1);
+        assert!((postings[0].degree_of_truth - 10f32.ln()).abs() < 1e-4);
+    }
+}

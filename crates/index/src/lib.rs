@@ -1,0 +1,32 @@
+//! # saccs-index
+//!
+//! The subjective-tag inverted index of SACCS Section 3: each subjective
+//! tag maps to the entities whose reviews mention it, each with a *degree
+//! of truth* (Equation 1). The index supports
+//!
+//! * exact probes (§3.2 "Probing the index"),
+//! * similarity fallback for unknown tags — the union of mappings of
+//!   similar index tags, scores scaled by similarity (the `delicious food`
+//!   example of §3.2),
+//! * a user tag history feeding dynamic re-indexing rounds (§3.1,
+//!   Figure 1), which is how SACCS "adapts to new user needs",
+//! * parallel construction over index tags (crossbeam scoped threads),
+//! * serde snapshots.
+//!
+//! The index is deliberately decoupled from the neural extractor: callers
+//! feed it per-entity bags of already-extracted [`SubjectiveTag`]s (the
+//! extractor lives in `saccs-core`), so this crate stays a pure data
+//! structure with no model dependencies.
+
+pub mod automaton;
+pub mod history;
+pub mod index;
+pub mod robust;
+pub mod shared;
+
+pub use automaton::TagAutomaton;
+pub use history::UserTagHistory;
+pub use index::{DegreeFormula, IndexConfig, IndexEntry, SubjectiveIndex};
+pub use robust::{naive_evidence, FraudFilter, ReviewProfile};
+pub use saccs_text::SubjectiveTag;
+pub use shared::SharedIndex;

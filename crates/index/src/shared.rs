@@ -1,0 +1,175 @@
+//! Concurrent serving wrapper around the subjective index.
+//!
+//! A deployed conversational service answers many sessions at once while
+//! the adaptation loop (§3.1) periodically re-indexes. [`SharedIndex`]
+//! provides that concurrency discipline: a `parking_lot::RwLock` around
+//! the index, read-path probes that never take the write lock, a
+//! lock-free-ish history side-channel for the unknown tags those reads
+//! encounter, and an explicit maintenance entry point that drains the
+//! side-channel under the write lock.
+
+use crate::index::SubjectiveIndex;
+use parking_lot::{Mutex, RwLock};
+use saccs_text::SubjectiveTag;
+
+/// Thread-safe shared handle over a [`SubjectiveIndex`].
+///
+/// Probes run under the read lock via [`SubjectiveIndex::probe_readonly`];
+/// unknown tags are recorded in an internal pending queue instead of the
+/// index's own history (which would need `&mut`). A maintenance round
+/// ([`SharedIndex::reindex_pending`]) drains the queue and indexes the
+/// tags under the write lock.
+pub struct SharedIndex {
+    inner: RwLock<SubjectiveIndex>,
+    pending: Mutex<Vec<SubjectiveTag>>,
+}
+
+impl SharedIndex {
+    pub fn new(index: SubjectiveIndex) -> Self {
+        SharedIndex {
+            inner: RwLock::new(index),
+            pending: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Concurrent probe (shared lock). Unknown tags are queued for the
+    /// next maintenance round, exactly like the single-threaded
+    /// [`SubjectiveIndex::probe`].
+    pub fn probe(&self, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
+        let guard = self.inner.read();
+        let known = guard.lookup(tag).is_some();
+        let result = guard.probe_readonly(tag);
+        drop(guard);
+        if !known {
+            self.pending.lock().push(tag.clone());
+        }
+        result
+    }
+
+    /// Number of index tags (shared lock).
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Tags queued by concurrent probes, not yet indexed.
+    pub fn pending_count(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Maintenance round: drain queued unknown tags and index the distinct
+    /// new ones under the write lock. Returns how many tags were added.
+    pub fn reindex_pending(&self) -> usize {
+        let mut queued = std::mem::take(&mut *self.pending.lock());
+        if queued.is_empty() {
+            return 0;
+        }
+        queued.sort();
+        queued.dedup();
+        let mut guard = self.inner.write();
+        let fresh: Vec<SubjectiveTag> = queued
+            .into_iter()
+            .filter(|t| guard.lookup(t).is_none())
+            .collect();
+        guard.index_tags(&fresh);
+        fresh.len()
+    }
+
+    /// Run a closure with exclusive access (evidence registration, config
+    /// changes, full re-index).
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut SubjectiveIndex) -> R) -> R {
+        f(&mut self.inner.write())
+    }
+
+    /// Run a closure with shared access.
+    pub fn with_read<R>(&self, f: impl FnOnce(&SubjectiveIndex) -> R) -> R {
+        f(&self.inner.read())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{EntityEvidence, IndexConfig};
+    use saccs_text::{ConceptualSimilarity, Domain, Lexicon};
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    fn shared() -> SharedIndex {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig::default(),
+        );
+        for e in 0..4 {
+            idx.register_entity(EntityEvidence {
+                entity_id: e,
+                review_count: 3,
+                review_tags: vec![tag("delicious", "food"), tag("nice", "staff")],
+            });
+        }
+        idx.index_tags(&[tag("delicious", "food"), tag("nice", "staff")]);
+        SharedIndex::new(idx)
+    }
+
+    #[test]
+    fn probe_matches_single_threaded_semantics() {
+        let s = shared();
+        let known = s.probe(&tag("delicious", "food"));
+        assert_eq!(known.len(), 4);
+        assert_eq!(s.pending_count(), 0, "known tags must not queue");
+        let fallback = s.probe(&tag("scrumptious", "pasta"));
+        assert!(!fallback.is_empty(), "similarity fallback must fire");
+        assert_eq!(s.pending_count(), 1);
+    }
+
+    #[test]
+    fn reindex_pending_dedups_and_adds() {
+        let s = shared();
+        for _ in 0..5 {
+            let _ = s.probe(&tag("romantic", "ambiance"));
+        }
+        let _ = s.probe(&tag("quiet", "place"));
+        assert_eq!(s.pending_count(), 6);
+        let added = s.reindex_pending();
+        assert_eq!(added, 2, "five duplicates collapse to one tag");
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.pending_count(), 0);
+        // Second round is a no-op.
+        assert_eq!(s.reindex_pending(), 0);
+    }
+
+    #[test]
+    fn concurrent_probes_and_maintenance_do_not_lose_tags() {
+        use std::sync::Arc;
+        let s = Arc::new(shared());
+        let threads = 8;
+        let probes_per_thread = 50;
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = Arc::clone(&s);
+                scope.spawn(move |_| {
+                    for i in 0..probes_per_thread {
+                        // Mix of known, fallback-similar and maintenance.
+                        let _ = s.probe(&tag("delicious", "food"));
+                        let _ = s.probe(&tag("scrumptious", "pasta"));
+                        if t == 0 && i % 10 == 0 {
+                            s.reindex_pending();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        // Whatever raced, a final round leaves the unknown tag indexed and
+        // nothing pending.
+        s.reindex_pending();
+        assert_eq!(s.pending_count(), 0);
+        assert!(s.with_read(|idx| idx.lookup(&tag("scrumptious", "pasta")).is_some()));
+        assert_eq!(s.len(), 3);
+    }
+}

@@ -1,0 +1,311 @@
+//! Okapi BM25 over per-entity review documents, with query expansion.
+
+use saccs_text::lexicon::Lexicon;
+use saccs_text::token::words_lower;
+use std::collections::HashMap;
+
+/// BM25 parameters (standard defaults).
+#[derive(Debug, Clone)]
+pub struct Bm25Config {
+    pub k1: f32,
+    pub b: f32,
+    /// Weight applied to expanded (synonym/concept) query terms relative
+    /// to original terms, following the best combination method of
+    /// Ganesan & Zhai \[11\] (original terms count full, expansions less).
+    pub expansion_weight: f32,
+}
+
+impl Default for Bm25Config {
+    fn default() -> Self {
+        Bm25Config {
+            k1: 1.2,
+            b: 0.75,
+            expansion_weight: 0.4,
+        }
+    }
+}
+
+/// An inverted BM25 index where each *document* is the concatenation of
+/// one entity's reviews.
+pub struct Bm25Index {
+    config: Bm25Config,
+    lexicon: Lexicon,
+    /// term → (doc id, term frequency)
+    postings: HashMap<String, Vec<(usize, u32)>>,
+    doc_len: Vec<u32>,
+    avg_len: f32,
+    n_docs: usize,
+}
+
+impl Bm25Index {
+    /// Build from `(entity_id, review texts)` pairs; entity ids must be
+    /// dense `0..n`.
+    pub fn build<'a, I>(docs: I, n_docs: usize, lexicon: Lexicon, config: Bm25Config) -> Self
+    where
+        I: IntoIterator<Item = (usize, Vec<&'a str>)>,
+    {
+        let mut postings: HashMap<String, Vec<(usize, u32)>> = HashMap::new();
+        let mut doc_len = vec![0u32; n_docs];
+        for (id, texts) in docs {
+            assert!(id < n_docs, "entity id {id} out of range {n_docs}");
+            let mut tf: HashMap<String, u32> = HashMap::new();
+            for text in texts {
+                for w in words_lower(text) {
+                    *tf.entry(w).or_insert(0) += 1;
+                    doc_len[id] += 1;
+                }
+            }
+            for (term, f) in tf {
+                postings.entry(term).or_default().push((id, f));
+            }
+        }
+        let avg_len = doc_len.iter().map(|&l| l as f32).sum::<f32>() / n_docs.max(1) as f32;
+        Bm25Index {
+            config,
+            lexicon,
+            postings,
+            doc_len,
+            avg_len,
+            n_docs,
+        }
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.n_docs
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n_docs == 0
+    }
+
+    fn idf(&self, term: &str) -> f32 {
+        let df = self.postings.get(term).map(|p| p.len()).unwrap_or(0) as f32;
+        let n = self.n_docs as f32;
+        ((n - df + 0.5) / (df + 0.5) + 1.0).ln()
+    }
+
+    /// Accumulate one term's BM25 contribution into `scores`.
+    fn score_term(&self, term: &str, weight: f32, scores: &mut [f32]) {
+        let Some(postings) = self.postings.get(term) else {
+            return;
+        };
+        let idf = self.idf(term);
+        for &(doc, tf) in postings {
+            let tf = tf as f32;
+            let norm = self.config.k1
+                * (1.0 - self.config.b
+                    + self.config.b * self.doc_len[doc] as f32 / self.avg_len.max(1.0));
+            scores[doc] += weight * idf * (tf * (self.config.k1 + 1.0)) / (tf + norm);
+        }
+    }
+
+    /// Rank all documents for a free-text query, with lexicon expansion:
+    /// each query word also contributes its synonym-group variants and
+    /// concept members at `expansion_weight`.
+    pub fn search(&self, query: &str) -> Vec<(usize, f32)> {
+        let mut scores = vec![0.0f32; self.n_docs];
+        for word in words_lower(query) {
+            self.score_term(&word, 1.0, &mut scores);
+            for exp in self.lexicon.expansions(&word) {
+                if exp != word {
+                    for part in exp.split_whitespace() {
+                        // Multiword variants like "a bit slow" or "really
+                        // good" contribute their content words only;
+                        // scoring fillers would reward every document.
+                        const FILLERS: &[&str] =
+                            &["a", "an", "the", "of", "bit", "very", "really", "too", "la"];
+                        if !FILLERS.contains(&part) {
+                            self.score_term(part, self.config.expansion_weight, &mut scores);
+                        }
+                    }
+                }
+            }
+        }
+        let mut ranked: Vec<(usize, f32)> = scores
+            .into_iter()
+            .enumerate()
+            .filter(|&(_, s)| s > 0.0)
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        ranked
+    }
+
+    /// Search for a set of subjective-tag phrases (the Table-2 query form):
+    /// the query text is the concatenation of the tag phrases.
+    pub fn search_tags(&self, tag_phrases: &[String]) -> Vec<(usize, f32)> {
+        self.search(&tag_phrases.join(" "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::Domain;
+
+    fn index() -> Bm25Index {
+        let docs = vec![
+            (
+                0usize,
+                vec!["the food is delicious and tasty", "delicious pasta"],
+            ),
+            (1, vec!["the staff is friendly", "nice waiters"]),
+            (2, vec!["slow service but good food"]),
+            (3, vec!["nothing relevant here at all"]),
+        ];
+        Bm25Index::build(
+            docs,
+            4,
+            Lexicon::new(Domain::Restaurants),
+            Bm25Config::default(),
+        )
+    }
+
+    #[test]
+    fn exact_term_match_ranks_first() {
+        let idx = index();
+        let ranked = idx.search("delicious food");
+        assert_eq!(ranked[0].0, 0);
+    }
+
+    #[test]
+    fn keyword_blindness_without_expansion() {
+        // "tasty" appears in doc 0 only; a query for "scrumptious" (a
+        // synonym absent from every doc) finds doc 0 *only* through
+        // expansion — the exact weakness of keyword IR the paper targets.
+        let docs = vec![
+            (0usize, vec!["very tasty pasta"]),
+            (1, vec!["friendly staff"]),
+        ];
+        let no_exp = Bm25Index::build(
+            docs.clone(),
+            2,
+            Lexicon::new(Domain::Restaurants),
+            Bm25Config {
+                expansion_weight: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(no_exp.search("scrumptious").is_empty());
+        let with_exp = Bm25Index::build(
+            docs,
+            2,
+            Lexicon::new(Domain::Restaurants),
+            Bm25Config::default(),
+        );
+        let ranked = with_exp.search("scrumptious");
+        assert_eq!(ranked.first().map(|&(d, _)| d), Some(0));
+    }
+
+    #[test]
+    fn idf_downweights_common_terms() {
+        let idx = index();
+        // "the" occurs in several docs, "delicious" in one.
+        assert!(idx.idf("delicious") > idx.idf("the"));
+    }
+
+    #[test]
+    fn irrelevant_documents_score_zero() {
+        let idx = index();
+        let ranked = idx.search("delicious");
+        assert!(ranked.iter().all(|&(d, _)| d != 3));
+    }
+
+    #[test]
+    fn multi_tag_query_merges_evidence() {
+        let idx = index();
+        let ranked = idx.search_tags(&["delicious food".to_string(), "nice staff".to_string()]);
+        let ids: Vec<usize> = ranked.iter().map(|&(d, _)| d).collect();
+        assert!(ids.contains(&0));
+        assert!(ids.contains(&1));
+    }
+
+    #[test]
+    fn scores_are_finite_and_sorted() {
+        let idx = index();
+        let ranked = idx.search("good food friendly staff slow service");
+        for w in ranked.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+        assert!(ranked.iter().all(|&(_, s)| s.is_finite() && s > 0.0));
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+        use saccs_text::Domain;
+
+        proptest! {
+            #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+            /// Scores are finite, positive, and sorted for arbitrary
+            /// word-soup corpora and queries.
+            #[test]
+            fn prop_scores_sane(
+                docs in proptest::collection::vec(
+                    proptest::collection::vec("[a-d]{1,4}", 1..8), 1..6),
+                query in proptest::collection::vec("[a-d]{1,4}", 1..4),
+            ) {
+                let n = docs.len();
+                let owned: Vec<(usize, Vec<String>)> = docs
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, ws)| (i, vec![ws.join(" ")]))
+                    .collect();
+                let borrowed: Vec<(usize, Vec<&str>)> = owned
+                    .iter()
+                    .map(|(i, t)| (*i, t.iter().map(|x| x.as_str()).collect()))
+                    .collect();
+                let idx = Bm25Index::build(
+                    borrowed,
+                    n,
+                    Lexicon::new(Domain::Restaurants),
+                    Bm25Config::default(),
+                );
+                let ranked = idx.search(&query.join(" "));
+                for w in ranked.windows(2) {
+                    prop_assert!(w[0].1 >= w[1].1);
+                }
+                for &(d, s) in &ranked {
+                    prop_assert!(d < n);
+                    prop_assert!(s.is_finite() && s > 0.0);
+                }
+            }
+
+            /// Adding an extra occurrence of the query term to a document
+            /// never lowers that document's score.
+            #[test]
+            fn prop_tf_monotone(extra in 1usize..6) {
+                let base = "alpha beta gamma";
+                let boosted = format!("{base}{}", " alpha".repeat(extra));
+                let owned = [(0usize, vec![base.to_string()]), (1, vec![boosted])];
+                let borrowed: Vec<(usize, Vec<&str>)> = owned
+                    .iter()
+                    .map(|(i, t)| (*i, t.iter().map(|x| x.as_str()).collect()))
+                    .collect();
+                let idx = Bm25Index::build(
+                    borrowed,
+                    2,
+                    Lexicon::new(Domain::Restaurants),
+                    Bm25Config::default(),
+                );
+                let ranked = idx.search("alpha");
+                prop_assert_eq!(ranked[0].0, 1, "higher-tf doc must rank first: {:?}", ranked);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_index_and_empty_query() {
+        let idx = Bm25Index::build(
+            Vec::<(usize, Vec<&str>)>::new(),
+            0,
+            Lexicon::new(Domain::Restaurants),
+            Bm25Config::default(),
+        );
+        assert!(idx.is_empty());
+        assert!(idx.search("anything").is_empty());
+        let idx = index();
+        assert!(idx.search("").is_empty());
+    }
+}

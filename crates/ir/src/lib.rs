@@ -1,0 +1,19 @@
+//! # saccs-ir
+//!
+//! The two baselines SACCS is compared against in Table 2 (§6.2):
+//!
+//! * [`bm25`] — "The IR baseline uses Okapi BM25 \[5\] … We follow the work
+//!   of \[11\] and add the capability to expand the terms of the query into
+//!   synonymous and related terms": a full BM25 index over per-entity
+//!   review documents, with lexicon-driven query expansion;
+//! * [`sim`] — "SIM represents what a determined and tireless user can get
+//!   from Yelp": exhaustive search over all 1- and 2-attribute filters of
+//!   the Yelp-style schema, ranked by star rating, reporting the
+//!   NDCG-maximizing combination (an *oracle* over the attribute space, so
+//!   a deliberately strong baseline).
+
+pub mod bm25;
+pub mod sim;
+
+pub use bm25::{Bm25Config, Bm25Index};
+pub use sim::SimBaseline;

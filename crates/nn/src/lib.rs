@@ -1,0 +1,30 @@
+//! # saccs-nn
+//!
+//! The neural-network substrate for the SACCS reproduction: dense `f32`
+//! matrices, reverse-mode autograd, the layers used by MiniBert and the
+//! BiLSTM-CRF tagger, and SGD/Adam optimizers. This is the stand-in for
+//! PyTorch \[42\], which the paper's implementation uses and which has no
+//! offline Rust equivalent here (see `DESIGN.md` §1).
+//!
+//! Highlights:
+//! * gradients flow into *input leaves*, not just parameters — the FGSM
+//!   adversarial training of §4.3 perturbs the embedding input by
+//!   `ε · sign(∇_x ℓ)`, read directly off [`Var::grad`];
+//! * [`layers::MultiHeadSelfAttention`] records per-head attention
+//!   matrices each forward pass, which the pairing heuristics of §5.1
+//!   consume;
+//! * everything is seeded and deterministic.
+
+pub mod layers;
+pub mod matrix;
+pub mod optim;
+pub mod serialize;
+pub mod var;
+
+pub use layers::{
+    BiLstm, Dropout, Embedding, Layer, LayerNorm, Linear, Lstm, MultiHeadSelfAttention,
+};
+pub use matrix::{log_sum_exp, Matrix};
+pub use optim::{zero_grads, Adam, Sgd};
+pub use serialize::{decode_state, encode_state, CodecError};
+pub use var::Var;

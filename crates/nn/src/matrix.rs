@@ -1,0 +1,496 @@
+//! Dense row-major `f32` matrices.
+//!
+//! The raw numeric workhorse under the autograd engine. Vectors are `1×n`
+//! matrices; a token sequence of length `T` embedded in `d` dimensions is a
+//! `T×d` matrix. All shapes are checked with assertions — shape bugs are
+//! programming errors, not recoverable conditions.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Matrix filled with `v`.
+    pub fn full(rows: usize, cols: usize, v: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
+    }
+
+    /// Build from a row-major data vector; panics on length mismatch.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: shape/data mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// A `1×n` row vector.
+    pub fn row_vector(data: Vec<f32>) -> Self {
+        Matrix {
+            rows: 1,
+            cols: data.len(),
+            data,
+        }
+    }
+
+    /// Uniform Xavier/Glorot initialization over `(-b, b)` with
+    /// `b = sqrt(6 / (fan_in + fan_out))`.
+    pub fn xavier<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    /// Uniform init over `(-bound, bound)`.
+    pub fn uniform<R: Rng>(rows: usize, cols: usize, bound: f32, rng: &mut R) -> Self {
+        let data = (0..rows * cols)
+            .map(|_| rng.gen_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Borrow row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutably borrow row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · other`; `(m×k) · (k×n) = (m×n)`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        // i-k-j loop order: streams through `other` rows, cache-friendly for
+        // row-major data.
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a + b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// `self += other`, in place.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += alpha * other`, in place (axpy).
+    pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Hadamard (elementwise) product.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard: shape mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| a * b)
+            .collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&self, alpha: f32) -> Matrix {
+        let data = self.data.iter().map(|a| a * alpha).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Apply `f` elementwise.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.data.iter().map(|&a| f(a)).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Add a `1×cols` row vector to every row (broadcast).
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast: col mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Column-wise sum, producing a `1×cols` row vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// L∞ norm (max absolute entry); 0 for empty matrices.
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+
+    /// Vertically stack rows of `self` above rows of `other`.
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "vstack: col mismatch");
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Horizontally concatenate (same row count).
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        let cols = self.cols + other.cols;
+        let mut data = Vec::with_capacity(self.rows * cols);
+        for r in 0..self.rows {
+            data.extend_from_slice(self.row(r));
+            data.extend_from_slice(other.row(r));
+        }
+        Matrix {
+            rows: self.rows,
+            cols,
+            data,
+        }
+    }
+
+    /// Copy of rows `range`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.rows, "slice_rows: bad range");
+        Matrix {
+            rows: end - start,
+            cols: self.cols,
+            data: self.data[start * self.cols..end * self.cols].to_vec(),
+        }
+    }
+
+    /// Row-wise softmax (numerically stable).
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        out
+    }
+
+    /// Row-wise log-softmax (numerically stable).
+    pub fn log_softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            let row = out.row_mut(r);
+            let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f32>().ln();
+            for v in row.iter_mut() {
+                *v -= lse;
+            }
+        }
+        out
+    }
+}
+
+/// Numerically stable `log(sum(exp(xs)))`.
+pub fn log_sum_exp(xs: &[f32]) -> f32 {
+    let max = xs.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    max + xs.iter().map(|&v| (v - max).exp()).sum::<f32>().ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
+        let s = a.softmax_rows();
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Monotone in the logits.
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn log_softmax_matches_softmax_log() {
+        let a = Matrix::from_vec(1, 4, vec![0.5, -1.0, 2.0, 0.0]);
+        let ls = a.log_softmax_rows();
+        let s = a.softmax_rows();
+        for c in 0..4 {
+            assert!((ls.get(0, c) - s.get(0, c).ln()).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn log_softmax_is_stable_for_large_inputs() {
+        let a = Matrix::from_vec(1, 2, vec![1000.0, 1000.0]);
+        let ls = a.log_softmax_rows();
+        assert!((ls.get(0, 0) - (-std::f32::consts::LN_2)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn broadcast_adds_row() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::row_vector(vec![1., 2., 3.]);
+        let c = a.add_row_broadcast(&b);
+        assert_eq!(c.row(0), &[1., 2., 3.]);
+        assert_eq!(c.row(1), &[1., 2., 3.]);
+    }
+
+    #[test]
+    fn stack_and_slice() {
+        let a = Matrix::from_vec(1, 2, vec![1., 2.]);
+        let b = Matrix::from_vec(2, 2, vec![3., 4., 5., 6.]);
+        let v = a.vstack(&b);
+        assert_eq!(v.shape(), (3, 2));
+        assert_eq!(v.slice_rows(1, 3), b);
+        let h = a.hstack(&Matrix::from_vec(1, 1, vec![9.]));
+        assert_eq!(h.data(), &[1., 2., 9.]);
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        assert!((log_sum_exp(&[0.0, 0.0]) - std::f32::consts::LN_2).abs() < 1e-6);
+        let big = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((big - (1000.0 + std::f32::consts::LN_2)).abs() < 1e-3);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn xavier_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0 / 20.0f32).sqrt();
+        assert!(m.data().iter().all(|v| v.abs() < bound));
+        let mut rng2 = StdRng::seed_from_u64(7);
+        assert_eq!(m, Matrix::xavier(10, 10, &mut rng2));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matmul_identity(r in 1usize..5, c in 1usize..5, seed in 0u64..100) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(r, c, 1.0, &mut rng);
+            let mut id = Matrix::zeros(c, c);
+            for i in 0..c { id.set(i, i, 1.0); }
+            let out = a.matmul(&id);
+            for (x, y) in out.data().iter().zip(a.data()) {
+                prop_assert!((x - y).abs() < 1e-6);
+            }
+        }
+
+        #[test]
+        fn prop_matmul_transpose_identity(m in 1usize..4, k in 1usize..4, n in 1usize..4, seed in 0u64..50) {
+            // (A·B)ᵀ = Bᵀ·Aᵀ
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let lhs = a.matmul(&b).transpose();
+            let rhs = b.transpose().matmul(&a.transpose());
+            for (x, y) in lhs.data().iter().zip(rhs.data()) {
+                prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_add_commutes(r in 1usize..4, c in 1usize..4, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(r, c, 2.0, &mut rng);
+            let b = Matrix::uniform(r, c, 2.0, &mut rng);
+            prop_assert_eq!(a.add(&b), b.add(&a));
+        }
+
+        #[test]
+        fn prop_softmax_rows_are_distributions(r in 1usize..4, c in 1usize..6, seed in 0u64..50) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(r, c, 5.0, &mut rng);
+            let s = a.softmax_rows();
+            for i in 0..r {
+                let sum: f32 = s.row(i).iter().sum();
+                prop_assert!((sum - 1.0).abs() < 1e-4);
+                prop_assert!(s.row(i).iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! Optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers hold their own per-parameter state keyed by position, so the
+//! caller passes the same parameter list (same order) to every `step`.
+
+use crate::matrix::Matrix;
+use crate::var::Var;
+
+/// Plain SGD with optional momentum and gradient clipping.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    clip: Option<f32>,
+    velocity: Vec<Matrix>,
+}
+
+impl Sgd {
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd {
+            lr,
+            momentum,
+            clip: None,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Clip gradients elementwise to `[-c, c]` before applying.
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    pub fn step(&mut self, params: &[Var]) {
+        if self.velocity.is_empty() {
+            self.velocity = params
+                .iter()
+                .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+                .collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed size"
+        );
+        for (p, v) in params.iter().zip(self.velocity.iter_mut()) {
+            let mut g = p.grad().clone();
+            if let Some(c) = self.clip {
+                g = g.map(|x| x.clamp(-c, c));
+            }
+            if self.momentum > 0.0 {
+                *v = v.scale(self.momentum).add(&g);
+                p.update_value(|val| val.add_scaled(v, -self.lr));
+            } else {
+                p.update_value(|val| val.add_scaled(&g, -self.lr));
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and optional gradient clipping.
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    clip: Option<f32>,
+    t: u32,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            clip: None,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    pub fn with_clip(mut self, c: f32) -> Self {
+        self.clip = Some(c);
+        self
+    }
+
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    pub fn step(&mut self, params: &[Var]) {
+        if self.m.is_empty() {
+            self.m = params
+                .iter()
+                .map(|p| Matrix::zeros(p.shape().0, p.shape().1))
+                .collect();
+            self.v = self.m.clone();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed size");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let mut g = p.grad().clone();
+            if let Some(c) = self.clip {
+                g = g.map(|x| x.clamp(-c, c));
+            }
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
+            *v = v
+                .scale(self.beta2)
+                .add(&g.hadamard(&g).scale(1.0 - self.beta2));
+            let lr = self.lr;
+            let eps = self.eps;
+            p.update_value(|val| {
+                for ((w, &mi), &vi) in val.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
+                    let mhat = mi / bc1;
+                    let vhat = vi / bc2;
+                    *w -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+    }
+}
+
+/// Zero the gradients of every parameter in the slice.
+pub fn zero_grads(params: &[Var]) {
+    for p in params {
+        p.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Layer, Linear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Train y = 3x − 1 on three points; the optimizer under test must
+    /// drive the squared loss below `tol` within `iters` rounds.
+    fn converges(mut step: impl FnMut(&[Var]), iters: usize, tol: f32) {
+        let mut rng = StdRng::seed_from_u64(9);
+        let lin = Linear::new(1, 1, &mut rng);
+        let params = lin.params();
+        let mut final_loss = f32::INFINITY;
+        for _ in 0..iters {
+            zero_grads(&params);
+            let mut total = 0.0;
+            for x_val in [-1.0f32, 0.0, 2.0] {
+                let x = Var::leaf(Matrix::from_vec(1, 1, vec![x_val]));
+                let target = 3.0 * x_val - 1.0;
+                let diff = lin
+                    .forward(&x)
+                    .sub(&Var::leaf(Matrix::from_vec(1, 1, vec![target])));
+                let loss = diff.hadamard(&diff).sum();
+                loss.backward();
+                total += loss.scalar();
+            }
+            step(&params);
+            final_loss = total;
+        }
+        assert!(final_loss < tol, "did not converge: loss={final_loss}");
+    }
+
+    #[test]
+    fn sgd_converges() {
+        let mut opt = Sgd::new(0.05, 0.0);
+        converges(|p| opt.step(p), 400, 1e-4);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster() {
+        let mut opt = Sgd::new(0.02, 0.9);
+        converges(|p| opt.step(p), 200, 1e-4);
+    }
+
+    #[test]
+    fn adam_converges() {
+        let mut opt = Adam::new(0.05);
+        converges(|p| opt.step(p), 400, 1e-3);
+    }
+
+    #[test]
+    fn clipping_bounds_update_magnitude() {
+        let p = Var::leaf(Matrix::from_vec(1, 1, vec![0.0]));
+        // Huge gradient.
+        p.scale(1e6).sum().backward();
+        let mut opt = Sgd::new(1.0, 0.0).with_clip(0.5);
+        opt.step(std::slice::from_ref(&p));
+        assert!((p.value().get(0, 0) + 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let p = Var::leaf(Matrix::from_vec(1, 1, vec![1.0]));
+        p.scale(2.0).sum().backward();
+        assert!(p.grad().get(0, 0) != 0.0);
+        zero_grads(std::slice::from_ref(&p));
+        assert_eq!(p.grad().get(0, 0), 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Binary serialization of parameter states.
+//!
+//! A minimal, dependency-light codec for `Vec<Matrix>` snapshots (the
+//! output of [`crate::layers::Layer::state`]), so trained models can be
+//! persisted and reloaded without retraining. Format (little-endian):
+//!
+//! ```text
+//! magic "SNN1" | u32 count | count × ( u32 rows | u32 cols | rows·cols × f32 )
+//! ```
+
+use crate::matrix::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"SNN1";
+
+/// Encoding/decoding errors.
+#[derive(Debug, PartialEq, Eq)]
+pub enum CodecError {
+    BadMagic,
+    Truncated,
+    Oversized,
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadMagic => write!(f, "not an SNN1 state snapshot"),
+            CodecError::Truncated => write!(f, "snapshot is truncated"),
+            CodecError::Oversized => write!(f, "snapshot declares an implausible tensor size"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serialize a parameter state to bytes.
+pub fn encode_state(state: &[Matrix]) -> Bytes {
+    let total: usize = state.iter().map(|m| 8 + 4 * m.len()).sum();
+    let mut buf = BytesMut::with_capacity(4 + 4 + total);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(state.len() as u32);
+    for m in state {
+        buf.put_u32_le(m.rows() as u32);
+        buf.put_u32_le(m.cols() as u32);
+        for &v in m.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    buf.freeze()
+}
+
+/// Deserialize a parameter state. Validates framing; NaNs and infinities
+/// pass through (they are representable states, if unhealthy ones).
+pub fn decode_state(mut bytes: &[u8]) -> Result<Vec<Matrix>, CodecError> {
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(CodecError::BadMagic);
+    }
+    if bytes.len() < 8 {
+        return Err(CodecError::Truncated);
+    }
+    bytes.advance(4);
+    let count = bytes.get_u32_le() as usize;
+    let mut out = Vec::with_capacity(count.min(4096));
+    for _ in 0..count {
+        if bytes.remaining() < 8 {
+            return Err(CodecError::Truncated);
+        }
+        let rows = bytes.get_u32_le() as usize;
+        let cols = bytes.get_u32_le() as usize;
+        let n = rows.checked_mul(cols).ok_or(CodecError::Oversized)?;
+        if n > 64 * 1024 * 1024 {
+            return Err(CodecError::Oversized);
+        }
+        if bytes.remaining() < 4 * n {
+            return Err(CodecError::Truncated);
+        }
+        let mut data = Vec::with_capacity(n);
+        for _ in 0..n {
+            data.push(bytes.get_f32_le());
+        }
+        out.push(Matrix::from_vec(rows, cols, data));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_preserves_every_bit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let state = vec![
+            Matrix::uniform(3, 7, 2.0, &mut rng),
+            Matrix::zeros(1, 1),
+            Matrix::uniform(10, 2, 0.5, &mut rng),
+        ];
+        let bytes = encode_state(&state);
+        let back = decode_state(&bytes).unwrap();
+        assert_eq!(state, back);
+    }
+
+    #[test]
+    fn empty_state_roundtrips() {
+        let bytes = encode_state(&[]);
+        assert_eq!(decode_state(&bytes).unwrap(), Vec::<Matrix>::new());
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        assert_eq!(
+            decode_state(b"NOPE\x00\x00\x00\x00"),
+            Err(CodecError::BadMagic)
+        );
+        assert_eq!(decode_state(b""), Err(CodecError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let state = vec![Matrix::full(4, 4, 1.5)];
+        let bytes = encode_state(&state);
+        for cut in 5..bytes.len() {
+            let r = decode_state(&bytes[..cut]);
+            assert!(r.is_err(), "accepted a snapshot cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn rejects_absurd_sizes() {
+        let mut buf = bytes::BytesMut::new();
+        buf.put_slice(b"SNN1");
+        buf.put_u32_le(1);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        assert_eq!(decode_state(&buf), Err(CodecError::Oversized));
+    }
+
+    #[test]
+    fn layer_state_roundtrips_through_codec() {
+        use crate::layers::{BiLstm, Layer};
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = BiLstm::new(4, 6, &mut rng);
+        let bytes = encode_state(&layer.state());
+        let restored = decode_state(&bytes).unwrap();
+        // Perturb, then reload.
+        for p in layer.params() {
+            p.update_value(|v| *v = v.scale(3.0));
+        }
+        layer.load_state(&restored);
+        assert_eq!(layer.state(), restored);
+    }
+}

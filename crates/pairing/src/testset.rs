@@ -1,0 +1,157 @@
+//! The pairing benchmark (§6.4).
+//!
+//! "Each test example consists of a review sentence (e.g., 'The food is
+//! delicious and the staff is helpful'), a tag ('delicious staff') and the
+//! label is whether the tag is a correct extraction from the review
+//! sentence. The test set contains 397 sentences with a fairly equal
+//! amount of positive and negative examples." Positives come from the
+//! generator's gold pairs; negatives are the remaining cells of the
+//! aspect × opinion candidate grid (exactly the `P_all` construction of
+//! §5.2).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use saccs_data::{GeneratorConfig, SentenceGenerator};
+use saccs_eval::BinaryConfusion;
+use saccs_text::lexicon::Lexicon;
+use saccs_text::{Domain, Span};
+
+/// One benchmark example: a sentence, a candidate (aspect, opinion) pair,
+/// and whether the pair is a correct extraction.
+#[derive(Debug, Clone)]
+pub struct PairingExample {
+    pub tokens: Vec<String>,
+    pub aspects: Vec<Span>,
+    pub opinions: Vec<Span>,
+    pub candidate: (Span, Span),
+    pub label: bool,
+}
+
+impl PairingExample {
+    /// The candidate tag's surface phrase, opinion first ("delicious staff").
+    pub fn phrase(&self) -> String {
+        format!(
+            "{} {}",
+            self.candidate.1.text(&self.tokens),
+            self.candidate.0.text(&self.tokens)
+        )
+    }
+}
+
+/// Build a balanced pairing benchmark of `n` examples (the paper's is 397).
+/// Multi-facet sentences are required so negative candidates exist.
+pub fn build_test_set(n: usize, domain: Domain, seed: u64) -> Vec<PairingExample> {
+    let gen = SentenceGenerator::new(
+        Lexicon::new(domain),
+        GeneratorConfig {
+            typo_rate: 0.0,
+            noise_rate: 0.2,
+            train_vocabulary_only: false,
+            // The benchmark leans on the hard cases: traps and correlated
+            // facets are what separate the pairing methods.
+            trap_rate: 0.45,
+            correlated_facets: 0.65,
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut positives = Vec::new();
+    let mut negatives = Vec::new();
+    while positives.len() < n / 2 + 1 || negatives.len() < n / 2 + 1 {
+        let s = gen.random_sentence(&mut rng);
+        let aspects = s.aspect_spans();
+        let opinions = s.opinion_spans();
+        if aspects.len() < 2 && opinions.len() < 2 {
+            continue; // no negative cells in a 1×1 grid
+        }
+        let gold: std::collections::BTreeSet<(Span, Span)> = s.pairs.iter().copied().collect();
+        for &a in &aspects {
+            for &o in &opinions {
+                let ex = PairingExample {
+                    tokens: s.tokens.clone(),
+                    aspects: aspects.clone(),
+                    opinions: opinions.clone(),
+                    candidate: (a, o),
+                    label: gold.contains(&(a, o)),
+                };
+                if ex.label {
+                    positives.push(ex);
+                } else {
+                    negatives.push(ex);
+                }
+            }
+        }
+    }
+    positives.truncate(n / 2 + n % 2);
+    negatives.truncate(n / 2);
+    let mut out = positives;
+    out.append(&mut negatives);
+    out.shuffle(&mut rng);
+    out
+}
+
+/// Evaluate any binary voter on the benchmark (Table 5 row computation).
+pub fn evaluate_voter(
+    mut voter: impl FnMut(&PairingExample) -> bool,
+    examples: &[PairingExample],
+) -> BinaryConfusion {
+    let mut c = BinaryConfusion::new();
+    for ex in examples {
+        c.observe(voter(ex), ex.label);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_set_is_balanced_and_sized() {
+        let set = build_test_set(397, Domain::Restaurants, 9);
+        assert_eq!(set.len(), 397);
+        let pos = set.iter().filter(|e| e.label).count();
+        let neg = set.len() - pos;
+        assert!((pos as i64 - neg as i64).abs() <= 1, "pos={pos} neg={neg}");
+    }
+
+    #[test]
+    fn candidates_are_within_sentence_grids() {
+        let set = build_test_set(100, Domain::Hotels, 10);
+        for ex in &set {
+            assert!(ex.aspects.contains(&ex.candidate.0));
+            assert!(ex.opinions.contains(&ex.candidate.1));
+            assert!(ex.candidate.0.end <= ex.tokens.len());
+            assert!(ex.candidate.1.end <= ex.tokens.len());
+        }
+    }
+
+    #[test]
+    fn phrase_puts_opinion_first() {
+        let set = build_test_set(50, Domain::Restaurants, 11);
+        for ex in set.iter().take(10) {
+            let p = ex.phrase();
+            assert!(p.starts_with(&ex.candidate.1.text(&ex.tokens)));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = build_test_set(60, Domain::Restaurants, 12);
+        let b = build_test_set(60, Domain::Restaurants, 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.tokens, y.tokens);
+            assert_eq!(x.label, y.label);
+        }
+    }
+
+    #[test]
+    fn evaluate_voter_counts() {
+        let set = build_test_set(80, Domain::Restaurants, 13);
+        let all_yes = evaluate_voter(|_| true, &set);
+        assert_eq!(all_yes.total(), 80);
+        assert_eq!(all_yes.recall(), 1.0);
+        let oracle = evaluate_voter(|e| e.label, &set);
+        assert_eq!(oracle.accuracy(), 1.0);
+    }
+}

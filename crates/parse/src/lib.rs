@@ -1,0 +1,356 @@
+//! # saccs-parse
+//!
+//! A deterministic constituency-lite parser for the parse-tree pairing
+//! heuristic of Section 5.1.
+//!
+//! The paper's first pairing heuristic relies on "the distance between
+//! aspects and opinions in the review parse trees": in *"The staff is
+//! friendly, helpful and professional. The decor is beautiful"*, the
+//! opinion *professional* is word-adjacent to the aspect *decor*, but the
+//! two live in different sub-trees, so tree distance pairs *professional*
+//! with *staff* instead. The heuristic only ever consumes *distances*
+//! between leaves, so a full PCFG is unnecessary; this module builds a
+//! three-level tree
+//!
+//! ```text
+//! Sentence → Clause* → Chunk* → token leaves
+//! ```
+//!
+//! where clause boundaries are sentence terminators, semicolons and
+//! conjunctions/commas followed by a new predicate, and chunks split each
+//! clause at its copula/verb (subject chunk vs. predicate chunk).
+//!
+//! The paper also notes this heuristic's two failure modes — long
+//! mono-clause sentences degenerate to word distance, and typos/punctuation
+//! errors corrupt the tree — both of which this implementation faithfully
+//! shares (and the synthetic data generator can trigger).
+
+use saccs_text::tokenize_lower;
+
+/// Copulas and common review verbs that mark the start of a predicate.
+const PREDICATE_VERBS: &[&str] = &[
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "seems",
+    "seemed",
+    "looks",
+    "looked",
+    "feels",
+    "felt",
+    "tastes",
+    "tasted",
+    "has",
+    "have",
+    "had",
+    "serves",
+    "served",
+    "came",
+    "come",
+    "comes",
+    "went",
+    "offers",
+    "offered",
+    "makes",
+    "made",
+    "gets",
+    "got",
+    "delivers",
+    "delivered",
+    "employs",
+    "employed",
+    "cooks",
+    "cooked",
+    "arrived",
+    "lasted",
+    "lasts",
+    "runs",
+    "ran",
+    "works",
+    "worked",
+    "charges",
+    "charged",
+];
+
+/// Tokens that always end a clause.
+const HARD_BOUNDARIES: &[&str] = &[".", "!", "?", ";"];
+
+/// Tokens that end a clause only when a new predicate follows.
+const SOFT_BOUNDARIES: &[&str] = &["but", "while", "though", "although", "however", ",", "and"];
+
+fn is_predicate_verb(tok: &str) -> bool {
+    PREDICATE_VERBS.contains(&tok)
+}
+
+/// A parsed sentence (or short multi-sentence review fragment).
+#[derive(Debug, Clone)]
+pub struct ParseTree {
+    tokens: Vec<String>,
+    /// clause index → chunk index, per token; boundary tokens belong to the
+    /// clause they terminate.
+    position: Vec<(usize, usize)>,
+    clause_count: usize,
+}
+
+impl ParseTree {
+    /// Parse pre-tokenized (lowercased) tokens.
+    pub fn from_tokens(tokens: &[String]) -> Self {
+        let n = tokens.len();
+        // Pass 1: clause boundaries.
+        let mut clause_of = vec![0usize; n];
+        let mut clause = 0usize;
+        for i in 0..n {
+            clause_of[i] = clause;
+            let t = tokens[i].as_str();
+            let boundary = if HARD_BOUNDARIES.contains(&t) {
+                i + 1 < n
+            } else if SOFT_BOUNDARIES.contains(&t) {
+                // Split only when the remainder of this sentence introduces
+                // its own predicate before the next hard boundary.
+                let mut has_verb = false;
+                for tok in tokens.iter().skip(i + 1) {
+                    if HARD_BOUNDARIES.contains(&tok.as_str()) {
+                        break;
+                    }
+                    if is_predicate_verb(tok) {
+                        has_verb = true;
+                        break;
+                    }
+                }
+                has_verb
+            } else {
+                false
+            };
+            if boundary {
+                clause += 1;
+            }
+        }
+        let clause_count = if n == 0 { 0 } else { clause + 1 };
+
+        // Pass 2: within each clause, split into chunks at predicate verbs
+        // (subject chunk | verb + predicate chunk).
+        let mut position = vec![(0usize, 0usize); n];
+        let mut i = 0usize;
+        while i < n {
+            let c = clause_of[i];
+            let mut chunk = 0usize;
+            let mut j = i;
+            while j < n && clause_of[j] == c {
+                if is_predicate_verb(&tokens[j]) && j > i {
+                    chunk += 1;
+                }
+                position[j] = (c, chunk);
+                j += 1;
+            }
+            i = j;
+        }
+
+        ParseTree {
+            tokens: tokens.to_vec(),
+            position,
+            clause_count,
+        }
+    }
+
+    /// Tokenize and parse raw text.
+    pub fn parse(text: &str) -> Self {
+        let tokens: Vec<String> = tokenize_lower(text).into_iter().map(|t| t.text).collect();
+        Self::from_tokens(&tokens)
+    }
+
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Number of clauses found.
+    pub fn clause_count(&self) -> usize {
+        self.clause_count
+    }
+
+    /// `(clause, chunk)` coordinates of token `i`.
+    pub fn coordinates(&self, i: usize) -> (usize, usize) {
+        self.position[i]
+    }
+
+    /// Path length between two leaves in the three-level tree:
+    /// 2 within a chunk, 4 across chunks of one clause, 6 across clauses.
+    pub fn tree_distance(&self, i: usize, j: usize) -> usize {
+        if i == j {
+            return 0;
+        }
+        let (ci, ki) = self.position[i];
+        let (cj, kj) = self.position[j];
+        if ci != cj {
+            6
+        } else if ki != kj {
+            4
+        } else {
+            2
+        }
+    }
+
+    /// Composite distance used by the pairing heuristic: tree distance
+    /// first, word distance as tie-break. Lower is closer.
+    pub fn pairing_distance(&self, i: usize, j: usize) -> (usize, usize) {
+        (self.tree_distance(i, j), i.abs_diff(j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn idx(tree: &ParseTree, word: &str) -> usize {
+        tree.tokens()
+            .iter()
+            .position(|t| t == word)
+            .unwrap_or_else(|| panic!("{word} missing"))
+    }
+
+    #[test]
+    fn paper_motivating_example() {
+        // §5: "professional" must be tree-closer to "staff" than to "decor".
+        let t = ParseTree::parse(
+            "The staff is friendly, helpful and professional. The decor is beautiful",
+        );
+        assert!(
+            t.clause_count() >= 2,
+            "expected a clause split at the period"
+        );
+        let professional = idx(&t, "professional");
+        let staff = idx(&t, "staff");
+        let decor = idx(&t, "decor");
+        let d_staff = t.pairing_distance(professional, staff);
+        let d_decor = t.pairing_distance(professional, decor);
+        assert!(d_staff < d_decor, "staff={d_staff:?} decor={d_decor:?}");
+    }
+
+    #[test]
+    fn comma_with_new_predicate_splits_clause() {
+        let t = ParseTree::parse("The food is great, the service is slow");
+        let food = idx(&t, "food");
+        let slow = idx(&t, "slow");
+        assert_eq!(
+            t.tree_distance(food, slow),
+            6,
+            "clauses should separate food from slow"
+        );
+        let great = idx(&t, "great");
+        assert!(t.tree_distance(food, great) < 6);
+    }
+
+    #[test]
+    fn coordinated_adjectives_do_not_split() {
+        // "friendly and professional" — no predicate after "and", one clause.
+        let t = ParseTree::parse("The staff is friendly and professional");
+        assert_eq!(t.clause_count(), 1);
+        let staff = idx(&t, "staff");
+        let prof = idx(&t, "professional");
+        assert!(t.tree_distance(staff, prof) <= 4);
+    }
+
+    #[test]
+    fn but_with_predicate_splits() {
+        let t = ParseTree::parse("The food is delicious but the staff is rude");
+        let food = idx(&t, "food");
+        let rude = idx(&t, "rude");
+        assert_eq!(t.tree_distance(food, rude), 6);
+        let delicious = idx(&t, "delicious");
+        let staff = idx(&t, "staff");
+        assert!(t.tree_distance(food, delicious) < t.tree_distance(food, rude));
+        assert!(t.tree_distance(staff, rude) < t.tree_distance(staff, delicious));
+    }
+
+    #[test]
+    fn chunking_separates_subject_from_predicate() {
+        let t = ParseTree::parse("The food is delicious");
+        let food = idx(&t, "food");
+        let delicious = idx(&t, "delicious");
+        let the = 0usize;
+        assert_eq!(t.tree_distance(the, food), 2); // same subject chunk
+        assert_eq!(t.tree_distance(food, delicious), 4); // across the copula
+    }
+
+    #[test]
+    fn missing_punctuation_degrades_gracefully() {
+        // The paper's noted failure mode: with the period typo'd away, the
+        // two clauses still split at the second predicate "is"… but the
+        // chunk structure coarsens. We just require no panic and sane
+        // distances.
+        let t = ParseTree::parse("The staff is friendly the decor is beautiful");
+        for i in 0..t.len() {
+            for j in 0..t.len() {
+                let d = t.tree_distance(i, j);
+                assert!(d <= 6);
+                assert_eq!(d, t.tree_distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_token() {
+        let t = ParseTree::parse("");
+        assert!(t.is_empty());
+        assert_eq!(t.clause_count(), 0);
+        let t = ParseTree::parse("delicious");
+        assert_eq!(t.clause_count(), 1);
+        assert_eq!(t.tree_distance(0, 0), 0);
+    }
+
+    #[test]
+    fn trailing_period_does_not_create_empty_clause() {
+        let t = ParseTree::parse("The food is great.");
+        assert_eq!(t.clause_count(), 1);
+    }
+
+    proptest! {
+        /// Tree distance is a symmetric pseudo-metric bounded by 6 with
+        /// identity of indiscernibles at the leaf level.
+        #[test]
+        fn prop_distance_axioms(s in "[a-z]{1,6}( [a-z]{1,6}){0,14}( \\.| but| ,)?") {
+            let t = ParseTree::parse(&s);
+            for i in 0..t.len() {
+                prop_assert_eq!(t.tree_distance(i, i), 0);
+                for j in 0..t.len() {
+                    let d = t.tree_distance(i, j);
+                    prop_assert_eq!(d, t.tree_distance(j, i));
+                    prop_assert!(d <= 6);
+                    if i != j { prop_assert!(d >= 2); }
+                }
+            }
+        }
+
+        /// Coordinates are consistent with distances.
+        #[test]
+        fn prop_coordinates_consistent(s in "[a-z]{1,5}( [a-z]{1,5}| is| \\.| ,){0,12}") {
+            let t = ParseTree::parse(&s);
+            for i in 0..t.len() {
+                for j in 0..t.len() {
+                    let (ci, ki) = t.coordinates(i);
+                    let (cj, kj) = t.coordinates(j);
+                    let d = t.tree_distance(i, j);
+                    if i != j {
+                        match d {
+                            2 => prop_assert!(ci == cj && ki == kj),
+                            4 => prop_assert!(ci == cj && ki != kj),
+                            6 => prop_assert!(ci != cj),
+                            _ => prop_assert!(false, "unexpected distance {}", d),
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

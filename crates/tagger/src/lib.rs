@@ -1,0 +1,21 @@
+//! # saccs-tagger
+//!
+//! The aspect/opinion sequence tagger of SACCS Section 4: MiniBert
+//! contextual embeddings → BiLSTM → linear-chain CRF (Figure 3), trained
+//! optionally with FGSM adversarial examples at the embedding layer
+//! (Figure 4, Equations 6–9). The OpineDB baseline head (per-token softmax
+//! over BERT embeddings, \[31\]) is included for Table 4's comparison.
+//!
+//! * [`crf`] — exact linear-chain CRF with IOB structural constraints,
+//!   forward–backward gradients, Viterbi and beam decoding;
+//! * [`model`] — the two head architectures;
+//! * [`train`] — training loops (clean and adversarial), span extraction
+//!   and span-F1 evaluation.
+
+pub mod crf;
+pub mod model;
+pub mod train;
+
+pub use crf::Crf;
+pub use model::{Architecture, TaggerModel};
+pub use train::{Adversarial, Tagger, TrainConfig};

@@ -1,0 +1,238 @@
+//! Tagger architectures.
+//!
+//! Two heads over frozen MiniBert features:
+//!
+//! * [`Architecture::TokenSoftmax`] — the OpineDB baseline \[31\]: "BERT
+//!   sentence embeddings with a standard classifier that classifies each
+//!   word … into either Aspect, Opinion or Other" (per-token softmax, no
+//!   sequence structure);
+//! * [`Architecture::BiLstmCrf`] — SACCS's tagger (Figure 3): BERT →
+//!   BiLSTM → linear-chain CRF.
+
+use crate::crf::Crf;
+use rand::rngs::StdRng;
+use saccs_nn::layers::{BiLstm, Dropout, Layer, Linear};
+use saccs_nn::{Matrix, Var};
+use saccs_text::IobTag;
+
+/// Which head sits on the embeddings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Architecture {
+    /// OpineDB-style independent per-token classification.
+    TokenSoftmax,
+    /// The paper's BiLSTM + CRF stack.
+    BiLstmCrf,
+}
+
+/// A tagger head; input is a `T×input_dim` feature matrix (MiniBert
+/// output), output a `T`-length IOB tag sequence.
+pub struct TaggerModel {
+    arch: Architecture,
+    bilstm: Option<BiLstm>,
+    /// Hidden layer of the OpineDB-style per-token MLP ("a standard
+    /// classifier"; the encoder is frozen here, so the classifier gets one
+    /// nonlinearity of its own).
+    mlp_hidden: Option<Linear>,
+    proj: Linear,
+    crf: Option<Crf>,
+    dropout: Dropout,
+}
+
+impl TaggerModel {
+    pub fn new(
+        arch: Architecture,
+        input_dim: usize,
+        hidden: usize,
+        dropout_p: f32,
+        rng: &mut StdRng,
+    ) -> Self {
+        match arch {
+            Architecture::TokenSoftmax => TaggerModel {
+                arch,
+                bilstm: None,
+                mlp_hidden: Some(Linear::new(input_dim, 2 * hidden, rng)),
+                proj: Linear::new(2 * hidden, IobTag::COUNT, rng),
+                crf: None,
+                dropout: Dropout::new(dropout_p),
+            },
+            Architecture::BiLstmCrf => TaggerModel {
+                arch,
+                bilstm: Some(BiLstm::new(input_dim, hidden, rng)),
+                mlp_hidden: None,
+                proj: Linear::new(2 * hidden, IobTag::COUNT, rng),
+                crf: Some(Crf::new(rng)),
+                dropout: Dropout::new(dropout_p),
+            },
+        }
+    }
+
+    pub fn architecture(&self) -> Architecture {
+        self.arch
+    }
+
+    /// Per-token emission scores (`T×5`).
+    pub fn emissions(&self, features: &Var, train: bool, rng: &mut StdRng) -> Var {
+        let x = self.dropout.forward(features, train, rng);
+        let x = match (&self.bilstm, &self.mlp_hidden) {
+            (Some(bi), _) => bi.forward(&x),
+            (None, Some(h)) => h.forward(&x).relu(),
+            (None, None) => x,
+        };
+        self.proj.forward(&x)
+    }
+
+    /// Training loss for one sentence: CRF NLL for the full model,
+    /// cross-entropy for the OpineDB baseline.
+    pub fn loss(&self, features: &Var, targets: &[IobTag], train: bool, rng: &mut StdRng) -> Var {
+        let em = self.emissions(features, train, rng);
+        match &self.crf {
+            Some(crf) => crf.nll(&em, targets),
+            None => {
+                let idx: Vec<usize> = targets.iter().map(|t| t.index()).collect();
+                em.cross_entropy(&idx)
+            }
+        }
+    }
+
+    /// Decode a tag sequence for a frozen feature matrix.
+    pub fn predict(&self, features: &Matrix) -> Vec<IobTag> {
+        if features.rows() == 0 {
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let em = self
+            .emissions(&Var::leaf(features.clone()), false, &mut rng)
+            .value_clone();
+        match &self.crf {
+            Some(crf) => crf.viterbi(&em),
+            None => {
+                // Independent argmax; downstream span decoding applies the
+                // lenient IOB repair, matching how [31] consumes it.
+                (0..em.rows())
+                    .map(|t| {
+                        let row = em.row(t);
+                        let best = (0..IobTag::COUNT)
+                            .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
+                            .unwrap();
+                        IobTag::from_index(best)
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Snapshot all parameter values (for persistence via
+    /// `saccs_nn::encode_state`).
+    pub fn state(&self) -> Vec<saccs_nn::Matrix> {
+        self.params().iter().map(|p| p.value_clone()).collect()
+    }
+
+    /// Restore parameters from a [`TaggerModel::state`] snapshot; the
+    /// model must have the same architecture and dimensions.
+    pub fn load_state(&self, state: &[saccs_nn::Matrix]) {
+        let params = self.params();
+        assert_eq!(params.len(), state.len(), "state tensor count mismatch");
+        for (p, m) in params.iter().zip(state) {
+            p.set_value(m.clone());
+        }
+    }
+
+    pub fn params(&self) -> Vec<Var> {
+        let mut p = Vec::new();
+        if let Some(bi) = &self.bilstm {
+            p.extend(bi.params());
+        }
+        if let Some(h) = &self.mlp_hidden {
+            p.extend(h.params());
+        }
+        p.extend(self.proj.params());
+        if let Some(crf) = &self.crf {
+            p.extend(crf.params());
+        }
+        p
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_text::iob::is_valid_sequence;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn both_architectures_predict_full_length() {
+        let mut r = rng();
+        for arch in [Architecture::TokenSoftmax, Architecture::BiLstmCrf] {
+            let m = TaggerModel::new(arch, 8, 6, 0.1, &mut r);
+            let f = Matrix::uniform(7, 8, 1.0, &mut r);
+            let tags = m.predict(&f);
+            assert_eq!(tags.len(), 7);
+            if arch == Architecture::BiLstmCrf {
+                assert!(is_valid_sequence(&tags), "CRF must emit valid IOB");
+            }
+        }
+    }
+
+    #[test]
+    fn loss_is_scalar_and_differentiable_to_input() {
+        let mut r = rng();
+        for arch in [Architecture::TokenSoftmax, Architecture::BiLstmCrf] {
+            let m = TaggerModel::new(arch, 8, 6, 0.0, &mut r);
+            let leaf = Var::leaf(Matrix::uniform(4, 8, 1.0, &mut r));
+            let targets = vec![IobTag::O, IobTag::BAs, IobTag::O, IobTag::BOp];
+            let loss = m.loss(&leaf, &targets, true, &mut r);
+            assert_eq!(loss.shape(), (1, 1));
+            loss.backward();
+            assert!(
+                leaf.grad().max_abs() > 0.0,
+                "{arch:?}: no input gradient — FGSM would be impossible"
+            );
+            for p in m.params() {
+                assert!(p.grad().max_abs() >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn overfits_one_sentence() {
+        let mut r = rng();
+        let m = TaggerModel::new(Architecture::BiLstmCrf, 6, 5, 0.0, &mut r);
+        let f = Matrix::uniform(5, 6, 1.0, &mut r);
+        let targets = vec![IobTag::O, IobTag::BAs, IobTag::IAs, IobTag::O, IobTag::BOp];
+        let params = m.params();
+        let mut opt = saccs_nn::Adam::new(0.02);
+        for _ in 0..250 {
+            saccs_nn::zero_grads(&params);
+            m.loss(&Var::leaf(f.clone()), &targets, true, &mut r)
+                .backward();
+            opt.step(&params);
+        }
+        assert_eq!(m.predict(&f), targets);
+    }
+
+    #[test]
+    fn state_roundtrip_restores_predictions() {
+        let mut r = rng();
+        let m = TaggerModel::new(Architecture::BiLstmCrf, 6, 5, 0.0, &mut r);
+        let f = Matrix::uniform(4, 6, 1.0, &mut r);
+        let before = m.predict(&f);
+        let bytes = saccs_nn::encode_state(&m.state());
+        for p in m.params() {
+            p.update_value(|v| *v = v.scale(-1.0));
+        }
+        m.load_state(&saccs_nn::decode_state(&bytes).unwrap());
+        assert_eq!(m.predict(&f), before);
+    }
+
+    #[test]
+    fn empty_input_predicts_empty() {
+        let mut r = rng();
+        let m = TaggerModel::new(Architecture::BiLstmCrf, 4, 3, 0.0, &mut r);
+        assert!(m.predict(&Matrix::zeros(0, 4)).is_empty());
+    }
+}

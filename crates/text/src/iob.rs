@@ -1,0 +1,329 @@
+//! The IOB tagging scheme of Section 4.
+//!
+//! Each token of a review sentence is labeled with one of
+//! `L = {B-AS, I-AS, B-OP, I-OP, O}` (Ramshaw & Marcus IOB encoding):
+//! beginning/inside of an *aspect* term, beginning/inside of an *opinion*
+//! term, or outside. This module provides the tag type, the span ↔ tag
+//! conversions, and the structural-validity predicate the CRF transition
+//! constraints are derived from ("I-AS must follow B-AS or I-AS", §4.1).
+
+use std::fmt;
+
+/// Kind of an extracted span: the feature being described (aspect) or the
+/// phrase characterizing it (opinion).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SpanKind {
+    Aspect,
+    Opinion,
+}
+
+/// One of the five IOB labels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum IobTag {
+    /// Outside any aspect/opinion span.
+    O,
+    /// Beginning of an aspect term.
+    BAs,
+    /// Inside (continuation) of an aspect term.
+    IAs,
+    /// Beginning of an opinion term.
+    BOp,
+    /// Inside (continuation) of an opinion term.
+    IOp,
+}
+
+/// All five tags in their canonical index order. `IobTag::ALL[t.index()] == t`.
+impl IobTag {
+    pub const ALL: [IobTag; 5] = [
+        IobTag::O,
+        IobTag::BAs,
+        IobTag::IAs,
+        IobTag::BOp,
+        IobTag::IOp,
+    ];
+    /// Number of labels, the CRF's state count.
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..5`, used by the CRF and the classifier head.
+    pub fn index(self) -> usize {
+        match self {
+            IobTag::O => 0,
+            IobTag::BAs => 1,
+            IobTag::IAs => 2,
+            IobTag::BOp => 3,
+            IobTag::IOp => 4,
+        }
+    }
+
+    /// Inverse of [`IobTag::index`]; panics when `i >= 5`.
+    pub fn from_index(i: usize) -> IobTag {
+        IobTag::ALL[i]
+    }
+
+    /// Parse the paper's surface form (`"B-AS"`, `"I-OP"`, `"O"`, …).
+    pub fn parse(s: &str) -> Option<IobTag> {
+        match s {
+            "O" => Some(IobTag::O),
+            "B-AS" => Some(IobTag::BAs),
+            "I-AS" => Some(IobTag::IAs),
+            "B-OP" => Some(IobTag::BOp),
+            "I-OP" => Some(IobTag::IOp),
+            _ => None,
+        }
+    }
+
+    /// True when `next` may follow `self` in a structurally valid sequence:
+    /// an inside tag must continue a span of the same kind.
+    pub fn may_precede(self, next: IobTag) -> bool {
+        match next {
+            IobTag::IAs => matches!(self, IobTag::BAs | IobTag::IAs),
+            IobTag::IOp => matches!(self, IobTag::BOp | IobTag::IOp),
+            _ => true,
+        }
+    }
+
+    /// True when the tag may start a sequence (inside tags may not).
+    pub fn may_start(self) -> bool {
+        !matches!(self, IobTag::IAs | IobTag::IOp)
+    }
+}
+
+impl fmt::Display for IobTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            IobTag::O => "O",
+            IobTag::BAs => "B-AS",
+            IobTag::IAs => "I-AS",
+            IobTag::BOp => "B-OP",
+            IobTag::IOp => "I-OP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A contiguous aspect or opinion span over token positions `start..end`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Span {
+    pub kind: SpanKind,
+    /// First token index of the span.
+    pub start: usize,
+    /// One past the last token index.
+    pub end: usize,
+}
+
+impl Span {
+    pub fn aspect(start: usize, end: usize) -> Span {
+        Span {
+            kind: SpanKind::Aspect,
+            start,
+            end,
+        }
+    }
+    pub fn opinion(start: usize, end: usize) -> Span {
+        Span {
+            kind: SpanKind::Opinion,
+            start,
+            end,
+        }
+    }
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+    /// Join the covered tokens with spaces (the surface form of the term).
+    pub fn text(&self, tokens: &[String]) -> String {
+        tokens[self.start..self.end].join(" ")
+    }
+}
+
+/// True when every transition in `tags` (including the implicit start) is
+/// structurally valid.
+pub fn is_valid_sequence(tags: &[IobTag]) -> bool {
+    match tags.first() {
+        None => true,
+        Some(first) if !first.may_start() => false,
+        Some(_) => tags.windows(2).all(|w| w[0].may_precede(w[1])),
+    }
+}
+
+/// Decode an IOB tag sequence into spans. Structurally invalid inside tags
+/// (an `I-*` with no matching open span) are treated as span beginnings, the
+/// standard lenient "IOB repair" used by sequence-labeling evaluators.
+pub fn spans_from_tags(tags: &[IobTag]) -> Vec<Span> {
+    let mut spans = Vec::new();
+    let mut open: Option<Span> = None;
+    for (i, &t) in tags.iter().enumerate() {
+        let (kind, begins) = match t {
+            IobTag::O => {
+                if let Some(s) = open.take() {
+                    spans.push(s);
+                }
+                continue;
+            }
+            IobTag::BAs => (SpanKind::Aspect, true),
+            IobTag::IAs => (SpanKind::Aspect, false),
+            IobTag::BOp => (SpanKind::Opinion, true),
+            IobTag::IOp => (SpanKind::Opinion, false),
+        };
+        match (&mut open, begins) {
+            (Some(s), false) if s.kind == kind => s.end = i + 1,
+            _ => {
+                if let Some(s) = open.take() {
+                    spans.push(s);
+                }
+                open = Some(Span {
+                    kind,
+                    start: i,
+                    end: i + 1,
+                });
+            }
+        }
+    }
+    if let Some(s) = open {
+        spans.push(s);
+    }
+    spans
+}
+
+/// Encode spans back to an IOB tag sequence of length `len`.
+///
+/// Spans must be within bounds and non-overlapping; overlapping spans are a
+/// caller bug and trigger a panic in debug builds. Release builds skip the
+/// check and simply overwrite the affected positions, which can leave a
+/// structurally invalid tag sequence — never pass overlapping spans.
+pub fn tags_from_spans(len: usize, spans: &[Span]) -> Vec<IobTag> {
+    let mut tags = vec![IobTag::O; len];
+    for s in spans {
+        debug_assert!(s.end <= len && s.start < s.end, "span out of bounds: {s:?}");
+        debug_assert!(
+            tags[s.start..s.end].iter().all(|&t| t == IobTag::O),
+            "overlapping span: {s:?}"
+        );
+        let (b, i) = match s.kind {
+            SpanKind::Aspect => (IobTag::BAs, IobTag::IAs),
+            SpanKind::Opinion => (IobTag::BOp, IobTag::IOp),
+        };
+        tags[s.start] = b;
+        for t in tags.iter_mut().take(s.end).skip(s.start + 1) {
+            *t = i;
+        }
+    }
+    tags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display_parse_roundtrip() {
+        for t in IobTag::ALL {
+            assert_eq!(IobTag::parse(&t.to_string()), Some(t));
+        }
+        assert_eq!(IobTag::parse("B-XX"), None);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for t in IobTag::ALL {
+            assert_eq!(IobTag::from_index(t.index()), t);
+        }
+    }
+
+    #[test]
+    fn transition_constraints_match_paper() {
+        // "I-OP cannot follow I-AS" (§4.1).
+        assert!(!IobTag::IAs.may_precede(IobTag::IOp));
+        // "I-AS must either follow B-AS or I-AS".
+        assert!(IobTag::BAs.may_precede(IobTag::IAs));
+        assert!(IobTag::IAs.may_precede(IobTag::IAs));
+        assert!(!IobTag::O.may_precede(IobTag::IAs));
+        assert!(!IobTag::BOp.may_precede(IobTag::IAs));
+        // Begin tags and O are unconstrained.
+        assert!(IobTag::IAs.may_precede(IobTag::BOp));
+        assert!(IobTag::IOp.may_precede(IobTag::O));
+    }
+
+    #[test]
+    fn spans_decode_figure2_example() {
+        // "The food is really good but the service is a bit slow"
+        // gold: food=AS, "really good"=OP, service=AS, "a bit slow"=OP.
+        use IobTag::*;
+        let tags = [O, BAs, O, BOp, IOp, O, O, BAs, O, BOp, IOp, IOp];
+        let spans = spans_from_tags(&tags);
+        assert_eq!(
+            spans,
+            vec![
+                Span::aspect(1, 2),
+                Span::opinion(3, 5),
+                Span::aspect(7, 8),
+                Span::opinion(9, 12)
+            ]
+        );
+    }
+
+    #[test]
+    fn lenient_repair_of_dangling_inside() {
+        use IobTag::*;
+        // I-AS at start behaves like B-AS; I-OP after aspect opens a new opinion.
+        let spans = spans_from_tags(&[IAs, IAs, IOp]);
+        assert_eq!(spans, vec![Span::aspect(0, 2), Span::opinion(2, 3)]);
+    }
+
+    #[test]
+    fn adjacent_begin_tags_split_spans() {
+        use IobTag::*;
+        let spans = spans_from_tags(&[BAs, BAs]);
+        assert_eq!(spans, vec![Span::aspect(0, 1), Span::aspect(1, 2)]);
+    }
+
+    #[test]
+    fn encode_then_decode_is_identity() {
+        let spans = vec![Span::aspect(0, 2), Span::opinion(3, 4), Span::aspect(5, 8)];
+        let tags = tags_from_spans(9, &spans);
+        assert!(is_valid_sequence(&tags));
+        assert_eq!(spans_from_tags(&tags), spans);
+    }
+
+    #[test]
+    fn span_text_joins_tokens() {
+        let toks: Vec<String> = ["a", "bit", "slow"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(Span::opinion(0, 3).text(&toks), "a bit slow");
+    }
+
+    proptest! {
+        /// Any sorted set of disjoint spans survives an encode/decode roundtrip.
+        #[test]
+        fn prop_spans_roundtrip(raw in proptest::collection::vec((0usize..20, 1usize..4, prop::bool::ANY), 0..6)) {
+            let mut spans: Vec<Span> = Vec::new();
+            let mut cursor = 0usize;
+            for (gap, len, is_aspect) in raw {
+                let start = cursor + gap + if spans.is_empty() { 0 } else { 1 };
+                let kind = if is_aspect { SpanKind::Aspect } else { SpanKind::Opinion };
+                spans.push(Span { kind, start, end: start + len });
+                cursor = start + len;
+            }
+            let total = cursor + 3;
+            let tags = tags_from_spans(total, &spans);
+            prop_assert!(is_valid_sequence(&tags));
+            prop_assert_eq!(spans_from_tags(&tags), spans);
+        }
+
+        /// Decoding never produces empty or overlapping spans, even from
+        /// arbitrary (possibly invalid) tag sequences.
+        #[test]
+        fn prop_decode_produces_disjoint_spans(idx in proptest::collection::vec(0usize..5, 0..30)) {
+            let tags: Vec<IobTag> = idx.into_iter().map(IobTag::from_index).collect();
+            let spans = spans_from_tags(&tags);
+            for w in spans.windows(2) {
+                prop_assert!(w[0].end <= w[1].start);
+            }
+            for s in &spans {
+                prop_assert!(!s.is_empty());
+            }
+        }
+    }
+}

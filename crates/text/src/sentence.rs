@@ -1,0 +1,88 @@
+//! Rule-based sentence splitting.
+//!
+//! Reviews are multi-sentence ("The staff is friendly, helpful and
+//! professional. The decor is beautiful.") and both the tagger and the
+//! parse-tree pairing heuristic operate per sentence, so the indexer splits
+//! reviews first.
+
+/// Split `text` into sentences on `.`, `!` and `?` boundaries, keeping the
+/// terminator attached and trimming surrounding whitespace. Abbreviation
+/// handling is deliberately minimal — review prose rarely contains them, and
+/// the generator never produces any.
+pub fn split_sentences(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let bytes = text.as_bytes();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        if c == '.' || c == '!' || c == '?' {
+            // Consume runs of terminators ("!!", "?!", "...").
+            let mut end = i + 1;
+            while end < bytes.len() && matches!(bytes[end] as char, '.' | '!' | '?') {
+                end += 1;
+            }
+            let sent = text[start..end].trim();
+            if !sent.is_empty() {
+                out.push(sent.to_string());
+            }
+            start = end;
+            i = end;
+        } else {
+            i += 1;
+        }
+    }
+    let tail = text[start..].trim();
+    if !tail.is_empty() {
+        out.push(tail.to_string());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn splits_on_terminators() {
+        let s = split_sentences("The staff is friendly. The decor is beautiful!");
+        assert_eq!(s, vec!["The staff is friendly.", "The decor is beautiful!"]);
+    }
+
+    #[test]
+    fn keeps_tail_without_terminator() {
+        let s = split_sentences("Great food. Nice staff");
+        assert_eq!(s, vec!["Great food.", "Nice staff"]);
+    }
+
+    #[test]
+    fn collapses_terminator_runs() {
+        let s = split_sentences("Amazing!!! Really?!");
+        assert_eq!(s, vec!["Amazing!!!", "Really?!"]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(split_sentences("").is_empty());
+        assert!(split_sentences("   ").is_empty());
+    }
+
+    proptest! {
+        /// Concatenating the split sentences loses only whitespace.
+        #[test]
+        fn prop_no_content_lost(s in "[a-zA-Z .!?]{0,60}") {
+            let joined: String = split_sentences(&s).join("");
+            let strip = |t: &str| t.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+            prop_assert_eq!(strip(&joined), strip(&s));
+        }
+
+        /// Every produced sentence is non-empty after trimming.
+        #[test]
+        fn prop_sentences_nonempty(s in "[a-z .!?]{0,60}") {
+            for sent in split_sentences(&s) {
+                prop_assert!(!sent.trim().is_empty());
+            }
+        }
+    }
+}

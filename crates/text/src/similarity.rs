@@ -1,0 +1,429 @@
+//! Conceptual similarity between subjective tags.
+//!
+//! The paper compares subjective tags (short `opinion + aspect` phrases)
+//! with a *conceptual similarity* that "in addition to the individual
+//! meaning of words, also considers their nature or concept, for example
+//! pizza being a type of food", and notes it "has been shown to work better
+//! on short phrases such as subjective tags than cosine similarity"
+//! (Section 3.1, footnote 2 — the measure itself is out of the paper's
+//! scope). This module supplies a concrete instance built on the
+//! [`Lexicon`]: identity > synonymy (shared opinion group / aspect concept)
+//! > concept relatedness > polarity-gated co-applicability, with a fuzzy
+//! > edit-distance fallback for out-of-lexicon terms (typos).
+
+use crate::lexicon::Lexicon;
+use crate::metrics::edit_similarity;
+use crate::token::words_lower;
+
+/// A subjective tag: "concatenation of an aspect term and an opinion term"
+/// (Section 1). `delicious food` has opinion `delicious`, aspect `food`.
+/// Both parts are lowercase and may be multiword (`a bit slow service`).
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct SubjectiveTag {
+    pub opinion: String,
+    pub aspect: String,
+}
+
+impl SubjectiveTag {
+    /// Build from already-separated parts, normalizing to lowercase words.
+    pub fn new(opinion: &str, aspect: &str) -> Self {
+        SubjectiveTag {
+            opinion: words_lower(opinion).join(" "),
+            aspect: words_lower(aspect).join(" "),
+        }
+    }
+
+    /// Parse a surface phrase like `"delicious food"` or `"friendly
+    /// waiters"`: the longest known-aspect suffix becomes the aspect, the
+    /// rest the opinion. Falls back to "last word = aspect" when the suffix
+    /// is out of lexicon, and returns `None` for phrases of fewer than two
+    /// words.
+    pub fn parse(phrase: &str, lexicon: &Lexicon) -> Option<Self> {
+        let words = words_lower(phrase);
+        if words.len() < 2 {
+            return None;
+        }
+        // Longest suffix (up to 2 tokens) that is a known aspect member.
+        for take in (1..=2usize.min(words.len() - 1)).rev() {
+            let aspect = words[words.len() - take..].join(" ");
+            if lexicon.aspect_concept(&aspect).is_some() {
+                return Some(SubjectiveTag {
+                    opinion: words[..words.len() - take].join(" "),
+                    aspect,
+                });
+            }
+        }
+        Some(SubjectiveTag {
+            opinion: words[..words.len() - 1].join(" "),
+            aspect: words[words.len() - 1].clone(),
+        })
+    }
+
+    /// The paper's surface form: opinion followed by aspect.
+    pub fn phrase(&self) -> String {
+        format!("{} {}", self.opinion, self.aspect)
+    }
+}
+
+impl std::fmt::Display for SubjectiveTag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.opinion, self.aspect)
+    }
+}
+
+/// Anything that can score the similarity of two subjective tags.
+///
+/// [`ConceptualSimilarity`] is the paper's measure; the embedding-cosine
+/// alternative its footnote 2 compares against lives in `saccs-core`
+/// (`EmbeddingSimilarity`), and the index accepts either.
+pub trait TagSimilarity: Send + Sync {
+    /// Similarity in `[0, 1]`.
+    fn similarity(&self, a: &SubjectiveTag, b: &SubjectiveTag) -> f32;
+}
+
+/// Tunable weights of the similarity blend. Defaults reproduce the paper's
+/// qualitative behaviour (see module docs and `EXPERIMENTS.md`).
+#[derive(Debug, Clone)]
+pub struct SimilarityConfig {
+    /// Geometric weight of the aspect side; `1 - aspect_weight` goes to the
+    /// opinion side.
+    pub aspect_weight: f32,
+    /// Score for two distinct surface terms of the same aspect concept.
+    pub same_concept: f32,
+    /// Score for terms of *related* concepts (food ↔ cooking).
+    pub related_concept: f32,
+    /// Score for two distinct phrases of the same opinion group.
+    pub same_group: f32,
+    /// Score when either opinion is a generic evaluative of equal polarity.
+    pub generic_bridge: f32,
+    /// Score for same-polarity opinions that share an applicable aspect.
+    pub shared_applicability: f32,
+    /// Score for same-polarity opinions with nothing else in common.
+    pub same_polarity: f32,
+    /// Edit-similarity threshold above which an out-of-lexicon term is
+    /// fuzzily identified with an in-lexicon one (typo absorption).
+    pub typo_threshold: f32,
+}
+
+impl Default for SimilarityConfig {
+    fn default() -> Self {
+        SimilarityConfig {
+            aspect_weight: 0.5,
+            same_concept: 0.90,
+            related_concept: 0.55,
+            same_group: 0.85,
+            generic_bridge: 0.70,
+            shared_applicability: 0.45,
+            same_polarity: 0.20,
+            typo_threshold: 0.75,
+        }
+    }
+}
+
+/// The similarity checker of Figure 1.
+#[derive(Debug)]
+pub struct ConceptualSimilarity {
+    lexicon: Lexicon,
+    config: SimilarityConfig,
+    /// Memo for fuzzy canonicalization: OOV terms recur constantly in the
+    /// index hot loops (every typo'd review tag is compared against every
+    /// index tag), and each miss otherwise costs a full lexicon scan.
+    fuzzy_cache: std::sync::Mutex<std::collections::HashMap<(String, bool), Option<&'static str>>>,
+}
+
+impl Clone for ConceptualSimilarity {
+    fn clone(&self) -> Self {
+        ConceptualSimilarity {
+            lexicon: self.lexicon.clone(),
+            config: self.config.clone(),
+            fuzzy_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+}
+
+impl ConceptualSimilarity {
+    pub fn new(lexicon: Lexicon) -> Self {
+        Self::with_config(lexicon, SimilarityConfig::default())
+    }
+
+    pub fn with_config(lexicon: Lexicon, config: SimilarityConfig) -> Self {
+        ConceptualSimilarity {
+            lexicon,
+            config,
+            fuzzy_cache: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    pub fn lexicon(&self) -> &Lexicon {
+        &self.lexicon
+    }
+
+    /// Absorb small typos: map an out-of-lexicon word to the best known
+    /// aspect member / opinion variant when the edit similarity clears the
+    /// configured threshold.
+    fn fuzzy_canonicalize(&self, term: &str, aspect_side: bool) -> Option<&'static str> {
+        if let Some(&hit) = self
+            .fuzzy_cache
+            .lock()
+            .unwrap()
+            .get(&(term.to_string(), aspect_side))
+        {
+            return hit;
+        }
+        let mut best: Option<(&'static str, f32)> = None;
+        let mut consider = |cand: &'static str| {
+            let s = edit_similarity(term, cand);
+            if s >= self.config.typo_threshold && best.is_none_or(|(_, b)| s > b) {
+                best = Some((cand, s));
+            }
+        };
+        if aspect_side {
+            for a in self.lexicon.aspects() {
+                for &m in a.members {
+                    consider(m);
+                }
+            }
+        } else {
+            for g in self.lexicon.opinion_groups() {
+                for &v in g.variants {
+                    consider(v);
+                }
+            }
+        }
+        let result = best.map(|(c, _)| c);
+        self.fuzzy_cache
+            .lock()
+            .unwrap()
+            .insert((term.to_string(), aspect_side), result);
+        result
+    }
+
+    /// Similarity of two aspect terms in `[0, 1]`.
+    pub fn aspect_similarity(&self, a1: &str, a2: &str) -> f32 {
+        if a1 == a2 {
+            return 1.0;
+        }
+        let resolve = |t: &str| -> Option<&'static str> {
+            if let Some(c) = self.lexicon.aspect_concept(t) {
+                return Some(c.canonical);
+            }
+            self.fuzzy_canonicalize(t, true)
+                .and_then(|m| self.lexicon.aspect_concept(m))
+                .map(|c| c.canonical)
+        };
+        match (resolve(a1), resolve(a2)) {
+            (Some(c1), Some(c2)) if c1 == c2 => self.config.same_concept,
+            (Some(c1), Some(c2)) if self.lexicon.aspects_related(c1, c2) => {
+                self.config.related_concept
+            }
+            (Some(_), Some(_)) => 0.0,
+            // Out-of-lexicon on at least one side: weak lexical fallback so
+            // novel-but-identical user vocabulary still clusters.
+            _ => (edit_similarity(a1, a2) - 0.5).max(0.0),
+        }
+    }
+
+    /// Similarity of two opinion phrases in `[0, 1]`. Opposite polarity is a
+    /// hard zero: `delicious food` never matches `bland food`.
+    pub fn opinion_similarity(&self, o1: &str, o2: &str) -> f32 {
+        if o1 == o2 {
+            return 1.0;
+        }
+        let resolve = |t: &str| {
+            self.lexicon.opinion_group(t).or_else(|| {
+                self.fuzzy_canonicalize(t, false)
+                    .and_then(|v| self.lexicon.opinion_group(v))
+            })
+        };
+        match (resolve(o1), resolve(o2)) {
+            (Some(g1), Some(g2)) => {
+                if g1.canonical == g2.canonical {
+                    return self.config.same_group;
+                }
+                if g1.polarity != g2.polarity {
+                    return 0.0;
+                }
+                if g1.generic || g2.generic {
+                    return self.config.generic_bridge;
+                }
+                if g1.aspects.iter().any(|a| g2.aspects.contains(a)) {
+                    return self.config.shared_applicability;
+                }
+                self.config.same_polarity
+            }
+            _ => (edit_similarity(o1, o2) - 0.5).max(0.0),
+        }
+    }
+
+    /// Similarity of two subjective tags: the weighted geometric mean of the
+    /// aspect- and opinion-side similarities, so a hard zero on either side
+    /// (e.g. opposite polarity) zeroes the whole score.
+    pub fn tag_similarity(&self, t1: &SubjectiveTag, t2: &SubjectiveTag) -> f32 {
+        let a = self.aspect_similarity(&t1.aspect, &t2.aspect);
+        let o = self.opinion_similarity(&t1.opinion, &t2.opinion);
+        if a <= 0.0 || o <= 0.0 {
+            return 0.0;
+        }
+        let w = self.config.aspect_weight;
+        (a.powf(w) * o.powf(1.0 - w)).clamp(0.0, 1.0)
+    }
+
+    /// Convenience over surface phrases; returns 0 for unparseable phrases.
+    pub fn phrase_similarity(&self, p1: &str, p2: &str) -> f32 {
+        match (
+            SubjectiveTag::parse(p1, &self.lexicon),
+            SubjectiveTag::parse(p2, &self.lexicon),
+        ) {
+            (Some(t1), Some(t2)) => self.tag_similarity(&t1, &t2),
+            _ => 0.0,
+        }
+    }
+}
+
+impl TagSimilarity for ConceptualSimilarity {
+    fn similarity(&self, a: &SubjectiveTag, b: &SubjectiveTag) -> f32 {
+        self.tag_similarity(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexicon::Domain;
+    use proptest::prelude::*;
+
+    fn sim() -> ConceptualSimilarity {
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+    }
+
+    #[test]
+    fn parse_splits_opinion_and_aspect() {
+        let lex = Lexicon::new(Domain::Restaurants);
+        let t = SubjectiveTag::parse("delicious food", &lex).unwrap();
+        assert_eq!(t.opinion, "delicious");
+        assert_eq!(t.aspect, "food");
+        let t = SubjectiveTag::parse("really good la carte", &lex).unwrap();
+        assert_eq!(t.opinion, "really good");
+        assert_eq!(t.aspect, "la carte");
+        assert!(SubjectiveTag::parse("food", &lex).is_none());
+    }
+
+    #[test]
+    fn identity_is_one() {
+        let s = sim();
+        let t = SubjectiveTag::new("delicious", "food");
+        assert_eq!(s.tag_similarity(&t, &t), 1.0);
+    }
+
+    #[test]
+    fn paraphrases_score_high() {
+        let s = sim();
+        // The paper's §1 example: all three phrasings denote deliciousness.
+        let a = SubjectiveTag::new("really good", "food");
+        let b = SubjectiveTag::new("very tasty", "plates"); // "Very tasty plates of food"
+        let c = SubjectiveTag::new("delicious", "food");
+        assert!(
+            s.tag_similarity(&a, &c) > 0.8,
+            "{}",
+            s.tag_similarity(&a, &c)
+        );
+        // plates-vs-food crosses concepts, so lower, but the opinions agree.
+        assert!(s.opinion_similarity(&b.opinion, &c.opinion) > 0.8);
+    }
+
+    #[test]
+    fn opposite_polarity_is_zero() {
+        let s = sim();
+        let good = SubjectiveTag::new("delicious", "food");
+        let bad = SubjectiveTag::new("bland", "food");
+        assert_eq!(s.tag_similarity(&good, &bad), 0.0);
+    }
+
+    #[test]
+    fn figure1_amazing_pizza_matches_good_food() {
+        // In Figure 1 the review tag "amazing pizza" maps E5 onto the index
+        // tag "good food" — concept subsumption (pizza is-a food) plus the
+        // generic-positive bridge.
+        let s = sim();
+        let a = SubjectiveTag::new("amazing", "pizza");
+        let b = SubjectiveTag::new("good", "food");
+        let v = s.tag_similarity(&a, &b);
+        assert!(v > 0.7, "amazing pizza ~ good food = {v}");
+    }
+
+    #[test]
+    fn section32_delicious_food_vs_index() {
+        // §3.2: "delicious food" is similar to both "good food" and
+        // "creative cooking", with the former closer.
+        let s = sim();
+        let q = SubjectiveTag::new("delicious", "food");
+        let s1 = s.tag_similarity(&q, &SubjectiveTag::new("good", "food"));
+        let s2 = s.tag_similarity(&q, &SubjectiveTag::new("creative", "cooking"));
+        assert!(s1 > s2, "s1={s1} s2={s2}");
+        assert!(s2 > 0.4, "s2={s2} should clear a 0.4 filter threshold");
+        // ...but "fast delivery" is not similar to "delicious food".
+        let s3 = s.tag_similarity(&q, &SubjectiveTag::new("fast", "delivery"));
+        assert!(s3 < 0.3, "s3={s3}");
+    }
+
+    #[test]
+    fn typos_are_absorbed() {
+        let s = sim();
+        let v = s.tag_similarity(
+            &SubjectiveTag::new("delicios", "fodd"),
+            &SubjectiveTag::new("delicious", "food"),
+        );
+        assert!(v > 0.7, "typo similarity = {v}");
+    }
+
+    #[test]
+    fn unknown_terms_fall_back_lexically() {
+        let s = sim();
+        assert!(s.aspect_similarity("zorgle", "zorgle") == 1.0);
+        assert!(s.aspect_similarity("zorgle", "blarg") < 0.2);
+    }
+
+    #[test]
+    fn nice_staff_close_to_friendly_waiters() {
+        let s = sim();
+        let v = s.phrase_similarity("nice staff", "friendly waiters");
+        assert!(v > 0.8, "{v}");
+    }
+
+    proptest! {
+        /// Tag similarity is symmetric and bounded for arbitrary in-lexicon pairs.
+        #[test]
+        fn prop_symmetric_bounded(i1 in 0usize..26, a1 in 0usize..16, i2 in 0usize..26, a2 in 0usize..16) {
+            let s = sim();
+            let lex = s.lexicon().clone();
+            let ops = lex.opinion_groups();
+            let asps = lex.aspects();
+            let t1 = SubjectiveTag::new(
+                ops[i1 % ops.len()].variants[0],
+                asps[a1 % asps.len()].members[0],
+            );
+            let t2 = SubjectiveTag::new(
+                ops[i2 % ops.len()].variants[0],
+                asps[a2 % asps.len()].members[0],
+            );
+            let v12 = s.tag_similarity(&t1, &t2);
+            let v21 = s.tag_similarity(&t2, &t1);
+            prop_assert!((v12 - v21).abs() < 1e-6);
+            prop_assert!((0.0..=1.0).contains(&v12));
+        }
+
+        /// Identity always dominates: sim(t, t) = 1 ≥ sim(t, u).
+        #[test]
+        fn prop_identity_dominates(i in 0usize..26, a in 0usize..16, j in 0usize..26, b in 0usize..16) {
+            let s = sim();
+            let lex = s.lexicon().clone();
+            let ops = lex.opinion_groups();
+            let asps = lex.aspects();
+            let t = SubjectiveTag::new(ops[i % ops.len()].variants[0], asps[a % asps.len()].members[0]);
+            let u = SubjectiveTag::new(ops[j % ops.len()].variants[0], asps[b % asps.len()].members[0]);
+            prop_assert!(s.tag_similarity(&t, &t) >= s.tag_similarity(&t, &u) - 1e-6);
+        }
+    }
+}

@@ -1,0 +1,202 @@
+//! Tokenization with source offsets.
+//!
+//! The extraction pipeline of the paper labels *words* in a sentence
+//! (Section 4), so the tokenizer splits on whitespace and peels punctuation
+//! into its own tokens, keeping byte offsets so spans can be mapped back to
+//! the original text.
+
+/// A single token with its byte span in the source string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token text, exactly as it appears in the source (or lowercased when
+    /// produced by [`tokenize_lower`]).
+    pub text: String,
+    /// Byte offset of the first byte of the token in the source string.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+}
+
+impl Token {
+    /// True when the token consists solely of ASCII punctuation.
+    pub fn is_punctuation(&self) -> bool {
+        !self.text.is_empty() && self.text.chars().all(|c| c.is_ascii_punctuation())
+    }
+}
+
+fn is_token_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '\'' || c == '-'
+}
+
+/// Split `text` into word and punctuation tokens.
+///
+/// Rules:
+/// * maximal runs of alphanumerics (plus intra-word `'` and `-`, so
+///   `don't` and `well-cooked` stay whole) form word tokens;
+/// * every other non-whitespace character becomes a single-char token;
+/// * whitespace separates tokens and is never emitted.
+///
+/// ```
+/// use saccs_text::tokenize;
+/// let toks = tokenize("The food is really good, isn't it?");
+/// let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+/// assert_eq!(
+///     texts,
+///     ["The", "food", "is", "really", "good", ",", "isn't", "it", "?"]
+/// );
+/// ```
+pub fn tokenize(text: &str) -> Vec<Token> {
+    let mut tokens = Vec::new();
+    let mut word_start: Option<usize> = None;
+    for (i, c) in text.char_indices() {
+        if is_token_char(c) {
+            if word_start.is_none() {
+                word_start = Some(i);
+            }
+        } else {
+            if let Some(start) = word_start.take() {
+                tokens.push(Token {
+                    text: text[start..i].to_string(),
+                    start,
+                    end: i,
+                });
+            }
+            if !c.is_whitespace() {
+                let end = i + c.len_utf8();
+                tokens.push(Token {
+                    text: text[i..end].to_string(),
+                    start: i,
+                    end,
+                });
+            }
+        }
+    }
+    if let Some(start) = word_start {
+        tokens.push(Token {
+            text: text[start..].to_string(),
+            start,
+            end: text.len(),
+        });
+    }
+    tokens
+}
+
+/// Like [`tokenize`] but lowercases every token, the normal form used by the
+/// neural pipeline and the lexicons.
+pub fn tokenize_lower(text: &str) -> Vec<Token> {
+    let mut toks = tokenize(text);
+    for t in &mut toks {
+        t.text = t.text.to_lowercase();
+    }
+    toks
+}
+
+/// Convenience: lowercased word strings only (punctuation removed).
+pub fn words_lower(text: &str) -> Vec<String> {
+    tokenize_lower(text)
+        .into_iter()
+        .filter(|t| !t.is_punctuation())
+        .map(|t| t.text)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_punctuation() {
+        let toks = tokenize("Great food!");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[2].text, "!");
+        assert!(toks[2].is_punctuation());
+        assert!(!toks[0].is_punctuation());
+    }
+
+    #[test]
+    fn offsets_reconstruct_source() {
+        let src = "The staff is friendly, helpful and professional.";
+        for t in tokenize(src) {
+            assert_eq!(&src[t.start..t.end], t.text);
+        }
+    }
+
+    #[test]
+    fn keeps_apostrophes_and_hyphens() {
+        let texts: Vec<String> = tokenize("well-cooked pasta, isn't it")
+            .into_iter()
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(texts, ["well-cooked", "pasta", ",", "isn't", "it"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_inputs() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn lowercases() {
+        let toks = tokenize_lower("GOOD Food");
+        assert_eq!(toks[0].text, "good");
+        assert_eq!(toks[1].text, "food");
+    }
+
+    #[test]
+    fn unicode_safe() {
+        let toks = tokenize("café très bon — vraiment");
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["café", "très", "bon", "—", "vraiment"]);
+    }
+
+    #[test]
+    fn words_lower_drops_punctuation() {
+        assert_eq!(
+            words_lower("Nice staff, great food!"),
+            ["nice", "staff", "great", "food"]
+        );
+    }
+
+    mod props {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Every token's offsets point at exactly its text.
+            #[test]
+            fn prop_offsets_are_exact(s in "[a-zA-Z0-9 .,!?'-]{0,60}") {
+                for t in tokenize(&s) {
+                    prop_assert_eq!(&s[t.start..t.end], t.text.as_str());
+                }
+            }
+
+            /// Tokens never overlap and appear in order.
+            #[test]
+            fn prop_tokens_ordered_disjoint(s in "[a-zA-Z .,!?]{0,60}") {
+                let toks = tokenize(&s);
+                for w in toks.windows(2) {
+                    prop_assert!(w[0].end <= w[1].start);
+                }
+            }
+
+            /// Concatenating tokens loses only whitespace.
+            #[test]
+            fn prop_no_content_lost(s in "[a-zA-Z .,!?]{0,60}") {
+                let joined: String = tokenize(&s).into_iter().map(|t| t.text).collect();
+                let strip = |x: &str| x.chars().filter(|c| !c.is_whitespace()).collect::<String>();
+                prop_assert_eq!(strip(&joined), strip(&s));
+            }
+
+            /// words_lower output is lowercase and punctuation-free.
+            #[test]
+            fn prop_words_lower_clean(s in "[a-zA-Z .,!?']{0,60}") {
+                for w in words_lower(&s) {
+                    prop_assert!(!w.is_empty());
+                    prop_assert!(w.chars().all(|c| !c.is_ascii_uppercase()));
+                    prop_assert!(w.chars().any(|c| c.is_alphanumeric()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! §7 extensions in action: user-profile personalization and fake-review
+//! robustness, on top of the core pipeline.
+//!
+//! Run with: `cargo run --release --example personalized_search`
+
+use saccs::core::{SaccsBuilder, UserProfile};
+use saccs::data::fraud::{inject_fraud, FraudCampaign};
+use saccs::data::yelp::{YelpConfig, YelpCorpus};
+use saccs::index::{FraudFilter, ReviewProfile};
+use saccs::text::lexicon::Polarity;
+use saccs::text::{Domain, Lexicon, SubjectiveTag};
+
+fn main() {
+    println!("== Section 7 extensions ==\n");
+    let corpus = YelpCorpus::generate(
+        Lexicon::new(Domain::Restaurants),
+        &YelpConfig {
+            n_entities: 25,
+            n_reviews: 400,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    println!("Training SACCS (quick profile)...");
+    let mut saccs = SaccsBuilder::quick().build(&corpus);
+    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+
+    // --- 1. User profiles ------------------------------------------------
+    println!("\n-- 1. Profile-aware ranking --");
+    let mut profile = UserProfile::new();
+    // This user has a history of caring about quietness.
+    for _ in 0..6 {
+        profile.observe(&[SubjectiveTag::new("quiet", "place")]);
+    }
+    println!(
+        "Standing interests: {:?}",
+        profile
+            .top_interests(3)
+            .iter()
+            .map(|(t, m)| format!("{t} ({m})"))
+            .collect::<Vec<_>>()
+    );
+    let tags = vec![
+        SubjectiveTag::new("delicious", "food"),
+        SubjectiveTag::new("quiet", "place"),
+    ];
+    let neutral = saccs.service.rank_with_tags(&tags, &api);
+    let personal = saccs
+        .service
+        .rank_with_tags_profiled(&tags, &api, &profile, 0.8);
+    println!("query: delicious food + quiet place");
+    println!(
+        "  neutral top 5      : {:?}",
+        neutral.iter().take(5).map(|(e, _)| *e).collect::<Vec<_>>()
+    );
+    println!(
+        "  personalized top 5 : {:?}",
+        personal.iter().take(5).map(|(e, _)| *e).collect::<Vec<_>>()
+    );
+    let q = |e: usize| corpus.entities[e].quality_of("place", "quiet");
+    let mean_q = |r: &[(usize, f32)]| r.iter().take(5).map(|&(e, _)| q(e)).sum::<f32>() / 5.0;
+    println!(
+        "  mean quietness of top-5: neutral {:.2} -> personalized {:.2}",
+        mean_q(&neutral),
+        mean_q(&personal)
+    );
+
+    // --- 2. Fake-review robustness ---------------------------------------
+    println!("\n-- 2. Fake-review robustness --");
+    let mut corrupted = corpus.clone();
+    let target = 3usize;
+    inject_fraud(
+        &mut corrupted,
+        &[FraudCampaign {
+            entity_id: target,
+            n_reviews: 40,
+            concept: "food",
+            group: "delicious",
+            polarity: Polarity::Positive,
+        }],
+        7,
+    );
+    println!(
+        "Entity {target} ({}) bought 40 fake 'delicious food' reviews; true quality {:.2}.",
+        corpus.entities[target].name,
+        corpus.entities[target].quality_of("food", "delicious")
+    );
+    // Gold per-review profiles for the corrupted corpus.
+    let profiles_of = |c: &YelpCorpus, e: usize| -> Vec<ReviewProfile> {
+        c.reviews_of(e)
+            .iter()
+            .map(|&ri| {
+                let mut ts = Vec::new();
+                for s in &c.reviews[ri].sentences {
+                    for (a, o) in &s.pairs {
+                        ts.push(SubjectiveTag::new(&o.text(&s.tokens), &a.text(&s.tokens)));
+                    }
+                }
+                ReviewProfile::new(ts)
+            })
+            .collect()
+    };
+    let filter = FraudFilter::default();
+    let profiles = profiles_of(&corrupted, target);
+    let keep = filter.keep_flags(&profiles);
+    let suppressed = keep.iter().filter(|&&k| !k).count();
+    let fakes = corrupted
+        .reviews_of(target)
+        .iter()
+        .filter(|&&ri| corrupted.reviews[ri].is_fake)
+        .count();
+    println!(
+        "FraudFilter suppressed {suppressed} of the entity's {} reviews ({fakes} were fake).",
+        profiles.len()
+    );
+    println!("(Full experiment: `cargo run --release -p saccs-bench --bin fraud_robustness`)");
+}

@@ -1,0 +1,61 @@
+//! Quickstart: build a SACCS service over a small synthetic review corpus
+//! and answer a subjective utterance.
+//!
+//! Run with: `cargo run --release --example quickstart`
+//!
+//! Prints the Table-1 view of the subjective-tag index and the ranked
+//! answer to the paper's §3.2 example utterance.
+
+use saccs::core::SaccsBuilder;
+use saccs::data::yelp::{YelpConfig, YelpCorpus};
+use saccs::text::{Domain, Lexicon};
+
+fn main() {
+    println!("== SACCS quickstart ==\n");
+    println!("Generating a small Yelp-style corpus (30 restaurants, 400 reviews)...");
+    let corpus = YelpCorpus::generate(
+        Lexicon::new(Domain::Restaurants),
+        &YelpConfig {
+            n_entities: 30,
+            n_reviews: 400,
+            seed: 7,
+            ..Default::default()
+        },
+    );
+
+    println!("Training the extraction pipeline and building the index (quick profile)...");
+    let t0 = std::time::Instant::now();
+    let mut saccs = SaccsBuilder::quick().build(&corpus);
+    println!("  done in {:.1?}\n", t0.elapsed());
+
+    // Table-1-style view of a few index tags.
+    println!("-- Subjective tag index (Table 1 form, top 3 entities per tag) --");
+    let table = saccs
+        .service
+        .index()
+        .render_table(3, |id| corpus.entities[id].name.clone());
+    for line in table.lines().take(16) {
+        println!("{line}");
+    }
+
+    // The §3.2 utterance.
+    let utterance =
+        "I want an Italian restaurant in Montreal that serves delicious food and has a nice staff";
+    println!("\nUser: \"{utterance}\"");
+    let tags = saccs.service.extract_tags(utterance);
+    println!(
+        "Extracted subjective tags: {:?}",
+        tags.iter().map(|t| t.phrase()).collect::<Vec<_>>()
+    );
+
+    let api_results: Vec<usize> = (0..corpus.entities.len()).collect();
+    let ranked = saccs.service.rank_utterance(utterance, &api_results);
+    println!("\nTop results:");
+    for (rank, (entity, score)) in ranked.iter().take(5).enumerate() {
+        println!(
+            "  {}. {} (score {score:.2})",
+            rank + 1,
+            corpus.entities[*entity].name
+        );
+    }
+}

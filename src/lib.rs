@@ -1,0 +1,40 @@
+//! # saccs
+//!
+//! Facade crate for the Rust reproduction of **"Subjectivity Aware
+//! Conversational Search Services"** (Gaci, Ramírez, Benatallah, Casati,
+//! Benabdslem — EDBT 2021). Re-exports every subsystem crate; see
+//! `README.md` for the architecture and `DESIGN.md` for the full system
+//! inventory and paper ↔ module mapping.
+//!
+//! Quick start:
+//!
+//! ```no_run
+//! use saccs::core::SaccsBuilder;
+//! use saccs::data::yelp::{YelpConfig, YelpCorpus};
+//! use saccs::text::{Domain, Lexicon};
+//!
+//! let corpus = YelpCorpus::generate(
+//!     Lexicon::new(Domain::Restaurants),
+//!     &YelpConfig { n_entities: 20, n_reviews: 200, ..Default::default() },
+//! );
+//! let mut saccs = SaccsBuilder::quick().build(&corpus);
+//! let api: Vec<usize> = (0..corpus.entities.len()).collect();
+//! let ranked = saccs
+//!     .service
+//!     .rank_utterance("I want a restaurant with delicious food and a nice staff", &api);
+//! for (entity, score) in ranked.iter().take(5) {
+//!     println!("{} ({score:.2})", corpus.entities[*entity].name);
+//! }
+//! ```
+
+pub use saccs_core as core;
+pub use saccs_data as data;
+pub use saccs_embed as embed;
+pub use saccs_eval as eval;
+pub use saccs_index as index;
+pub use saccs_ir as ir;
+pub use saccs_nn as nn;
+pub use saccs_pairing as pairing;
+pub use saccs_parse as parse;
+pub use saccs_tagger as tagger;
+pub use saccs_text as text;

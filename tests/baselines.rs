@@ -1,0 +1,127 @@
+//! Integration tests for the Table-2 baselines against the synthetic
+//! corpus and crowd ground truth.
+
+use saccs::data::yelp::{YelpConfig, YelpCorpus};
+use saccs::data::{canonical_tags, CrowdSimulator};
+use saccs::eval::ndcg::ndcg;
+use saccs::ir::{Bm25Config, Bm25Index, SimBaseline};
+use saccs::text::{Domain, Lexicon};
+use std::sync::OnceLock;
+
+fn corpus() -> &'static YelpCorpus {
+    static CORPUS: OnceLock<YelpCorpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        YelpCorpus::generate(
+            Lexicon::new(Domain::Restaurants),
+            &YelpConfig {
+                n_entities: 40,
+                n_reviews: 900,
+                seed: 5,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn bm25() -> Bm25Index {
+    let c = corpus();
+    let docs = (0..c.entities.len()).map(|e| {
+        (
+            e,
+            c.reviews_of(e)
+                .iter()
+                .map(|&ri| c.reviews[ri].text())
+                .collect::<Vec<String>>(),
+        )
+    });
+    // Bm25Index wants &str docs; collect owned then map.
+    let owned: Vec<(usize, Vec<String>)> = docs.collect();
+    let borrowed: Vec<(usize, Vec<&str>)> = owned
+        .iter()
+        .map(|(e, texts)| (*e, texts.iter().map(|t| t.as_str()).collect()))
+        .collect();
+    Bm25Index::build(
+        borrowed,
+        c.entities.len(),
+        Lexicon::new(Domain::Restaurants),
+        Bm25Config::default(),
+    )
+}
+
+#[test]
+fn bm25_retrieval_correlates_with_crowd_truth() {
+    let c = corpus();
+    let idx = bm25();
+    let crowd = CrowdSimulator::default();
+    let mut total = 0.0;
+    let mut n = 0;
+    for tag in canonical_tags().iter().take(8) {
+        let gains: Vec<f32> = (0..c.entities.len())
+            .map(|e| crowd.sat(tag, c, e))
+            .collect();
+        let ranked = idx.search(&tag.phrase());
+        let ranked_gains: Vec<f32> = ranked.iter().map(|&(e, _)| gains[e]).collect();
+        total += ndcg(&ranked_gains, &gains, 10);
+        n += 1;
+    }
+    let mean = total / n as f32;
+    assert!(mean > 0.6, "BM25 NDCG@10 too low: {mean}");
+}
+
+#[test]
+fn bm25_finds_entities_whose_reviews_mention_the_term() {
+    let c = corpus();
+    let idx = bm25();
+    let ranked = idx.search("romantic");
+    assert!(!ranked.is_empty());
+    let (top, _) = ranked[0];
+    let mentions = c
+        .reviews_of(top)
+        .iter()
+        .filter(|&&ri| c.reviews[ri].text().contains("romantic"))
+        .count();
+    assert!(mentions > 0, "top BM25 hit never mentions the query term");
+}
+
+#[test]
+fn sim_oracle_is_bounded_by_one_and_beats_blind_ranking_sometimes() {
+    let c = corpus();
+    let sim = SimBaseline::new(&c.entities);
+    let crowd = CrowdSimulator::default();
+    // The quiet-place tag is attribute-aligned (NoiseLevel derives from
+    // it), so SIM should do well there.
+    let tag = canonical_tags()
+        .into_iter()
+        .find(|t| t.group == "quiet")
+        .unwrap();
+    let gains: Vec<f32> = (0..c.entities.len())
+        .map(|e| crowd.sat(&tag, c, e))
+        .collect();
+    let (score, _) = sim.best_ndcg(&gains, 10, 2);
+    assert!((0.0..=1.0).contains(&score));
+    let blind: Vec<f32> = gains.iter().copied().take(10).collect();
+    let blind_score = ndcg(&blind, &gains, 10);
+    assert!(
+        score >= blind_score - 1e-6,
+        "the oracle can always do at least as well as no filter: {score} vs {blind_score}"
+    );
+}
+
+#[test]
+fn sim_two_attributes_dominate_one() {
+    let c = corpus();
+    let sim = SimBaseline::new(&c.entities);
+    let crowd = CrowdSimulator::default();
+    for tag in canonical_tags().iter().take(5) {
+        let gains: Vec<f32> = (0..c.entities.len())
+            .map(|e| crowd.sat(tag, c, e))
+            .collect();
+        let (one, _) = sim.best_ndcg(&gains, 10, 1);
+        let (two, _) = sim.best_ndcg(&gains, 10, 2);
+        assert!(
+            two >= one - 1e-6,
+            "{}: SIM-2 {two} < SIM-1 {one}",
+            tag.phrase()
+        );
+    }
+}

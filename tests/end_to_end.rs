@@ -1,0 +1,159 @@
+//! End-to-end integration: corpus → trained pipeline → index → ranking.
+//!
+//! These tests span every crate (data → embed → tagger → pairing → index →
+//! core) with the quick build profile, checking *system-level* invariants:
+//! the extractor populates the index, known-tag queries return entities
+//! ordered consistently with the latent ground truth, and the dynamic
+//! adaptation loop works.
+
+use saccs::core::{SaccsBuilder, TrainedSaccs};
+use saccs::data::yelp::{YelpConfig, YelpCorpus};
+use saccs::data::{canonical_tags, CrowdSimulator};
+use saccs::eval::ndcg::ndcg;
+use saccs::text::{Domain, Lexicon, SubjectiveTag};
+use std::sync::OnceLock;
+
+fn corpus() -> &'static YelpCorpus {
+    static CORPUS: OnceLock<YelpCorpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        YelpCorpus::generate(
+            Lexicon::new(Domain::Restaurants),
+            &YelpConfig {
+                n_entities: 24,
+                n_reviews: 420,
+                seed: 99,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn saccs() -> TrainedSaccs {
+    SaccsBuilder::quick().build(corpus())
+}
+
+#[test]
+fn pipeline_populates_the_index() {
+    let trained = saccs();
+    let index = trained.service.index();
+    assert_eq!(index.len(), 18, "all canonical tags indexed");
+    // Frequently-reviewed dimensions (food) must have postings.
+    let food = SubjectiveTag::new("delicious", "food");
+    let postings = index.lookup(&food).expect("delicious food is an index tag");
+    assert!(
+        postings.len() >= corpus().entities.len() / 3,
+        "only {} of {} entities under 'delicious food'",
+        postings.len(),
+        corpus().entities.len()
+    );
+}
+
+#[test]
+fn ranking_tracks_latent_quality_under_rate_weighting() {
+    // Equation 1 verbatim weights degrees by log(review volume), which can
+    // swamp quality signal on volume-heterogeneous corpora (a reproduction
+    // finding; see EXPERIMENTS.md and the degree_of_truth_ablation bench).
+    // The match-count variant must track latent quality.
+    let mut builder = SaccsBuilder::quick();
+    builder.index.degree_formula = saccs::index::DegreeFormula::MentionRate;
+    let mut trained = builder.build(corpus());
+    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let ranked = trained
+        .service
+        .rank_with_tags(&[SubjectiveTag::new("delicious", "food")], &api);
+    assert!(ranked.len() >= 5, "too few results: {ranked:?}");
+    // Mean latent quality of the top third must beat the bottom third.
+    let q = |e: usize| corpus().entities[e].quality_of("food", "delicious");
+    let third = ranked.len() / 3;
+    let top: f32 = ranked[..third].iter().map(|&(e, _)| q(e)).sum::<f32>() / third as f32;
+    let bottom: f32 = ranked[ranked.len() - third..]
+        .iter()
+        .map(|&(e, _)| q(e))
+        .sum::<f32>()
+        / third as f32;
+    assert!(
+        top > bottom,
+        "ranking uncorrelated with latent quality: top={top:.2} bottom={bottom:.2}"
+    );
+}
+
+#[test]
+fn saccs_beats_random_ordering_on_crowd_ndcg() {
+    let mut trained = saccs();
+    let crowd = CrowdSimulator::default();
+    let tags = canonical_tags();
+    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let mut saccs_total = 0.0;
+    let mut random_total = 0.0;
+    let mut n = 0;
+    for tag in tags.iter().take(6) {
+        let gains: Vec<f32> = (0..corpus().entities.len())
+            .map(|e| crowd.sat(tag, corpus(), e))
+            .collect();
+        let ranked = trained.service.rank_with_tags(&[tag.tag()], &api);
+        let ranked_gains: Vec<f32> = ranked.iter().map(|&(e, _)| gains[e]).collect();
+        saccs_total += ndcg(&ranked_gains, &gains, 10);
+        // "Random" = identity order (entities are i.i.d., so id order is
+        // an unbiased random permutation w.r.t. quality).
+        let id_gains: Vec<f32> = api.iter().map(|&e| gains[e]).collect();
+        random_total += ndcg(&id_gains[..10.min(id_gains.len())], &gains, 10);
+        n += 1;
+    }
+    assert!(
+        saccs_total / n as f32 > random_total / n as f32,
+        "SACCS ({}) not better than arbitrary order ({})",
+        saccs_total / n as f32,
+        random_total / n as f32
+    );
+}
+
+#[test]
+fn utterance_flow_extracts_and_ranks() {
+    let mut trained = saccs();
+    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let utterance = "I want a restaurant with delicious food and a nice staff";
+    let tags = trained.service.extract_tags(utterance);
+    assert!(
+        !tags.is_empty(),
+        "no tags extracted from a clearly subjective utterance"
+    );
+    // At least one extracted tag must involve food or staff.
+    assert!(
+        tags.iter()
+            .any(|t| t.aspect.contains("food") || t.aspect.contains("staff")),
+        "implausible extraction: {tags:?}"
+    );
+    let ranked = trained.service.rank_utterance(utterance, &api);
+    assert!(!ranked.is_empty());
+    for w in ranked.windows(2) {
+        assert!(w[0].1 >= w[1].1, "ranking not sorted");
+    }
+}
+
+#[test]
+fn dynamic_adaptation_round_trips() {
+    let mut trained = saccs();
+    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let unknown = SubjectiveTag::new("scrumptious", "lasagna");
+    assert!(trained.service.index().lookup(&unknown).is_none());
+    let before = trained
+        .service
+        .rank_with_tags(std::slice::from_ref(&unknown), &api);
+    assert!(!before.is_empty(), "similarity fallback returned nothing");
+    assert_eq!(trained.service.index().history().len(), 1);
+    let added = trained.service.index_mut().reindex_from_history();
+    assert_eq!(added, 1);
+    assert!(trained.service.index().lookup(&unknown).is_some());
+    // After indexing, the tag answers directly (no new history entry).
+    let _ = trained.service.rank_with_tags(&[unknown], &api);
+    assert!(trained.service.index().history().is_empty());
+}
+
+#[test]
+fn reindexing_with_fewer_tags_shrinks_the_index() {
+    let mut trained = saccs();
+    trained.reindex_canonical(6);
+    assert_eq!(trained.service.index().len(), 6);
+    trained.reindex_canonical(18);
+    assert_eq!(trained.service.index().len(), 18);
+}

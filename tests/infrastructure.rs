@@ -1,0 +1,120 @@
+//! Integration tests for the infrastructure extensions: the concurrent
+//! SharedIndex, the trie search automaton, CoNLL interop and the
+//! extractor persistence codec — all through the public facade.
+
+use saccs::data::generator::{GeneratorConfig, SentenceGenerator};
+use saccs::data::{from_conll, to_conll};
+use saccs::index::index::{EntityEvidence, IndexConfig};
+use saccs::index::{SharedIndex, SubjectiveIndex};
+use saccs::text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn tag(op: &str, asp: &str) -> SubjectiveTag {
+    SubjectiveTag::new(op, asp)
+}
+
+fn populated_index() -> SubjectiveIndex {
+    let mut idx = SubjectiveIndex::new(
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+        IndexConfig::default(),
+    );
+    for e in 0..10 {
+        idx.register_entity(EntityEvidence {
+            entity_id: e,
+            review_count: 4,
+            review_tags: vec![
+                tag("delicious", "food"),
+                tag("nice", "staff"),
+                tag("quick", "service"),
+            ],
+        });
+    }
+    idx.index_tags(&[
+        tag("delicious", "food"),
+        tag("nice", "staff"),
+        tag("quick", "service"),
+    ]);
+    idx
+}
+
+#[test]
+fn shared_index_survives_a_probe_storm() {
+    let shared = Arc::new(SharedIndex::new(populated_index()));
+    let before = shared.len();
+    crossbeam::thread::scope(|scope| {
+        for t in 0..6 {
+            let shared = Arc::clone(&shared);
+            scope.spawn(move |_| {
+                for i in 0..100 {
+                    let _ = shared.probe(&tag("delicious", "food"));
+                    let _ = shared.probe(&tag("scrumptious", "pasta"));
+                    let _ = shared.probe(&tag("romantic", "ambiance"));
+                    if t == 0 && i % 25 == 0 {
+                        shared.reindex_pending();
+                    }
+                }
+            });
+        }
+    })
+    .unwrap();
+    shared.reindex_pending();
+    assert_eq!(shared.len(), before + 2, "both unknown tags end up indexed");
+    assert_eq!(shared.pending_count(), 0);
+    // And the newly indexed tags answer directly.
+    assert!(!shared.probe(&tag("scrumptious", "pasta")).is_empty());
+}
+
+#[test]
+fn automaton_mirrors_the_index_and_adds_fuzzy() {
+    let idx = populated_index();
+    let automaton = idx.to_automaton();
+    assert_eq!(automaton.len(), idx.len());
+    for t in [tag("delicious", "food"), tag("nice", "staff")] {
+        assert_eq!(
+            automaton.get(&t).unwrap().len(),
+            idx.lookup(&t).unwrap().len()
+        );
+    }
+    // Autocomplete and typo tolerance the BTreeMap cannot provide.
+    let completions = automaton.with_prefix("delic");
+    assert_eq!(completions.len(), 1);
+    let fuzzy = automaton.fuzzy_get(&tag("delicous", "food"));
+    assert!(fuzzy.iter().any(|(p, _)| p == "delicious food"));
+}
+
+#[test]
+fn conll_roundtrip_through_the_facade() {
+    let gen = SentenceGenerator::new(
+        Lexicon::new(Domain::Hotels),
+        GeneratorConfig::default(),
+    );
+    let mut rng = StdRng::seed_from_u64(7);
+    let sentences: Vec<_> = (0..25).map(|_| gen.random_sentence(&mut rng)).collect();
+    let text = to_conll(&sentences);
+    let parsed = from_conll(&text).expect("roundtrip parse");
+    assert_eq!(parsed.len(), sentences.len());
+    for (a, b) in sentences.iter().zip(&parsed) {
+        assert_eq!(a.tokens, b.tokens);
+        assert_eq!(a.tags, b.tags);
+        assert_eq!(
+            a.pairs.iter().collect::<std::collections::BTreeSet<_>>(),
+            b.pairs.iter().collect::<std::collections::BTreeSet<_>>()
+        );
+    }
+}
+
+#[test]
+fn state_codec_rejects_corruption_at_every_cut() {
+    use saccs::nn::{decode_state, encode_state, Matrix};
+    let state = vec![Matrix::full(3, 3, 1.25), Matrix::zeros(1, 7)];
+    let bytes = encode_state(&state);
+    assert_eq!(decode_state(&bytes).unwrap(), state);
+    for cut in 0..bytes.len() {
+        assert!(
+            decode_state(&bytes[..cut]).is_err(),
+            "accepted truncation at {cut}"
+        );
+    }
+}
