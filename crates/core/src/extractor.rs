@@ -335,7 +335,10 @@ mod tests {
             "",
         ] {
             for t in ex.extract(text) {
-                assert!(!t.opinion.is_empty() && !t.aspect.is_empty(), "{t:?} from {text:?}");
+                assert!(
+                    !t.opinion.is_empty() && !t.aspect.is_empty(),
+                    "{t:?} from {text:?}"
+                );
             }
         }
     }

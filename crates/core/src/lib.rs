@@ -17,22 +17,40 @@
 //!   corpus (pretrain MiniBert → train tagger → fit pairing → extract tags
 //!   from every review → build the index).
 
+/// One-call construction of a trained service from a corpus.
 pub mod builder;
+/// Multi-turn conversation state over the service.
 pub mod conversation;
+/// Rule-based NLU: intents and slots for the dialog loop.
 pub mod dialog;
+/// Tag similarity backed by MiniBert embeddings.
 pub mod embedding_similarity;
+/// The neural tag extractor (tagger + pairing pipeline).
 pub mod extractor;
+/// Saving and loading extractor weights (SNN1 codec).
 pub mod persist;
+/// Per-user interest profiles accumulated across turns.
 pub mod profile;
+/// Objective search API stand-in over the entity database.
 pub mod search_api;
+/// Algorithm 1: subjective filtering and ranking.
 pub mod service;
 
+/// Build a fully trained SACCS stack from a corpus.
 pub use builder::{SaccsBuilder, TrainedSaccs};
+/// Conversation state machine and per-turn outcomes.
 pub use conversation::{Conversation, TurnEffect};
+/// Rule-based intent/slot analysis of user turns.
 pub use dialog::{Intent, RuleNlu, Slots};
+/// Embedding-space tag similarity for the index.
 pub use embedding_similarity::EmbeddingSimilarity;
+/// Utterance to subjective tags, end to end.
 pub use extractor::TagExtractor;
+/// Extractor weight persistence.
 pub use persist::{load_extractor_weights, save_extractor, PersistError};
+/// A user's accumulated subjective interests.
 pub use profile::UserProfile;
+/// The objective (non-subjective) search backend.
 pub use search_api::SearchApi;
+/// The ranking service and its configuration.
 pub use service::{Aggregation, SaccsConfig, SaccsService};

@@ -81,7 +81,7 @@ impl UserProfile {
             .iter()
             .map(|(t, &m)| (t.clone(), m))
             .collect();
-        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         v.truncate(k);
         v
     }

@@ -202,12 +202,8 @@ impl SaccsService {
         if full.is_empty() && partial.is_empty() {
             return passthrough(api_results, self.config.top_k);
         }
-        full.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-        partial.sort_by(|a, b| {
-            b.2.cmp(&a.2)
-                .then(b.1.partial_cmp(&a.1).unwrap())
-                .then(a.0.cmp(&b.0))
-        });
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        partial.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.total_cmp(&a.1)).then(a.0.cmp(&b.0)));
         let mut out = full;
         if out.len() < self.config.top_k {
             out.extend(partial.into_iter().map(|(e, s, _)| (e, s)));
@@ -223,6 +219,7 @@ impl SaccsService {
         let extractor = self
             .extractor
             .as_ref()
+            // lint:allow(no-unwrap-in-lib): documented panic for index_only services
             .expect("service built without an extractor");
         let tags = extractor.extract(utterance);
         self.rank_with_tags(&tags, api_results)
@@ -232,6 +229,7 @@ impl SaccsService {
     pub fn extract_tags(&self, utterance: &str) -> Vec<SubjectiveTag> {
         self.extractor
             .as_ref()
+            // lint:allow(no-unwrap-in-lib): documented panic for index_only services
             .expect("service built without an extractor")
             .extract(utterance)
     }

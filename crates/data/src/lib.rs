@@ -23,20 +23,36 @@
 //! Every generator takes an explicit seed; identical seeds reproduce
 //! identical datasets bit for bit.
 
+/// CoNLL-style import/export of labeled sentences.
 pub mod conll;
+/// Three-worker quantized majority-vote crowd simulation.
 pub mod crowd;
+/// Entities with latent per-(aspect, opinion) qualities.
 pub mod entity;
+/// Injected review-fraud campaigns for robustness tests.
 pub mod fraud;
+/// Template/paraphrase sentence grammar with gold labels.
 pub mod generator;
+/// The S1-S4 labeled datasets at the paper's sizes.
 pub mod labeled;
+/// Canonical tags and the Short/Medium/Long query sets.
 pub mod queries;
+/// Yelp-style corpora: entities, attributes and reviews.
 pub mod yelp;
 
+/// Round-trip labeled sentences through CoNLL text.
 pub use conll::{from_conll, to_conll};
+/// Simulated crowd satisfaction judgments.
 pub use crowd::CrowdSimulator;
+/// One synthetic entity and its latent qualities.
 pub use entity::Entity;
+/// Adversarial review injection.
 pub use fraud::{inject_fraud, FraudCampaign};
+/// The sentence generator and its configuration.
 pub use generator::{FacetSpec, GeneratorConfig, LabeledSentence, SentenceGenerator};
+/// The named labeled datasets.
 pub use labeled::{Dataset, DatasetId};
+/// Query workloads over the canonical tags.
 pub use queries::{canonical_tags, CanonicalTag, Difficulty, Query};
+/// Generated corpora and their reviews.
 pub use yelp::{Review, YelpCorpus};

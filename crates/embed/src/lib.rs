@@ -24,8 +24,12 @@
 //! absolute quality is not (and Table 4/5 shapes, not absolute numbers,
 //! are the reproduction target).
 
+/// The MiniBert transformer encoder.
 pub mod model;
+/// Masked-LM pretraining, domain post-training and fine-tuning.
 pub mod pretrain;
 
+/// The encoder and its hyperparameters.
 pub use model::{MiniBert, MiniBertConfig};
+/// Pretraining entry points.
 pub use pretrain::{build_vocab, eval_mlm, finetune_tagging, general_corpus, train_mlm, MlmConfig};

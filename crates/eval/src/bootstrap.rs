@@ -42,7 +42,7 @@ pub fn mean(samples: &[f32]) -> f32 {
     if samples.is_empty() {
         return 0.0;
     }
-    samples.iter().sum::<f32>() / samples.len() as f32
+    (samples.iter().map(|&s| f64::from(s)).sum::<f64>() / samples.len() as f64) as f32
 }
 
 #[cfg(test)]

@@ -32,8 +32,8 @@ fn pearson(a: &[f32], b: &[f32]) -> f32 {
     if n == 0.0 {
         return 0.0;
     }
-    let ma = a.iter().sum::<f32>() / n;
-    let mb = b.iter().sum::<f32>() / n;
+    let ma = (a.iter().map(|&x| f64::from(x)).sum::<f64>() / f64::from(n)) as f32;
+    let mb = (b.iter().map(|&y| f64::from(y)).sum::<f64>() / f64::from(n)) as f32;
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;

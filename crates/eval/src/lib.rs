@@ -9,14 +9,24 @@
 //! * [`classification`] — accuracy / precision / recall / F1 for the
 //!   pairing classifiers (Table 5's metrics).
 
+/// Bootstrap confidence intervals over metric samples.
 pub mod bootstrap;
+/// Binary confusion-matrix metrics.
 pub mod classification;
+/// Rank correlation (Spearman, Kendall tau).
 pub mod correlation;
+/// Discounted cumulative gain and NDCG@k.
 pub mod ndcg;
+/// Span-level F1 for IOB extraction.
 pub mod span;
 
+/// CI estimation and the sample mean.
 pub use bootstrap::{bootstrap_ci, mean};
+/// Precision/recall/F1 bookkeeping.
 pub use classification::BinaryConfusion;
+/// Rank correlation coefficients.
 pub use correlation::{kendall_tau, spearman};
+/// Ranking quality metrics.
 pub use ndcg::{dcg, ndcg};
+/// Span extraction scoring.
 pub use span::SpanF1;

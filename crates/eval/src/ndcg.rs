@@ -50,7 +50,7 @@ pub fn mean_ndcg(scores: &[f32]) -> f32 {
     if scores.is_empty() {
         return 0.0;
     }
-    scores.iter().sum::<f32>() / scores.len() as f32
+    (scores.iter().map(|&s| f64::from(s)).sum::<f64>() / scores.len() as f64) as f32
 }
 
 #[cfg(test)]

@@ -202,7 +202,7 @@ impl SubjectiveIndex {
                 })
             })
             .collect();
-        postings.sort_by(|a, b| b.degree_of_truth.partial_cmp(&a.degree_of_truth).unwrap());
+        postings.sort_by(|a, b| b.degree_of_truth.total_cmp(&a.degree_of_truth));
         let max = postings.first().map(|e| e.degree_of_truth).unwrap_or(0.0);
         if max > 0.0 {
             for e in &mut postings {
@@ -345,7 +345,7 @@ impl SubjectiveIndex {
             }
         }
         let mut out: Vec<(usize, f32)> = scores.into_iter().collect();
-        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
     }
 
@@ -397,7 +397,7 @@ mod serde_json {
     use super::IndexSnapshot;
 
     /// Minimal, dependency-free serializer: `tag\tid:degree:norm,...\n`.
-    pub fn to_vec(snap: &IndexSnapshot) -> Vec<u8> {
+    pub(super) fn to_vec(snap: &IndexSnapshot) -> Vec<u8> {
         let mut out = String::new();
         for (tag, entries) in &snap.entries {
             out.push_str(tag);

@@ -18,15 +18,26 @@
 //! extractor lives in `saccs-core`), so this crate stays a pure data
 //! structure with no model dependencies.
 
+/// Aho-Corasick-style tag automaton for fast mention scans.
 pub mod automaton;
+/// The user tag history feeding re-indexing rounds.
 pub mod history;
+/// The subjective index: Equation 1 degrees of truth.
 pub mod index;
+/// Fraud-aware evidence filtering.
 pub mod robust;
+/// Concurrent serving wrapper (RwLock + pending queue).
 pub mod shared;
 
+/// Multi-tag mention scanning.
 pub use automaton::TagAutomaton;
+/// Unknown tags users asked about.
 pub use history::UserTagHistory;
+/// The index and its tuning knobs.
 pub use index::{DegreeFormula, IndexConfig, IndexEntry, SubjectiveIndex};
+/// Evidence construction with fraud filtering.
 pub use robust::{naive_evidence, FraudFilter, ReviewProfile};
+/// Re-exported tag type used throughout the index API.
 pub use saccs_text::SubjectiveTag;
+/// Thread-safe index handle.
 pub use shared::SharedIndex;

@@ -172,4 +172,48 @@ mod tests {
         assert!(s.with_read(|idx| idx.lookup(&tag("scrumptious", "pasta")).is_some()));
         assert_eq!(s.len(), 3);
     }
+
+    #[test]
+    fn stress_reindex_races_probes_without_losing_or_duplicating_tags() {
+        use std::sync::Arc;
+        let s = Arc::new(shared());
+        let threads = 8;
+        let tags_per_thread = 40;
+        let initial = s.len();
+        crossbeam::thread::scope(|scope| {
+            for t in 0..threads {
+                let s = Arc::clone(&s);
+                scope.spawn(move |_| {
+                    for i in 0..tags_per_thread {
+                        // Every thread probes its own distinct unknown tags
+                        // (probed twice so the pending queue sees duplicates)
+                        // and *every* thread runs maintenance, so drains race
+                        // both the probes and each other.
+                        let unknown = tag(&format!("oddword{t}x{i}"), &format!("aspect{t}"));
+                        let _ = s.probe(&unknown);
+                        let _ = s.probe(&unknown);
+                        let _ = s.probe(&tag("delicious", "food"));
+                        if i % 7 == t % 7 {
+                            s.reindex_pending();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        s.reindex_pending();
+        assert_eq!(s.pending_count(), 0);
+        // Exact accounting: every distinct probed tag is indexed exactly
+        // once — none lost to a racing drain, none double-indexed.
+        for t in 0..threads {
+            for i in 0..tags_per_thread {
+                let probed = tag(&format!("oddword{t}x{i}"), &format!("aspect{t}"));
+                assert!(
+                    s.with_read(|idx| idx.lookup(&probed).is_some()),
+                    "lost tag oddword{t}x{i}"
+                );
+            }
+        }
+        assert_eq!(s.len(), initial + threads * tags_per_thread);
+    }
 }

@@ -12,8 +12,12 @@
 //!   NDCG-maximizing combination (an *oracle* over the attribute space, so
 //!   a deliberately strong baseline).
 
+/// BM25 over review text.
 pub mod bm25;
+/// Similarity-ranking and attribute-filter baselines.
 pub mod sim;
 
+/// The BM25 baseline.
 pub use bm25::{Bm25Config, Bm25Index};
+/// The similarity baseline.
 pub use sim::SimBaseline;

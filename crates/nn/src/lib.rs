@@ -15,16 +15,26 @@
 //!   consume;
 //! * everything is seeded and deterministic.
 
+/// Neural layers: embeddings, LSTMs, attention, norms.
 pub mod layers;
+/// Dense row-major f32 matrices.
 pub mod matrix;
+/// SGD and Adam optimizers.
 pub mod optim;
+/// The SNN1 weight codec.
 pub mod serialize;
+/// Reverse-mode autograd variables.
 pub mod var;
 
+/// Layer building blocks.
 pub use layers::{
     BiLstm, Dropout, Embedding, Layer, LayerNorm, Linear, Lstm, MultiHeadSelfAttention,
 };
+/// The matrix type and numerically stable reductions.
 pub use matrix::{log_sum_exp, Matrix};
+/// Parameter update rules.
 pub use optim::{zero_grads, Adam, Sgd};
+/// Weight (de)serialization.
 pub use serialize::{decode_state, encode_state, CodecError};
+/// A node in the autograd graph.
 pub use var::Var;

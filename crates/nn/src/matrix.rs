@@ -155,7 +155,15 @@ impl Matrix {
 
     /// Elementwise sum; shapes must match.
     pub fn add(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add: {}\u{d7}{} + {}\u{d7}{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self
             .data
             .iter()
@@ -171,7 +179,15 @@ impl Matrix {
 
     /// `self += other`, in place.
     pub fn add_assign(&mut self, other: &Matrix) {
-        assert_eq!(self.shape(), other.shape(), "add_assign: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_assign: {}\u{d7}{} += {}\u{d7}{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += b;
         }
@@ -179,7 +195,15 @@ impl Matrix {
 
     /// `self += alpha * other`, in place (axpy).
     pub fn add_scaled(&mut self, other: &Matrix, alpha: f32) {
-        assert_eq!(self.shape(), other.shape(), "add_scaled: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "add_scaled: {}\u{d7}{} += \u{3b1}\u{b7}{}\u{d7}{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         for (a, b) in self.data.iter_mut().zip(&other.data) {
             *a += alpha * b;
         }
@@ -187,7 +211,15 @@ impl Matrix {
 
     /// Elementwise difference.
     pub fn sub(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "sub: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "sub: {}\u{d7}{} - {}\u{d7}{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self
             .data
             .iter()
@@ -203,7 +235,15 @@ impl Matrix {
 
     /// Hadamard (elementwise) product.
     pub fn hadamard(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.shape(), other.shape(), "hadamard: shape mismatch");
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "hadamard: {}\u{d7}{} \u{2218} {}\u{d7}{}",
+            self.rows,
+            self.cols,
+            other.rows,
+            other.cols
+        );
         let data = self
             .data
             .iter()
@@ -239,8 +279,16 @@ impl Matrix {
 
     /// Add a `1×cols` row vector to every row (broadcast).
     pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
-        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
-        assert_eq!(row.cols, self.cols, "broadcast: col mismatch");
+        assert_eq!(
+            row.rows, 1,
+            "broadcast operand must be a row vector, got {}\u{d7}{}",
+            row.rows, row.cols
+        );
+        assert_eq!(
+            row.cols, self.cols,
+            "broadcast: 1\u{d7}{} row against {}\u{d7}{}",
+            row.cols, self.rows, self.cols
+        );
         let mut out = self.clone();
         for r in 0..out.rows {
             for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
@@ -278,7 +326,11 @@ impl Matrix {
 
     /// Vertically stack rows of `self` above rows of `other`.
     pub fn vstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vstack: col mismatch");
+        assert_eq!(
+            self.cols, other.cols,
+            "vstack: {}\u{d7}{} over {}\u{d7}{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
@@ -291,7 +343,11 @@ impl Matrix {
 
     /// Horizontally concatenate (same row count).
     pub fn hstack(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "hstack: row mismatch");
+        assert_eq!(
+            self.rows, other.rows,
+            "hstack: {}\u{d7}{} beside {}\u{d7}{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
         let cols = self.cols + other.cols;
         let mut data = Vec::with_capacity(self.rows * cols);
         for r in 0..self.rows {
@@ -307,7 +363,12 @@ impl Matrix {
 
     /// Copy of rows `range`.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "slice_rows: bad range");
+        assert!(
+            start <= end && end <= self.rows,
+            "slice_rows: [{start}, {end}) of {}\u{d7}{}",
+            self.rows,
+            self.cols
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,

@@ -29,6 +29,10 @@ struct Inner {
     grad: RefCell<Matrix>,
     parents: Vec<Var>,
     backward: Option<BackwardFn>,
+    /// Op name for sanitizer diagnostics; absent in default builds so the
+    /// graph pays nothing for the feature.
+    #[cfg(feature = "sanitize")]
+    op: &'static str,
 }
 
 /// A differentiable matrix-valued variable.
@@ -49,10 +53,20 @@ impl Var {
             grad: RefCell::new(grad),
             parents: Vec::new(),
             backward: None,
+            #[cfg(feature = "sanitize")]
+            op: "leaf",
         }))
     }
 
-    fn from_op(value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Var {
+    /// Every differentiable op funnels through here, which is where the
+    /// `sanitize` feature hooks in: op outputs are screened for NaN/Inf
+    /// with a diagnostic naming the op and its parent shapes. The default
+    /// build compiles the check away entirely.
+    fn from_op(op: &'static str, value: Matrix, parents: Vec<Var>, backward: BackwardFn) -> Var {
+        #[cfg(feature = "sanitize")]
+        sanitize::check_op_output(op, &value, &parents);
+        #[cfg(not(feature = "sanitize"))]
+        let _ = op;
         let grad = Matrix::zeros(value.rows(), value.cols());
         Var(Rc::new(Inner {
             id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
@@ -60,6 +74,8 @@ impl Var {
             grad: RefCell::new(grad),
             parents,
             backward: Some(backward),
+            #[cfg(feature = "sanitize")]
+            op,
         }))
     }
 
@@ -134,6 +150,18 @@ impl Var {
                 }
             }
         }
+        #[cfg(feature = "sanitize")]
+        {
+            let unique: HashSet<u64> = order.iter().map(|n| n.0.id).collect();
+            assert_eq!(
+                unique.len(),
+                order.len(),
+                "sanitize: backward() topological order visits a node more than once \
+                 ({} entries, {} distinct ids)",
+                order.len(),
+                unique.len()
+            );
+        }
         {
             let mut g = self.0.grad.borrow_mut();
             let cur = g.get(0, 0);
@@ -142,7 +170,13 @@ impl Var {
         for node in order.iter().rev() {
             if let Some(f) = &node.0.backward {
                 let g = node.0.grad.borrow().clone();
+                #[cfg(feature = "sanitize")]
+                sanitize::check_grad_shape(node.0.op, &g, &node.0.value.borrow());
                 f(&g, &node.0.parents);
+                #[cfg(feature = "sanitize")]
+                for p in &node.0.parents {
+                    sanitize::check_grad_shape(p.0.op, &p.0.grad.borrow(), &p.0.value.borrow());
+                }
             }
         }
     }
@@ -157,7 +191,7 @@ impl Var {
         parents: Vec<Var>,
         backward: impl Fn(&Matrix, &[Var]) + 'static,
     ) -> Var {
-        Var::from_op(value, parents, Box::new(backward))
+        Var::from_op("custom", value, parents, Box::new(backward))
     }
 
     /// Add `delta` into this var's gradient (for custom-op backward fns).
@@ -173,6 +207,7 @@ impl Var {
         let a_val = self.value_clone();
         let b_val = other.value_clone();
         Var::from_op(
+            "matmul",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -186,6 +221,7 @@ impl Var {
     pub fn add(&self, other: &Var) -> Var {
         let value = self.value().add(&other.value());
         Var::from_op(
+            "add",
             value,
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
@@ -199,6 +235,7 @@ impl Var {
     pub fn sub(&self, other: &Var) -> Var {
         let value = self.value().sub(&other.value());
         Var::from_op(
+            "sub",
             value,
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
@@ -212,6 +249,7 @@ impl Var {
     pub fn add_row_broadcast(&self, row: &Var) -> Var {
         let value = self.value().add_row_broadcast(&row.value());
         Var::from_op(
+            "add_row_broadcast",
             value,
             vec![self.clone(), row.clone()],
             Box::new(|g, parents| {
@@ -238,6 +276,7 @@ impl Var {
             }
         }
         Var::from_op(
+            "mul_row_broadcast",
             value,
             vec![self.clone(), row.clone()],
             Box::new(move |g, parents| {
@@ -259,6 +298,7 @@ impl Var {
         let b_val = other.value_clone();
         let value = a_val.hadamard(&b_val);
         Var::from_op(
+            "hadamard",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -272,6 +312,7 @@ impl Var {
     pub fn scale(&self, alpha: f32) -> Var {
         let value = self.value().scale(alpha);
         Var::from_op(
+            "scale",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| accum(&parents[0], &g.scale(alpha))),
@@ -283,6 +324,7 @@ impl Var {
         let y = self.value().map(f32::tanh);
         let y_c = y.clone();
         Var::from_op(
+            "tanh",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -296,6 +338,7 @@ impl Var {
         let y = self.value().map(|v| 1.0 / (1.0 + (-v).exp()));
         let y_c = y.clone();
         Var::from_op(
+            "sigmoid",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -309,6 +352,7 @@ impl Var {
         let x = self.value_clone();
         let y = x.map(|v| v.max(0.0));
         Var::from_op(
+            "relu",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -325,6 +369,7 @@ impl Var {
         let y = self.value().softmax_rows();
         let y_c = y.clone();
         Var::from_op(
+            "softmax_rows",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -346,6 +391,7 @@ impl Var {
         let y = self.value().log_softmax_rows();
         let soft = y.map(f32::exp);
         Var::from_op(
+            "log_softmax_rows",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -366,6 +412,7 @@ impl Var {
     pub fn transpose(&self) -> Var {
         let value = self.value().transpose();
         Var::from_op(
+            "transpose",
             value,
             vec![self.clone()],
             Box::new(|g, parents| accum(&parents[0], &g.transpose())),
@@ -377,6 +424,7 @@ impl Var {
         let top_rows = self.shape().0;
         let value = self.value().vstack(&other.value());
         Var::from_op(
+            "vstack",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -391,6 +439,7 @@ impl Var {
         let left_cols = self.shape().1;
         let value = self.value().hstack(&other.value());
         Var::from_op(
+            "hstack",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
@@ -412,6 +461,7 @@ impl Var {
         let total = self.shape().0;
         let value = self.value().slice_rows(start, end);
         Var::from_op(
+            "slice_rows",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -433,6 +483,7 @@ impl Var {
             value.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
         }
         Var::from_op(
+            "slice_cols",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -452,13 +503,14 @@ impl Var {
         let (rows, cols) = src.shape();
         let ids: Vec<usize> = ids.to_vec();
         for &i in &ids {
-            assert!(i < rows, "gather_rows: id {i} out of {rows}");
+            debug_assert!(i < rows, "gather_rows: id {i} out of {rows}");
         }
         let mut value = Matrix::zeros(ids.len(), cols);
         for (t, &i) in ids.iter().enumerate() {
             value.row_mut(t).copy_from_slice(src.row(i));
         }
         Var::from_op(
+            "gather_rows",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -478,6 +530,7 @@ impl Var {
         let (rows, cols) = self.shape();
         let value = Matrix::from_vec(1, 1, vec![self.value().sum()]);
         Var::from_op(
+            "sum",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -515,6 +568,7 @@ impl Var {
         }
         let y_c = y.clone();
         Var::from_op(
+            "layer_norm_rows",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -542,6 +596,7 @@ impl Var {
         let m = mask.clone();
         let value = self.value().hadamard(&m).scale(1.0 / keep);
         Var::from_op(
+            "dropout_with_mask",
             value,
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -559,13 +614,14 @@ impl Var {
         let ls = logits.log_softmax_rows();
         let mut loss = 0.0;
         for (t, &y) in targets.iter().enumerate() {
-            assert!(y < cols, "cross_entropy: target {y} out of {cols}");
+            debug_assert!(y < cols, "cross_entropy: target {y} out of {cols}");
             loss -= ls.get(t, y);
         }
         loss /= rows as f32;
         let soft = ls.map(f32::exp);
         let targets: Vec<usize> = targets.to_vec();
         Var::from_op(
+            "cross_entropy",
             Matrix::from_vec(1, 1, vec![loss]),
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -584,6 +640,7 @@ impl Var {
         let p = self.scalar().clamp(1e-6, 1.0 - 1e-6);
         let loss = -(label * p.ln() + (1.0 - label) * (1.0 - p).ln());
         Var::from_op(
+            "binary_cross_entropy",
             Matrix::from_vec(1, 1, vec![loss]),
             vec![self.clone()],
             Box::new(move |g, parents| {
@@ -591,6 +648,57 @@ impl Var {
                 accum(&parents[0], &Matrix::from_vec(1, 1, vec![d]));
             }),
         )
+    }
+}
+
+/// Runtime numeric sanitizer, compiled in only with the `sanitize`
+/// feature. Catches the two bug classes that otherwise surface as silent
+/// training divergence or a far-away index panic: non-finite op outputs
+/// (named at the op that produced them) and gradient/value shape drift
+/// (custom backward fns accumulating into the wrong parent).
+#[cfg(feature = "sanitize")]
+mod sanitize {
+    use super::Var;
+    use crate::matrix::Matrix;
+
+    /// Panic if `value` holds a NaN/Inf, naming the op and parent shapes.
+    pub(super) fn check_op_output(op: &'static str, value: &Matrix, parents: &[Var]) {
+        let Some(bad) = first_non_finite(value) else {
+            return;
+        };
+        let (r, c, v) = bad;
+        let (rows, cols) = value.shape();
+        let parent_shapes = parents
+            .iter()
+            .map(|p| {
+                let (pr, pc) = p.shape();
+                format!("{pr}\u{d7}{pc}")
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
+        panic!(
+            "sanitize: op `{op}` produced {v} at ({r}, {c}) of its \
+             {rows}\u{d7}{cols} output; parent shapes: [{parent_shapes}]"
+        );
+    }
+
+    /// Panic if a gradient's shape has drifted from its value's shape.
+    pub(super) fn check_grad_shape(op: &'static str, grad: &Matrix, value: &Matrix) {
+        let (gr, gc) = grad.shape();
+        let (vr, vc) = value.shape();
+        assert!(
+            (gr, gc) == (vr, vc),
+            "sanitize: op `{op}` carries a {gr}\u{d7}{gc} gradient for a \
+             {vr}\u{d7}{vc} value"
+        );
+    }
+
+    fn first_non_finite(m: &Matrix) -> Option<(usize, usize, f32)> {
+        let (_, cols) = m.shape();
+        m.data()
+            .iter()
+            .position(|v| !v.is_finite())
+            .map(|i| (i / cols, i % cols, m.data()[i]))
     }
 }
 

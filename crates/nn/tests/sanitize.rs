@@ -1,0 +1,96 @@
+//! Behavior of the `sanitize` feature, in both build modes.
+//!
+//! With `--features sanitize`, a NaN injected through [`Var::custom`] is
+//! caught at op-construction time with a diagnostic naming the op;
+//! without the feature, the same graph builds silently (the check —
+//! and its cost — must not exist). Shape panics from `Matrix` carry the
+//! offending dimensions in both modes.
+
+use saccs_nn::{Matrix, Var};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn nan_graph() -> Result<Var, String> {
+    let leaf = Var::leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    catch_unwind(AssertUnwindSafe(|| {
+        Var::custom(
+            Matrix::from_vec(1, 2, vec![f32::NAN, 0.0]),
+            vec![leaf],
+            |_, _| {},
+        )
+    }))
+    .map_err(|e| panic_text(&*e))
+}
+
+fn panic_text(e: &(dyn std::any::Any + Send)) -> String {
+    e.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| e.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn nan_injection_is_caught_with_op_name_and_parent_shapes() {
+    let Err(msg) = nan_graph() else {
+        panic!("sanitize build must reject a NaN op output");
+    };
+    assert!(msg.contains("op `custom`"), "op not named: {msg}");
+    assert!(msg.contains("NaN"), "value not shown: {msg}");
+    assert!(msg.contains("1×2"), "shapes not shown: {msg}");
+}
+
+#[cfg(not(feature = "sanitize"))]
+#[test]
+fn nan_injection_passes_silently_in_the_default_build() {
+    let var = nan_graph().expect("default build must not screen op outputs");
+    assert!(var.value().get(0, 0).is_nan());
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn built_in_ops_are_screened_too() {
+    // 0/0 via hadamard of a zero row with an inf-scaled row: produce the
+    // NaN *inside* an op so the op name in the diagnostic is the op's own.
+    let zero = Var::leaf(Matrix::zeros(1, 3));
+    let Err(msg) =
+        catch_unwind(AssertUnwindSafe(|| zero.scale(f32::INFINITY))).map_err(|e| panic_text(&*e))
+    else {
+        panic!("inf scale of zero is NaN");
+    };
+    assert!(msg.contains("op `scale`"), "op not named: {msg}");
+}
+
+#[test]
+fn shape_mismatch_panics_carry_the_dimensions() {
+    // Regression: `matmul: (3×8)·(7×8)` class of message, not a bare
+    // "shape mismatch".
+    let a = Matrix::zeros(3, 8);
+    let b = Matrix::zeros(7, 8);
+    let msg = catch_unwind(AssertUnwindSafe(|| a.matmul(&b)))
+        .map_err(|e| panic_text(&*e))
+        .expect_err("3×8 · 7×8 must not multiply");
+    assert!(msg.contains("3×8"), "lhs shape missing: {msg}");
+    assert!(msg.contains("7×8"), "rhs shape missing: {msg}");
+
+    let msg = catch_unwind(AssertUnwindSafe(|| a.add(&b)))
+        .map_err(|e| panic_text(&*e))
+        .expect_err("3×8 + 7×8 must not add");
+    assert!(
+        msg.contains("3×8") && msg.contains("7×8"),
+        "shapes missing: {msg}"
+    );
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn backward_validates_clean_graphs_quietly() {
+    // A healthy training step under the sanitizer: no false positives,
+    // gradients flow, shapes hold.
+    let w = Var::leaf(Matrix::from_vec(2, 2, vec![0.5, -0.25, 0.75, 0.1]));
+    let x = Var::leaf(Matrix::from_vec(1, 2, vec![1.0, 2.0]));
+    let loss = x.matmul(&w).tanh().sum();
+    loss.backward();
+    assert_eq!(w.grad().shape(), (2, 2));
+    assert_eq!(x.grad().shape(), (1, 2));
+    assert!(w.grad().data().iter().all(|g| g.is_finite()));
+}

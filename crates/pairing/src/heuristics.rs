@@ -71,6 +71,7 @@ impl PairingHeuristic for TreeHeuristic {
             *candidates
                 .iter()
                 .min_by_key(|c| tree.pairing_distance(head(from), head(c)))
+                // lint:allow(no-unwrap-in-lib): guarded by the is_empty check above
                 .expect("non-empty candidates")
         };
         match self.direction {
@@ -139,12 +140,14 @@ pub fn span_attention(att: &Matrix, a: &Span, b: &Span) -> f32 {
 pub fn pairs_from_attention(att: &Matrix, ctx: &SentenceContext<'_>) -> BTreeSet<(Span, Span)> {
     let mut out = BTreeSet::new();
     for a in ctx.aspects {
-        let (best, score) = ctx
+        let Some((best, score)) = ctx
             .opinions
             .iter()
             .map(|o| (o, span_attention(att, a, o)))
-            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap())
-            .expect("non-empty opinions");
+            .max_by(|x, y| x.1.total_cmp(&y.1))
+        else {
+            continue;
+        };
         if score > 0.0 {
             out.insert((*a, *best));
         }

@@ -133,7 +133,7 @@ pub fn select_attention_heads(
             (l, h, acc)
         })
         .collect();
-    scored.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap());
+    scored.sort_by(|a, b| b.2.total_cmp(&a.2));
     scored.truncate(k);
     scored
 }

@@ -21,18 +21,30 @@
 //! * [`testset`] — the 397-example balanced pairing benchmark mirroring
 //!   the one \[31\] built (and §6.4 evaluates on).
 
+/// Supervised pairing classifier over pair features.
 pub mod discriminative;
+/// Generative label model over noisy labeling functions.
 pub mod generative;
+/// Tree- and attention-based pairing heuristics.
 pub mod heuristics;
+/// Labeling functions and attention-head selection.
 pub mod labeling;
+/// The end-to-end pairing pipeline.
 pub mod pipeline;
+/// The balanced pairing benchmark set.
 pub mod testset;
 
+/// The trained pairing classifier.
 pub use discriminative::{DiscriminativeConfig, DiscriminativePairer};
+/// Label aggregation models.
 pub use generative::{majority_vote, ProbabilisticModel};
+/// Heuristic pairers and their shared sentence context.
 pub use heuristics::{
     AttentionHeuristic, PairingHeuristic, SentenceContext, TreeDirection, TreeHeuristic,
 };
+/// Weak supervision sources.
 pub use labeling::{select_attention_heads, LabelingFunction};
+/// Pipeline assembly and configuration.
 pub use pipeline::{PairingPipeline, PipelineConfig};
+/// Benchmark construction.
 pub use testset::{build_test_set, PairingExample};

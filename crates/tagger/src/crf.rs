@@ -198,13 +198,9 @@ impl Crf {
             }
         }
         let mut cur = (0..l)
-            .max_by(|&a, &b| {
-                score
-                    .get(t_len - 1, a)
-                    .partial_cmp(&score.get(t_len - 1, b))
-                    .unwrap()
-            })
-            .unwrap();
+            .max_by(|&a, &b| score.get(t_len - 1, a).total_cmp(&score.get(t_len - 1, b)))
+            // lint:allow(no-unwrap-in-lib): l = IobTag::COUNT >= 1 always
+            .expect("at least one label state");
         let mut path = vec![cur; t_len];
         for t in (1..t_len).rev() {
             cur = back[t][cur];
@@ -231,12 +227,13 @@ impl Crf {
         let mut hyps: Vec<(f32, Vec<usize>)> = (0..l)
             .map(|j| (start.get(0, j) + emissions.get(0, j), vec![j]))
             .collect();
-        hyps.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+        hyps.sort_by(|a, b| b.0.total_cmp(&a.0));
         hyps.truncate(beam);
         for t in 1..t_len {
             let mut next: Vec<(f32, Vec<usize>)> = Vec::with_capacity(hyps.len() * l);
             for (s, path) in &hyps {
-                let last = *path.last().unwrap();
+                // lint:allow(no-unwrap-in-lib): every hypothesis starts non-empty
+                let last = *path.last().expect("non-empty hypothesis path");
                 for j in 0..l {
                     let v = s + trans.get(last, j) + emissions.get(t, j);
                     let mut p = path.clone();
@@ -244,7 +241,7 @@ impl Crf {
                     next.push((v, p));
                 }
             }
-            next.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+            next.sort_by(|a, b| b.0.total_cmp(&a.0));
             next.truncate(beam);
             hyps = next;
         }

@@ -12,10 +12,16 @@
 //! * [`train`] — training loops (clean and adversarial), span extraction
 //!   and span-F1 evaluation.
 
+/// Linear-chain CRF with Viterbi and beam decoding.
 pub mod crf;
+/// Tagger architectures (BiLSTM / MiniBert encoders).
 pub mod model;
+/// Training loops, clean and adversarial.
 pub mod train;
 
+/// The structured decoding layer.
 pub use crf::Crf;
+/// Model assembly.
 pub use model::{Architecture, TaggerModel};
+/// The trainable tagger.
 pub use train::{Adversarial, Tagger, TrainConfig};

@@ -112,8 +112,9 @@ impl TaggerModel {
                     .map(|t| {
                         let row = em.row(t);
                         let best = (0..IobTag::COUNT)
-                            .max_by(|&a, &b| row[a].partial_cmp(&row[b]).unwrap())
-                            .unwrap();
+                            .max_by(|&a, &b| row[a].total_cmp(&row[b]))
+                            // lint:allow(no-unwrap-in-lib): IobTag::COUNT >= 1
+                            .expect("at least one IOB label");
                         IobTag::from_index(best)
                     })
                     .collect()

@@ -20,16 +20,28 @@
 //! * [`metrics`] — plain string metrics (Levenshtein, Jaccard),
 //! * [`sentence`] — a rule-based sentence splitter.
 
+/// IOB tags and labeled spans.
 pub mod iob;
+/// Domain lexicons of aspects and opinions.
 pub mod lexicon;
+/// Plain string metrics (Levenshtein, Jaccard).
 pub mod metrics;
+/// Rule-based sentence splitting.
 pub mod sentence;
+/// Conceptual similarity between subjective tags.
 pub mod similarity;
+/// Tokenization.
 pub mod token;
+/// Token vocabularies with special symbols.
 pub mod vocab;
 
+/// Sequence-labeling primitives.
 pub use iob::{IobTag, Span, SpanKind};
+/// Domain vocabulary access.
 pub use lexicon::{Domain, Lexicon};
+/// Tags and their similarity measures.
 pub use similarity::{ConceptualSimilarity, SimilarityConfig, SubjectiveTag, TagSimilarity};
+/// Text to tokens.
 pub use token::{tokenize, tokenize_lower, Token};
+/// Token-to-id mapping.
 pub use vocab::Vocab;

@@ -1,0 +1,126 @@
+//! `doc-coverage`: crate roots must document what they export.
+//!
+//! Each crate's `lib.rs` is its public contract: every top-level `pub`
+//! item there — including `pub use` re-exports, which are how the
+//! workspace surfaces its API — needs a doc comment (`///` directly
+//! above, allowing attributes in between) so `cargo doc` renders a
+//! navigable surface. Inner files are not checked; the roots are the
+//! contract.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+pub(crate) struct DocCoverage;
+
+impl Lint for DocCoverage {
+    fn id(&self) -> &'static str {
+        "doc-coverage"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        path == "src/lib.rs" || (path.starts_with("crates/") && path.ends_with("/src/lib.rs"))
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test || line.depth != 0 {
+                continue;
+            }
+            let Some(item) = public_item(&line.code) else {
+                continue;
+            };
+            if !has_doc_above(file, i) {
+                out.push(Violation::new(
+                    self.id(),
+                    file,
+                    i,
+                    format!("public `{item}` re-exported from the crate root has no doc comment"),
+                ));
+            }
+        }
+        out
+    }
+}
+
+const ITEM_KINDS: [&str; 9] = [
+    "use", "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+];
+
+/// The item kind if this line declares a top-level `pub` item.
+fn public_item(code: &str) -> Option<&'static str> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("pub ")?;
+    // `pub(crate)` etc. are not part of the external contract.
+    let rest = rest.trim_start();
+    ITEM_KINDS
+        .iter()
+        .find(|k| {
+            rest.strip_prefix(**k)
+                .is_some_and(|r| r.starts_with([' ', '<', '(']))
+        })
+        .copied()
+}
+
+/// A `///` or `#[doc` line directly above, skipping other attributes.
+fn has_doc_above(file: &SourceFile, idx: usize) -> bool {
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let t = file.lines[i].raw.trim_start();
+        if t.starts_with("///") || t.starts_with("#[doc") {
+            return true;
+        }
+        // Attributes (possibly multi-line) sit between docs and the item.
+        if t.starts_with("#[") || t.starts_with(']') || t.ends_with(']') && t.starts_with('#') {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        DocCoverage.run(&SourceFile::parse("crates/index/src/lib.rs", src))
+    }
+
+    #[test]
+    fn fires_on_undocumented_root_exports() {
+        let v = run_on(
+            "//! Crate docs.\n\
+             pub use index::SubjectiveIndex;\n\
+             pub mod index;\n",
+        );
+        assert_eq!(v.len(), 2, "unexpected: {v:?}");
+        assert!(v[0].message.contains("`use`"));
+        assert!(v[1].message.contains("`mod`"));
+    }
+
+    #[test]
+    fn quiet_when_documented_or_not_top_level_pub() {
+        let v = run_on(
+            "//! Crate docs.\n\
+             /// The index.\n\
+             pub use index::SubjectiveIndex;\n\
+             /// Storage.\n\
+             #[allow(dead_code)]\n\
+             pub mod index;\n\
+             pub(crate) fn helper() {}\n\
+             mod private {\n\
+             \x20   pub fn inner() {}\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn only_crate_roots_are_checked() {
+        assert!(DocCoverage.applies("crates/nn/src/lib.rs"));
+        assert!(DocCoverage.applies("src/lib.rs"));
+        assert!(!DocCoverage.applies("crates/nn/src/matrix.rs"));
+    }
+}

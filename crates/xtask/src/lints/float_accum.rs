@@ -1,0 +1,135 @@
+//! `float-accum`: naive f32 summation in evaluation/metrics code.
+//!
+//! Metric paths (`crates/eval`) reduce hundreds-to-millions of terms;
+//! summing them in f32 loses up to ~7 significant digits of headroom and
+//! makes reported NDCG/correlation values drift with input order. The
+//! fix is to accumulate in f64 (cast once at the end) or use compensated
+//! (Kahan) summation. The pass flags explicit f32 reductions:
+//! `.sum::<f32>()`, `fold(0.0f32, ...)`, and `+=` onto a declared-f32
+//! accumulator.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+pub(crate) struct FloatAccum;
+
+impl Lint for FloatAccum {
+    fn id(&self) -> &'static str {
+        "float-accum"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        path.starts_with("crates/eval/src/")
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        // f32 accumulators declared as `let mut NAME: f32 = ...`.
+        let mut accs: Vec<(String, usize)> = Vec::new();
+
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            accs.retain(|(_, d)| *d <= line.depth);
+            let code = line.code.as_str();
+
+            if code.contains(".sum::<f32>()") {
+                out.push(Violation::new(
+                    self.id(),
+                    file,
+                    i,
+                    "f32 summation in a metrics path: accumulate in f64 \
+                     (`.map(f64::from).sum::<f64>()`) or use Kahan summation"
+                        .into(),
+                ));
+            }
+            if code.contains("fold(0.0f32") || code.contains("fold(0f32") {
+                out.push(Violation::new(
+                    self.id(),
+                    file,
+                    i,
+                    "f32 fold accumulator in a metrics path: fold into f64 instead".into(),
+                ));
+            }
+            if let Some(name) = f32_accumulator(code) {
+                accs.push((name, line.depth));
+            }
+            for (name, _) in &accs {
+                if code.trim_start().starts_with(&format!("{name} +=")) {
+                    out.push(Violation::new(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "`{name}` accumulates in f32: declare the accumulator \
+                             as f64 and cast once at the end"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `let mut NAME: f32 = ...` — the accumulator name.
+fn f32_accumulator(code: &str) -> Option<String> {
+    let t = code.trim_start();
+    let rest = t.strip_prefix("let mut ")?;
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    let after = rest[name.len()..].trim_start();
+    (after.starts_with(": f32") && !name.is_empty()).then_some(name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        FloatAccum.run(&SourceFile::parse("crates/eval/src/ndcg.rs", src))
+    }
+
+    #[test]
+    fn fires_on_f32_sum_fold_and_accumulator() {
+        let v = run_on(
+            "pub fn mean(xs: &[f32]) -> f32 {\n\
+             \x20   let total = xs.iter().sum::<f32>();\n\
+             \x20   let alt = xs.iter().fold(0.0f32, |a, b| a + b);\n\
+             \x20   let mut acc: f32 = 0.0;\n\
+             \x20   for x in xs {\n\
+             \x20       acc += x;\n\
+             \x20   }\n\
+             \x20   total + alt + acc\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 3, "unexpected: {v:?}");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+        assert_eq!(v[2].line, 6);
+    }
+
+    #[test]
+    fn quiet_on_f64_accumulation_and_tests() {
+        let v = run_on(
+            "pub fn mean(xs: &[f32]) -> f32 {\n\
+             \x20   let t: f64 = xs.iter().map(|&x| f64::from(x)).sum::<f64>();\n\
+             \x20   (t / xs.len() as f64) as f32\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { let _ = [1.0f32].iter().sum::<f32>(); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn only_eval_paths_are_in_scope() {
+        assert!(FloatAccum.applies("crates/eval/src/correlation.rs"));
+        assert!(!FloatAccum.applies("crates/nn/src/matrix.rs"));
+    }
+}

@@ -1,0 +1,106 @@
+//! `assert-in-hot-path`: release-mode asserts inside per-token/per-cell
+//! loops.
+//!
+//! The forward/backward passes (`nn`) and the Viterbi/feature loops
+//! (`tagger`) execute their innermost bodies millions of times per
+//! training run. A release-mode `assert!` there pays a branch plus
+//! format-machinery codegen on every iteration for an invariant already
+//! guaranteed by construction. Such checks belong in `debug_assert!`
+//! (kept in the test profile, free in release) or hoisted out of the
+//! loop. Asserts outside loops and in test code are fine.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+pub(crate) struct AssertInHotPath;
+
+impl Lint for AssertInHotPath {
+    fn id(&self) -> &'static str {
+        "assert-in-hot-path"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        path.starts_with("crates/nn/src/") || path.starts_with("crates/tagger/src/")
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test || line.loop_depth == 0 {
+                continue;
+            }
+            for pat in ["assert!(", "assert_eq!(", "assert_ne!("] {
+                for (pos, _) in line.code.match_indices(pat) {
+                    // Skip debug_assert* (preceded by `_`).
+                    if pos > 0 && line.code.as_bytes()[pos - 1] == b'_' {
+                        continue;
+                    }
+                    out.push(Violation::new(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "release-mode `{})` inside a loop body: use debug_assert! \
+                             or hoist the check out of the loop",
+                            &pat[..pat.len() - 1]
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        AssertInHotPath.run(&SourceFile::parse("crates/nn/src/matrix.rs", src))
+    }
+
+    #[test]
+    fn fires_only_inside_loops() {
+        let v = run_on(
+            "pub fn matmul(a: &M, b: &M) -> M {\n\
+             \x20   assert_eq!(a.cols, b.rows);\n\
+             \x20   for i in 0..a.rows {\n\
+             \x20       for j in 0..b.cols {\n\
+             \x20           assert!(i * j < a.len);\n\
+             \x20       }\n\
+             \x20   }\n\
+             \x20   out()\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "unexpected: {v:?}");
+        assert_eq!(v[0].line, 5, "only the in-loop assert fires");
+    }
+
+    #[test]
+    fn quiet_on_debug_asserts_and_test_loops() {
+        let v = run_on(
+            "pub fn get(&self, i: usize) -> f32 {\n\
+             \x20   while i > 0 {\n\
+             \x20       debug_assert!(i < self.len);\n\
+             \x20   }\n\
+             \x20   0.0\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() {\n\
+             \x20       for i in 0..3 {\n\
+             \x20           assert_eq!(i, i);\n\
+             \x20       }\n\
+             \x20   }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn scope_is_nn_and_tagger_only() {
+        assert!(AssertInHotPath.applies("crates/tagger/src/crf.rs"));
+        assert!(!AssertInHotPath.applies("crates/index/src/index.rs"));
+    }
+}

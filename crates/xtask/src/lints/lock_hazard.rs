@@ -1,0 +1,201 @@
+//! `lock-hazard`: a held guard crossing another lock acquisition.
+//!
+//! Acquiring a second `Mutex`/`RwLock` while a let-bound guard is live is
+//! the deadlock shape `index::shared` is built to avoid: two threads
+//! taking the same pair of locks in opposite orders stall forever, and
+//! even a consistent order deserves an explicit comment. The pass tracks
+//! `let g = <expr>.lock()/.read()/.write();` bindings per scope, honours
+//! explicit `drop(g)`, and flags any later acquisition (bound or
+//! temporary) while a guard is still live.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+const ACQUIRE: [&str; 3] = [".lock()", ".read()", ".write()"];
+
+pub(crate) struct LockHazard;
+
+struct Guard {
+    name: String,
+    depth: usize,
+    line: usize,
+}
+
+impl Lint for LockHazard {
+    fn id(&self) -> &'static str {
+        "lock-hazard"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        path.starts_with("crates/") && path.contains("/src/")
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let mut guards: Vec<Guard> = Vec::new();
+        // Multi-line statements (rustfmt splits long chains) are joined
+        // so `.lock()` on a continuation line is still seen.
+        let mut stmt = String::new();
+        let mut stmt_start = 0usize;
+
+        for (i, line) in file.lines.iter().enumerate() {
+            // Scope exit drops guards bound deeper than the current line.
+            guards.retain(|g| g.depth <= line.depth);
+
+            if stmt.is_empty() {
+                stmt_start = i;
+            }
+            stmt.push_str(line.code.trim());
+            stmt.push(' ');
+
+            let complete = {
+                let t = line.code.trim_end();
+                t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
+            };
+            if !complete {
+                continue;
+            }
+            let text = std::mem::take(&mut stmt);
+
+            for name in drop_calls(&text) {
+                guards.retain(|g| g.name != name);
+            }
+
+            let acquires = ACQUIRE.iter().any(|p| text.contains(p));
+            if acquires {
+                if let Some(held) = guards.last() {
+                    out.push(Violation::new(
+                        self.id(),
+                        file,
+                        stmt_start,
+                        format!(
+                            "lock acquired while guard `{}` (line {}) is still held: \
+                             drop it first or document the lock order with a waiver",
+                            held.name,
+                            held.line + 1
+                        ),
+                    ));
+                }
+                // A statement *ending* in an acquisition binds a guard;
+                // mid-statement acquisitions are temporaries that die at
+                // the `;` (e.g. `take(&mut *m.lock());`).
+                if let Some(name) = bound_guard(&text) {
+                    guards.push(Guard {
+                        name,
+                        depth: file.lines[stmt_start].depth,
+                        line: stmt_start,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `let [mut] NAME = <expr>.lock();` — the guard name, if this statement
+/// let-binds an acquisition as its final call.
+fn bound_guard(stmt: &str) -> Option<String> {
+    let t = stmt.trim();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let name: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if name.is_empty() {
+        return None;
+    }
+    let end = t.trim_end().trim_end_matches(';').trim_end();
+    ACQUIRE
+        .iter()
+        .any(|p| end.ends_with(p) || end.ends_with(&format!("{p}?")))
+        .then_some(name)
+}
+
+/// Names passed to `drop(...)` in this statement.
+fn drop_calls(stmt: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = stmt;
+    while let Some(pos) = rest.find("drop(") {
+        let after = &rest[pos + 5..];
+        let name: String = after
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        if !name.is_empty() && after[name.len()..].starts_with(')') {
+            out.push(name);
+        }
+        rest = after;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        LockHazard.run(&SourceFile::parse("crates/index/src/shared.rs", src))
+    }
+
+    #[test]
+    fn fires_on_nested_acquisition_under_a_held_guard() {
+        let v = run_on(
+            "fn f(&self) {\n\
+             \x20   let guard = self.inner.read();\n\
+             \x20   self.pending.lock().push(1);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 3);
+        assert!(v[0].message.contains("`guard`"));
+    }
+
+    #[test]
+    fn quiet_after_explicit_drop_or_scope_exit() {
+        let v = run_on(
+            "fn f(&self) {\n\
+             \x20   let guard = self.inner.read();\n\
+             \x20   let n = guard.len();\n\
+             \x20   drop(guard);\n\
+             \x20   self.pending.lock().push(n);\n\
+             }\n\
+             fn g(&self) {\n\
+             \x20   {\n\
+             \x20       let w = self.inner.write();\n\
+             \x20       w.touch();\n\
+             \x20   }\n\
+             \x20   self.pending.lock().clear();\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn temporary_guards_do_not_count_as_held() {
+        // The statement-final-call rule: `take(&mut *m.lock());` drops its
+        // guard at the `;`, so the later `.write()` is safe.
+        let v = run_on(
+            "fn f(&self) {\n\
+             \x20   let queued = std::mem::take(&mut *self.pending.lock());\n\
+             \x20   let mut guard = self.inner.write();\n\
+             \x20   guard.extend(queued);\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn multi_line_acquisition_chains_are_joined() {
+        let v = run_on(
+            "fn f(&self) {\n\
+             \x20   let guard = self\n\
+             \x20       .inner\n\
+             \x20       .read();\n\
+             \x20   self.pending.lock().push(1);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "unexpected: {v:?}");
+        assert_eq!(v[0].line, 5);
+    }
+}

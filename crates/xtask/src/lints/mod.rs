@@ -1,0 +1,164 @@
+//! Lint registry, violations, inline waivers and the committed allowlist.
+//!
+//! A violation survives to the report only if it is neither waived inline
+//! (`// lint:allow(<id>): reason` on the offending line or on the comment
+//! line directly above) nor matched by an entry in
+//! `crates/xtask/allowlist.txt`.
+
+pub(crate) mod doc_coverage;
+pub(crate) mod float_accum;
+pub(crate) mod hot_assert;
+pub(crate) mod lock_hazard;
+pub(crate) mod no_unwrap;
+
+use crate::scan::SourceFile;
+
+/// One finding from one lint pass.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct Violation {
+    pub(crate) lint: &'static str,
+    pub(crate) path: String,
+    /// 1-based line number.
+    pub(crate) line: usize,
+    pub(crate) message: String,
+}
+
+impl Violation {
+    pub(crate) fn new(
+        lint: &'static str,
+        file: &SourceFile,
+        idx: usize,
+        message: String,
+    ) -> Violation {
+        Violation {
+            lint,
+            path: file.path.clone(),
+            line: idx + 1,
+            message,
+        }
+    }
+}
+
+/// A lint pass over one file.
+pub(crate) trait Lint {
+    fn id(&self) -> &'static str;
+    /// Whether this pass cares about `path` (workspace-relative).
+    fn applies(&self, path: &str) -> bool;
+    fn run(&self, file: &SourceFile) -> Vec<Violation>;
+}
+
+/// Every lint the driver knows, in report order.
+pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
+    vec![
+        Box::new(no_unwrap::NoUnwrapInLib),
+        Box::new(lock_hazard::LockHazard),
+        Box::new(float_accum::FloatAccum),
+        Box::new(hot_assert::AssertInHotPath),
+        Box::new(doc_coverage::DocCoverage),
+    ]
+}
+
+/// Lint ids waived for line `idx` (0-based) by `lint:allow` comments on
+/// the line itself or on a comment line directly above it.
+pub(crate) fn waivers_for(file: &SourceFile, idx: usize) -> Vec<String> {
+    let mut ids = parse_waiver(&file.lines[idx].raw);
+    if idx > 0 {
+        let above = &file.lines[idx - 1].raw;
+        if above.trim_start().starts_with("//") {
+            ids.extend(parse_waiver(above));
+        }
+    }
+    ids
+}
+
+/// Extract ids from `// lint:allow(id[, id...])[: reason]`.
+fn parse_waiver(raw: &str) -> Vec<String> {
+    let Some(pos) = raw.find("lint:allow(") else {
+        return Vec::new();
+    };
+    let rest = &raw[pos + "lint:allow(".len()..];
+    let Some(close) = rest.find(')') else {
+        return Vec::new();
+    };
+    rest[..close]
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// One committed allowlist entry: `lint-id path substring...`.
+#[derive(Debug)]
+pub(crate) struct AllowEntry {
+    pub(crate) lint: String,
+    pub(crate) path: String,
+    pub(crate) needle: String,
+}
+
+/// Parse `allowlist.txt` (blank lines and `#` comments ignored).
+pub(crate) fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.splitn(3, char::is_whitespace);
+            let lint = it.next()?.to_string();
+            let path = it.next()?.to_string();
+            let needle = it.next().unwrap_or("").trim().to_string();
+            Some(AllowEntry { lint, path, needle })
+        })
+        .collect()
+}
+
+/// Whether `entry` excuses `v` (given the offending line's raw text).
+/// Substring matching instead of line numbers keeps entries stable under
+/// unrelated edits.
+pub(crate) fn entry_matches(entry: &AllowEntry, v: &Violation, raw_line: &str) -> bool {
+    entry.lint == v.lint
+        && v.path.ends_with(&entry.path)
+        && (entry.needle.is_empty() || raw_line.contains(&entry.needle))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    #[test]
+    fn inline_and_preceding_waivers_parse() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "a.unwrap(); // lint:allow(no-unwrap-in-lib): startup invariant\n\
+             // lint:allow(lock-hazard, float-accum): ordered\n\
+             b.lock();\n\
+             c.unwrap();\n",
+        );
+        assert_eq!(waivers_for(&f, 0), vec!["no-unwrap-in-lib"]);
+        assert_eq!(waivers_for(&f, 2), vec!["lock-hazard", "float-accum"]);
+        assert!(waivers_for(&f, 3).is_empty());
+    }
+
+    #[test]
+    fn allowlist_matches_on_lint_path_suffix_and_substring() {
+        let entries = parse_allowlist(
+            "# comment\n\
+             \n\
+             no-unwrap-in-lib crates/core/src/persist.rs header.len()\n\
+             lock-hazard shared.rs\n",
+        );
+        assert_eq!(entries.len(), 2);
+        let v = Violation {
+            lint: "no-unwrap-in-lib",
+            path: "crates/core/src/persist.rs".into(),
+            line: 10,
+            message: String::new(),
+        };
+        assert!(entry_matches(
+            &entries[0],
+            &v,
+            "let n = header.len().unwrap();"
+        ));
+        assert!(!entry_matches(&entries[0], &v, "other.unwrap();"));
+        assert!(!entry_matches(&entries[1], &v, "anything"));
+    }
+}

@@ -1,0 +1,96 @@
+//! `no-unwrap-in-lib`: panicking extractors in library code.
+//!
+//! `.unwrap()` / `.expect(` in non-test library code of the service-path
+//! crates (`core`, `index`, `nn`, `tagger`, `pairing`) turn recoverable
+//! conditions into aborts of a serving process. Library code should
+//! return `Result` (or prove the invariant and waive the site with a
+//! reason). Test code may unwrap freely.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+const CRATES: [&str; 5] = [
+    "crates/core/src/",
+    "crates/index/src/",
+    "crates/nn/src/",
+    "crates/tagger/src/",
+    "crates/pairing/src/",
+];
+
+pub(crate) struct NoUnwrapInLib;
+
+impl Lint for NoUnwrapInLib {
+    fn id(&self) -> &'static str {
+        "no-unwrap-in-lib"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        CRATES.iter().any(|c| path.starts_with(c))
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for pat in [".unwrap()", ".expect("] {
+                if line.code.contains(pat) {
+                    out.push(Violation::new(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "`{pat}` in library code: return Result, or waive with a \
+                             reason if the invariant is proven"
+                        ),
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        NoUnwrapInLib.run(&SourceFile::parse("crates/index/src/index.rs", src))
+    }
+
+    #[test]
+    fn fires_on_unwrap_and_expect_in_lib_code() {
+        let v = run_on(
+            "pub fn f(x: Option<u8>) -> u8 {\n\
+             \x20   let a = x.unwrap();\n\
+             \x20   let b = x.expect(\"present\");\n\
+             \x20   a + b\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[1].line, 3);
+    }
+
+    #[test]
+    fn quiet_on_test_code_comments_and_strings() {
+        let v = run_on(
+            "pub fn f() -> &'static str { \"call .unwrap() later\" } // .unwrap()\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn t() { Some(1).unwrap(); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn out_of_scope_crates_are_skipped() {
+        assert!(!NoUnwrapInLib.applies("crates/eval/src/ndcg.rs"));
+        assert!(!NoUnwrapInLib.applies("vendor/rand/src/lib.rs"));
+        assert!(NoUnwrapInLib.applies("crates/nn/src/var.rs"));
+    }
+}

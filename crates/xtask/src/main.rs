@@ -1,0 +1,155 @@
+//! Workspace lint driver: `cargo run -p xtask -- check`.
+//!
+//! Runs the repo-specific correctness passes (see `lints/`) over every
+//! `.rs` file in `crates/*/src` and the root `src/`, honouring inline
+//! `// lint:allow(<id>): reason` waivers and the committed
+//! `crates/xtask/allowlist.txt`. Exits non-zero if any un-waived
+//! violation remains. `cargo clippy` handles general Rust style; this
+//! driver enforces the rules specific to a serving-path search stack —
+//! panic density, lock discipline, float accumulation, hot-loop asserts
+//! and API doc coverage.
+
+mod lints;
+mod scan;
+
+use lints::{all_lints, entry_matches, parse_allowlist, waivers_for, Violation};
+use scan::{rust_files, SourceFile};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(),
+        _ => {
+            eprintln!("usage: cargo run -p xtask -- check");
+            eprintln!();
+            eprintln!("lints:");
+            for lint in all_lints() {
+                eprintln!("  {}", lint.id());
+            }
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn check() -> ExitCode {
+    let root = workspace_root();
+    let allowlist_path = root.join("crates/xtask/allowlist.txt");
+    let allowlist = std::fs::read_to_string(&allowlist_path)
+        .map(|t| parse_allowlist(&t))
+        .unwrap_or_default();
+
+    let lints = all_lints();
+    let mut files_scanned = 0usize;
+    let mut reported: Vec<String> = Vec::new();
+    let mut waived = 0usize;
+    let mut allowlisted = 0usize;
+    let mut used_entries = vec![false; allowlist.len()];
+
+    for rel in workspace_sources(&root) {
+        let file = match SourceFile::read(&root, &rel) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("xtask: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        files_scanned += 1;
+        for lint in &lints {
+            if !lint.applies(&rel) {
+                continue;
+            }
+            for v in lint.run(&file) {
+                match classify(&file, &v, &allowlist, &mut used_entries) {
+                    Disposition::Waived => waived += 1,
+                    Disposition::Allowlisted => allowlisted += 1,
+                    Disposition::Report => {
+                        reported.push(format!("{}:{}: [{}] {}", v.path, v.line, v.lint, v.message))
+                    }
+                }
+            }
+        }
+    }
+
+    for (entry, used) in allowlist.iter().zip(&used_entries) {
+        if !used {
+            eprintln!(
+                "xtask: warning: stale allowlist entry `{} {} {}`",
+                entry.lint, entry.path, entry.needle
+            );
+        }
+    }
+
+    for line in &reported {
+        println!("{line}");
+    }
+    println!(
+        "xtask check: {} files, {} violation(s), {} waived inline, {} allowlisted",
+        files_scanned,
+        reported.len(),
+        waived,
+        allowlisted
+    );
+    if reported.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+enum Disposition {
+    Report,
+    Waived,
+    Allowlisted,
+}
+
+fn classify(
+    file: &SourceFile,
+    v: &Violation,
+    allowlist: &[lints::AllowEntry],
+    used: &mut [bool],
+) -> Disposition {
+    if waivers_for(file, v.line - 1).iter().any(|id| id == v.lint) {
+        return Disposition::Waived;
+    }
+    let raw = &file.lines[v.line - 1].raw;
+    for (i, entry) in allowlist.iter().enumerate() {
+        if entry_matches(entry, v, raw) {
+            used[i] = true;
+            return Disposition::Allowlisted;
+        }
+    }
+    Disposition::Report
+}
+
+/// All workspace-relative scan targets: `crates/*/src` (except this
+/// driver, whose sources contain the patterns as data) and the root
+/// package's `src/`. `vendor/` stand-ins, tests, examples and benches
+/// are out of scope.
+fn workspace_sources(root: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.is_dir() && p.file_name().is_some_and(|n| n != "xtask"))
+            .collect();
+        dirs.sort();
+        for d in dirs {
+            out.extend(rust_files(root, &d.join("src")));
+        }
+    }
+    out.extend(rust_files(root, &root.join("src")));
+    out
+}
+
+fn workspace_root() -> PathBuf {
+    // crates/xtask/ -> workspace root is two levels up.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR").unwrap_or_else(|_| ".".into());
+    Path::new(&manifest)
+        .ancestors()
+        .nth(2)
+        .unwrap_or(Path::new("."))
+        .to_path_buf()
+}

@@ -1,0 +1,395 @@
+//! Source model for the lint passes.
+//!
+//! The driver works at line/token level on purpose: no `syn`, no parsing
+//! crates, so it builds instantly offline and survives rustc syntax it
+//! has never seen. The trade-off is that every pass here is a heuristic;
+//! each one errs toward silence (comments and string literals are blanked
+//! out before matching, test regions are excluded) and anything it still
+//! gets wrong can be waived inline (`// lint:allow(<id>): reason`) or in
+//! `crates/xtask/allowlist.txt`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One scanned line with the context the lints need.
+pub(crate) struct Line {
+    /// Original text, used for waiver comments and violation excerpts.
+    pub(crate) raw: String,
+    /// Text with comments and string/char-literal contents blanked to
+    /// spaces (same byte positions), so pattern matches never fire on
+    /// prose or literals.
+    pub(crate) code: String,
+    /// Brace depth at the start of the line.
+    pub(crate) depth: usize,
+    /// Inside a `#[cfg(test)]` item body.
+    pub(crate) in_test: bool,
+    /// Number of enclosing `for`/`while`/`loop` bodies.
+    pub(crate) loop_depth: usize,
+}
+
+/// A scanned file: workspace-relative path plus per-line model.
+pub(crate) struct SourceFile {
+    pub(crate) path: String,
+    pub(crate) lines: Vec<Line>,
+}
+
+impl SourceFile {
+    /// Build the model from source text. `path` is workspace-relative
+    /// with forward slashes (tests pass synthetic paths).
+    pub(crate) fn parse(path: &str, text: &str) -> SourceFile {
+        let stripped = strip_comments_and_strings(text);
+        let raw_lines: Vec<&str> = text.lines().collect();
+        let code_lines: Vec<&str> = stripped.lines().collect();
+
+        let mut lines = Vec::with_capacity(raw_lines.len());
+        let mut depth = 0usize;
+        // Depths *below which* each open test / loop region closes.
+        let mut test_stack: Vec<usize> = Vec::new();
+        let mut loop_stack: Vec<usize> = Vec::new();
+        let mut pending_test = false;
+        let mut pending_loop = false;
+
+        for (i, raw) in raw_lines.iter().enumerate() {
+            let code = code_lines.get(i).copied().unwrap_or("");
+            let line_depth = depth;
+            let in_test = !test_stack.is_empty();
+            let loop_depth = loop_stack.len();
+
+            if code.contains("#[cfg(test)]") || code.contains("#[cfg(all(test") {
+                pending_test = true;
+            }
+            if is_loop_header(code) {
+                pending_loop = true;
+            }
+
+            for ch in code.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if pending_test {
+                            test_stack.push(depth);
+                            pending_test = false;
+                        }
+                        if pending_loop {
+                            loop_stack.push(depth);
+                            pending_loop = false;
+                        }
+                    }
+                    '}' => {
+                        if test_stack.last() == Some(&depth) {
+                            test_stack.pop();
+                        }
+                        if loop_stack.last() == Some(&depth) {
+                            loop_stack.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    // An item that ends before any body cancels a pending
+                    // attribute (`#[cfg(test)] use ...;`).
+                    ';' => {
+                        pending_test = false;
+                    }
+                    _ => {}
+                }
+            }
+
+            lines.push(Line {
+                raw: (*raw).to_string(),
+                code: code.to_string(),
+                depth: line_depth,
+                in_test,
+                loop_depth,
+            });
+        }
+
+        SourceFile {
+            path: path.to_string(),
+            lines,
+        }
+    }
+
+    /// Read and model a file on disk; `rel` is its workspace-relative path.
+    pub(crate) fn read(root: &Path, rel: &str) -> std::io::Result<SourceFile> {
+        let text = fs::read_to_string(root.join(rel))?;
+        Ok(SourceFile::parse(rel, &text))
+    }
+}
+
+/// A `for`/`while`/`loop` that starts a statement. First-word-of-line is
+/// the pragmatic test: it excludes `impl Trait for Type` and method names
+/// like `.for_each`, and rustfmt puts real loop headers at line starts.
+fn is_loop_header(code: &str) -> bool {
+    let t = code.trim_start();
+    t.starts_with("for ")
+        || t.starts_with("while ")
+        || t == "loop" // rare but legal: `loop` + `{` on the next line
+        || t.starts_with("loop {")
+}
+
+/// Blank comments and string/char-literal contents to spaces, preserving
+/// byte positions and newlines so line/column numbers survive.
+fn strip_comments_and_strings(text: &str) -> String {
+    #[derive(PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(usize),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let b: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut st = St::Code;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        match st {
+            St::Code => {
+                if c == '/' && b.get(i + 1) == Some(&'/') {
+                    st = St::LineComment;
+                    out.push(' ');
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(1);
+                    out.push(' ');
+                } else if c == '"' {
+                    st = St::Str;
+                    out.push('"');
+                } else if c == 'r' && matches!(b.get(i + 1), Some(&'"') | Some(&'#')) {
+                    // Possible raw string: r"..." or r#"..."#.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while b.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&'"') {
+                        out.push('r');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        out.push('"');
+                        i = j + 1;
+                        st = St::RawStr(hashes);
+                        continue;
+                    }
+                    out.push(c);
+                } else if c == '\'' {
+                    // Char literal vs lifetime: a literal closes after one
+                    // (possibly escaped) char; a lifetime never closes.
+                    let lit = match b.get(i + 1) {
+                        Some(&'\\') => true,
+                        Some(_) => b.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if lit {
+                        st = St::Char;
+                        out.push('\'');
+                    } else {
+                        out.push('\'');
+                    }
+                } else {
+                    out.push(c);
+                }
+            }
+            St::LineComment => {
+                if c == '\n' {
+                    st = St::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::BlockComment(n) => {
+                if c == '\n' {
+                    out.push('\n');
+                } else if c == '/' && b.get(i + 1) == Some(&'*') {
+                    st = St::BlockComment(n + 1);
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else if c == '*' && b.get(i + 1) == Some(&'/') {
+                    st = if n == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(n - 1)
+                    };
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Str => {
+                if c == '\\' {
+                    out.push(' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '"' {
+                    st = St::Code;
+                    out.push('"');
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut h = 0;
+                    while h < hashes && b.get(j) == Some(&'#') {
+                        h += 1;
+                        j += 1;
+                    }
+                    if h == hashes {
+                        out.push('"');
+                        for _ in 0..hashes {
+                            out.push('#');
+                        }
+                        i = j;
+                        st = St::Code;
+                        continue;
+                    }
+                    out.push(' ');
+                } else if c == '\n' {
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    out.push(' ');
+                    if b.get(i + 1).is_some() {
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                } else if c == '\'' {
+                    st = St::Code;
+                    out.push('\'');
+                } else {
+                    out.push(' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Recursively collect `.rs` files under `dir`, returning paths relative
+/// to `root` with forward slashes, sorted for deterministic output.
+pub(crate) fn rust_files(root: &Path, dir: &Path) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p: PathBuf = entry.path();
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                if let Ok(rel) = p.strip_prefix(root) {
+                    out.push(rel.to_string_lossy().replace('\\', "/"));
+                }
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "let s = \"x.unwrap()\"; // .unwrap()\nlet c = 'u'; /* .unwrap() */ s.unwrap();\n",
+        );
+        assert!(!f.lines[0].code.contains(".unwrap()"));
+        assert!(f.lines[1].code.contains("s.unwrap()"));
+        assert!(!f.lines[1].code.contains("'u'"));
+        assert!(
+            f.lines[0].raw.contains("// .unwrap()"),
+            "raw text preserved"
+        );
+    }
+
+    #[test]
+    fn raw_strings_and_lifetimes_survive() {
+        let f = SourceFile::parse(
+            "t.rs",
+            "fn f<'a>(x: &'a str) -> &'a str { x }\nlet p = r#\"a \"quoted\" .lock()\"#;\n",
+        );
+        assert!(f.lines[0].code.contains("<'a>"));
+        assert!(!f.lines[1].code.contains(".lock()"));
+    }
+
+    #[test]
+    fn test_regions_are_tracked() {
+        let src = "\
+pub(crate) fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { helper(); }
+}
+pub(crate) fn more_lib() {}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[3].in_test, "inside cfg(test) mod");
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[6].in_test, "after the test mod closes");
+    }
+
+    #[test]
+    fn cfg_test_on_bodyless_item_does_not_leak() {
+        let src = "\
+#[cfg(test)]
+use std::collections::HashMap;
+fn real() {
+    work();
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert!(
+            !f.lines[3].in_test,
+            "fn body after cfg(test) use is lib code"
+        );
+    }
+
+    #[test]
+    fn loop_depth_counts_enclosing_loops_only() {
+        let src = "\
+impl Fake for Thing {
+    fn run(&self) {
+        for i in 0..3 {
+            while i > 0 {
+                body();
+            }
+        }
+        after();
+    }
+}
+";
+        let f = SourceFile::parse("t.rs", src);
+        assert_eq!(f.lines[1].loop_depth, 0, "impl-for is not a loop");
+        assert_eq!(f.lines[3].loop_depth, 1);
+        assert_eq!(f.lines[4].loop_depth, 2);
+        assert_eq!(f.lines[7].loop_depth, 0);
+    }
+}

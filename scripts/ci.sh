@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Staged CI pipeline: fail-fast, one banner per stage.
+#
+#   scripts/ci.sh            # run everything
+#   CI_OFFLINE=1 scripts/ci.sh   # pass --offline to every cargo call
+#
+# Stages:
+#   1. fmt       cargo fmt --check        (skipped if rustfmt is absent)
+#   2. lint      cargo run -p xtask -- check
+#   3. build     cargo build --workspace --release
+#   4. test      cargo test -q --workspace
+#   5. sanitize  cargo test -q --features saccs-nn/sanitize
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OFFLINE=()
+if [[ "${CI_OFFLINE:-0}" == "1" ]]; then
+    OFFLINE=(--offline)
+fi
+
+stage() {
+    printf '\n=== [%s] %s ===\n' "$1" "$2"
+}
+
+fail() {
+    printf '\n*** CI FAILED at stage [%s] ***\n' "$1" >&2
+    exit 1
+}
+
+if command -v rustfmt >/dev/null 2>&1; then
+    stage fmt "cargo fmt --all -- --check"
+    cargo fmt --all -- --check || fail fmt
+else
+    stage fmt "skipped: rustfmt not installed"
+fi
+
+stage lint "cargo run -p xtask -- check"
+cargo run "${OFFLINE[@]}" -q -p xtask -- check || fail lint
+
+stage build "cargo build --workspace --release"
+cargo build "${OFFLINE[@]}" --workspace --release || fail build
+
+stage test "cargo test -q --workspace"
+cargo test "${OFFLINE[@]}" -q --workspace || fail test
+
+stage sanitize "cargo test -q --features saccs-nn/sanitize"
+cargo test "${OFFLINE[@]}" -q --features saccs-nn/sanitize || fail sanitize
+
+printf '\n=== CI green: all stages passed ===\n'

@@ -27,14 +27,25 @@
 //! }
 //! ```
 
+/// Service assembly: Algorithm 1, the builder, dialog glue and persistence.
 pub use saccs_core as core;
+/// Synthetic corpora with known ground truth (S1-S4, Yelp-style entities, crowd sim).
 pub use saccs_data as data;
+/// MiniBert encoder, masked-LM pretraining and domain post-training.
 pub use saccs_embed as embed;
+/// Evaluation metrics: NDCG, bootstrap CIs, rank correlation, span/pair F1.
 pub use saccs_eval as eval;
+/// The subjective tag index (Equation 1) with dynamic re-indexing.
 pub use saccs_index as index;
+/// Classical IR baselines: BM25, similarity ranking, attribute-filter oracle.
 pub use saccs_ir as ir;
+/// Reverse-mode autograd, matrices, layers and optimizers.
 pub use saccs_nn as nn;
+/// Aspect-opinion pairing: heuristics, labeling functions and classifiers.
 pub use saccs_pairing as pairing;
+/// Heuristic dependency-ish parsing for the tree pairing heuristic.
 pub use saccs_parse as parse;
+/// Sequence tagger (BiLSTM/MiniBert + CRF) for subjective-tag extraction.
 pub use saccs_tagger as tagger;
+/// Tags, lexicons, tokenization and conceptual similarity.
 pub use saccs_text as text;

@@ -21,7 +21,10 @@ fn corpus() -> &'static YelpCorpus {
             &YelpConfig {
                 n_entities: 24,
                 n_reviews: 420,
-                seed: 99,
+                // Statistical assertions below are seed-sensitive; this
+                // seed is validated against the vendored xoshiro256++
+                // stream (vendor/rand), which differs from upstream StdRng.
+                seed: 42,
                 ..Default::default()
             },
         )

@@ -2,13 +2,13 @@
 //! SharedIndex, the trie search automaton, CoNLL interop and the
 //! extractor persistence codec — all through the public facade.
 
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use saccs::data::generator::{GeneratorConfig, SentenceGenerator};
 use saccs::data::{from_conll, to_conll};
 use saccs::index::index::{EntityEvidence, IndexConfig};
 use saccs::index::{SharedIndex, SubjectiveIndex};
 use saccs::text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 use std::sync::Arc;
 
 fn tag(op: &str, asp: &str) -> SubjectiveTag {
@@ -86,10 +86,7 @@ fn automaton_mirrors_the_index_and_adds_fuzzy() {
 
 #[test]
 fn conll_roundtrip_through_the_facade() {
-    let gen = SentenceGenerator::new(
-        Lexicon::new(Domain::Hotels),
-        GeneratorConfig::default(),
-    );
+    let gen = SentenceGenerator::new(Lexicon::new(Domain::Hotels), GeneratorConfig::default());
     let mut rng = StdRng::seed_from_u64(7);
     let sentences: Vec<_> = (0..25).map(|_| gen.random_sentence(&mut rng)).collect();
     let text = to_conll(&sentences);

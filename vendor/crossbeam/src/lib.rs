@@ -1,0 +1,78 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! SACCS only uses `crossbeam::thread::scope` for borrowing scoped
+//! workers; std's `std::thread::scope` (stable since 1.63) provides the
+//! same guarantee, so this crate is a thin adapter that preserves
+//! crossbeam's call shape: the scope closure and every `spawn` closure
+//! receive a `&Scope` argument, and `scope()` returns a `Result`.
+//!
+//! One semantic difference: when a worker panics, std's scope re-raises
+//! the panic at the end of the scope instead of returning `Err`, so the
+//! `Err` arm of the returned `Result` is never taken here. Call sites
+//! that `.unwrap()`/`.expect()` the result behave identically.
+
+pub mod thread {
+    use std::thread as std_thread;
+
+    /// Handle for spawning borrowing workers inside [`scope`].
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a worker. Mirroring crossbeam, the closure receives the
+        /// scope handle so workers can themselves spawn.
+        pub fn spawn<F, T>(&self, f: F) -> std_thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Scoped-thread entry point; joins all workers before returning.
+    pub fn scope<'env, F, R>(f: F) -> std_thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_workers_and_allows_borrows() {
+        let counter = AtomicUsize::new(0);
+        let data = vec![1usize, 2, 3, 4];
+        super::thread::scope(|scope| {
+            for chunk in data.chunks(2) {
+                let counter = &counter;
+                scope.spawn(move |_| {
+                    counter.fetch_add(chunk.iter().sum::<usize>(), Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("no worker panicked");
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_the_scope_handle() {
+        let hits = AtomicUsize::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                hits.fetch_add(1, Ordering::SeqCst);
+                inner.spawn(|_| {
+                    hits.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("no worker panicked");
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+}

@@ -1,0 +1,583 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements exactly the surface SACCS's property tests use:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! * strategies for numeric ranges, tuples, `collection::vec`,
+//!   `bool::ANY`, and regex-subset string patterns (`"[a-z]{0,10}"`,
+//!   groups with alternation, `?` / `{m,n}` quantifiers),
+//! * `test_runner::Config::with_cases`.
+//!
+//! There is **no shrinking**: a failing case panics with its inputs via
+//! the normal assertion message, which is enough for a deterministic
+//! generator (cases are derived from a fixed seed + case index, so a
+//! failure reproduces exactly on re-run).
+
+pub mod test_runner {
+    /// Per-test configuration (subset: case count only).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            // Upstream defaults to 256; 64 keeps the seeded suite fast
+            // while still exercising each property across a spread of
+            // inputs. Tests needing more pass an explicit config.
+            Config { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator backing every strategy: SplitMix64 over a
+    /// fixed seed mixed with the case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn for_case(case: u32) -> TestRng {
+            TestRng {
+                state: 0x5ACC_5EED_0000_0000 ^ (u64::from(case).wrapping_mul(0x9E37_79B9)),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, n)`; `n` must be non-zero.
+        pub fn below(&mut self, n: u64) -> u64 {
+            (((self.next_u64() as u128).wrapping_mul(n as u128)) >> 64) as u64
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::string::gen_from_pattern;
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike upstream there is no shrinking tree; a
+    /// strategy simply produces a value per case.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.below(span) as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty inclusive range strategy");
+                    let span = (end as i128 - start as i128) as u64;
+                    (start as i128 + rng.below(span.wrapping_add(1).max(1)) as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    self.start + (self.end - self.start) * rng.unit_f64() as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty inclusive range strategy");
+                    start + (end - start) * rng.unit_f64() as $t
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    /// String patterns are regex-subset strategies, like upstream.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            gen_from_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for a fair boolean (`prop::bool::ANY`).
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Vec`s of `elem` with a length drawn from `range`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// `proptest::collection::vec(strategy, 0..6)`.
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = Strategy::generate(&self.len, rng);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Generator for the regex subset SACCS patterns use: literals,
+    //! escapes, `[...]` classes with ranges, `(a|b)` groups, and the
+    //! `?`, `*`, `+`, `{m}`, `{m,n}` quantifiers.
+
+    use crate::test_runner::TestRng;
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Literal(char),
+        Class(Vec<(char, char)>),
+        Group(Vec<Vec<Node>>),
+    }
+
+    #[derive(Debug, Clone)]
+    struct Quantified {
+        node: Node,
+        min: usize,
+        max: usize,
+    }
+
+    struct Parser<'a> {
+        chars: std::iter::Peekable<std::str::Chars<'a>>,
+        pattern: &'a str,
+    }
+
+    impl<'a> Parser<'a> {
+        fn fail(&self, what: &str) -> ! {
+            panic!("unsupported pattern {:?}: {what}", self.pattern)
+        }
+
+        fn parse_sequence(&mut self, in_group: bool) -> Vec<Vec<Quantified>> {
+            let mut alternatives = Vec::new();
+            let mut current: Vec<Quantified> = Vec::new();
+            loop {
+                match self.chars.peek().copied() {
+                    None => {
+                        if in_group {
+                            self.fail("unterminated group");
+                        }
+                        alternatives.push(current);
+                        return alternatives;
+                    }
+                    Some(')') if in_group => {
+                        self.chars.next();
+                        alternatives.push(current);
+                        return alternatives;
+                    }
+                    Some('|') => {
+                        self.chars.next();
+                        alternatives.push(std::mem::take(&mut current));
+                    }
+                    Some(_) => {
+                        let node = self.parse_atom();
+                        let (min, max) = self.parse_quantifier();
+                        current.push(Quantified { node, min, max });
+                    }
+                }
+            }
+        }
+
+        fn parse_atom(&mut self) -> Node {
+            match self.chars.next() {
+                Some('[') => self.parse_class(),
+                Some('(') => {
+                    let alts = self.parse_sequence(true);
+                    Node::Group(
+                        alts.into_iter()
+                            .map(|seq| seq.into_iter().map(Node::from_quantified).collect())
+                            .collect(),
+                    )
+                }
+                Some('\\') => match self.chars.next() {
+                    Some(c) => Node::Literal(c),
+                    None => self.fail("dangling escape"),
+                },
+                Some(c) if c == '.' || c == '*' || c == '+' || c == '?' => {
+                    // Bare metacharacters outside a class are not needed by
+                    // any SACCS pattern; treat as unsupported to catch typos.
+                    self.fail("bare metacharacter")
+                }
+                Some(c) => Node::Literal(c),
+                None => self.fail("empty atom"),
+            }
+        }
+
+        fn parse_class(&mut self) -> Node {
+            let mut ranges: Vec<(char, char)> = Vec::new();
+            let mut prev: Option<char> = None;
+            loop {
+                match self.chars.next() {
+                    None => self.fail("unterminated class"),
+                    Some(']') => return Node::Class(ranges),
+                    Some('-') => {
+                        // Range if between two chars, else a literal dash.
+                        match (prev, self.chars.peek().copied()) {
+                            (Some(lo), Some(hi)) if hi != ']' => {
+                                self.chars.next();
+                                if lo > hi {
+                                    self.fail("inverted class range");
+                                }
+                                // Replace the literal entry for `lo`.
+                                ranges.pop();
+                                ranges.push((lo, hi));
+                                prev = None;
+                            }
+                            _ => {
+                                ranges.push(('-', '-'));
+                                prev = Some('-');
+                            }
+                        }
+                    }
+                    Some('\\') => match self.chars.next() {
+                        Some(c) => {
+                            ranges.push((c, c));
+                            prev = Some(c);
+                        }
+                        None => self.fail("dangling escape in class"),
+                    },
+                    Some(c) => {
+                        ranges.push((c, c));
+                        prev = Some(c);
+                    }
+                }
+            }
+        }
+
+        fn parse_quantifier(&mut self) -> (usize, usize) {
+            match self.chars.peek().copied() {
+                Some('?') => {
+                    self.chars.next();
+                    (0, 1)
+                }
+                Some('*') => {
+                    self.chars.next();
+                    (0, 8)
+                }
+                Some('+') => {
+                    self.chars.next();
+                    (1, 8)
+                }
+                Some('{') => {
+                    self.chars.next();
+                    let mut min_s = String::new();
+                    let mut max_s = String::new();
+                    let mut saw_comma = false;
+                    loop {
+                        match self.chars.next() {
+                            Some('}') => break,
+                            Some(',') => saw_comma = true,
+                            Some(d) if d.is_ascii_digit() => {
+                                if saw_comma {
+                                    max_s.push(d);
+                                } else {
+                                    min_s.push(d);
+                                }
+                            }
+                            _ => self.fail("malformed {m,n} quantifier"),
+                        }
+                    }
+                    let min: usize = min_s.parse().unwrap_or(0);
+                    let max: usize = if saw_comma {
+                        max_s
+                            .parse()
+                            .unwrap_or_else(|_| self.fail("open-ended {m,}"))
+                    } else {
+                        min
+                    };
+                    if max < min {
+                        self.fail("quantifier max below min");
+                    }
+                    (min, max)
+                }
+                _ => (1, 1),
+            }
+        }
+    }
+
+    impl Node {
+        fn from_quantified(q: Quantified) -> Node {
+            // Groups nested inside alternatives keep their quantifiers by
+            // expanding into a group of repeated sequences. SACCS patterns
+            // only quantify classes/literals inside groups, where min==max
+            // never exceeds the {m,n} the caller wrote.
+            if q.min == 1 && q.max == 1 {
+                q.node
+            } else {
+                Node::Group((q.min..=q.max).map(|n| vec![q.node.clone(); n]).collect())
+            }
+        }
+
+        fn emit(&self, out: &mut String, rng: &mut TestRng) {
+            match self {
+                Node::Literal(c) => out.push(*c),
+                Node::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|(lo, hi)| (*hi as u64) - (*lo as u64) + 1)
+                        .sum();
+                    let mut pick = rng.below(total.max(1));
+                    for (lo, hi) in ranges {
+                        let span = (*hi as u64) - (*lo as u64) + 1;
+                        if pick < span {
+                            out.push(
+                                char::from_u32(*lo as u32 + pick as u32)
+                                    .expect("class range stays in valid scalar values"),
+                            );
+                            return;
+                        }
+                        pick -= span;
+                    }
+                }
+                Node::Group(alts) => {
+                    let alt = &alts[rng.below(alts.len() as u64) as usize];
+                    for node in alt {
+                        node.emit(out, rng);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut parser = Parser {
+            chars: pattern.chars().peekable(),
+            pattern,
+        };
+        let alts = parser.parse_sequence(false);
+        let seq = &alts[rng.below(alts.len() as u64) as usize];
+        let mut out = String::new();
+        for q in seq {
+            let n = q.min + rng.below((q.max - q.min + 1) as u64) as usize;
+            for _ in 0..n {
+                q.node.emit(&mut out, rng);
+            }
+        }
+        out
+    }
+}
+
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// `prop_assert!`: without shrinking, plain assertions carry the failing
+/// inputs in their panic message (the macro context includes the case's
+/// bound variables via the format arguments the caller passes).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// `prop_assume!`: skip the current generated case when the assumption
+/// fails. Expands to `continue` inside the `proptest!` case loop, so the
+/// rejected case is simply not tested (no retry budget, unlike upstream).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// The `proptest!` block: expands each `fn name(arg in strategy, ..)` into
+/// a plain test function running `config.cases` generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                for __case in 0..config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                    $(
+                        let $arg =
+                            $crate::strategy::Strategy::generate(&$strat, &mut __rng);
+                    )+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn pattern_generator_respects_classes_and_counts() {
+        let mut rng = TestRng::for_case(0);
+        for case in 0..500 {
+            let mut rng2 = TestRng::for_case(case);
+            let s = crate::string::gen_from_pattern("[a-z]{0,10}", &mut rng2);
+            assert!(s.len() <= 10);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+        let s = crate::string::gen_from_pattern("[a-zA-Z0-9 .,!?'-]{0,60}", &mut rng);
+        assert!(s.len() <= 60);
+        for case in 0..200 {
+            let mut rng3 = TestRng::for_case(case);
+            let s = crate::string::gen_from_pattern(
+                "[a-z]{1,5}( [a-z]{1,5}| is| \\.| ,){0,12}",
+                &mut rng3,
+            );
+            assert!(!s.is_empty());
+            let first = s.split([' ', '.', ','].as_ref()).next().expect("split");
+            assert!(first.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn group_quantifier_and_escape_shapes() {
+        for case in 0..200 {
+            let mut rng = TestRng::for_case(case);
+            let s = crate::string::gen_from_pattern(
+                "[a-z]{1,6}( [a-z]{1,6}){0,14}( \\.| but| ,)?",
+                &mut rng,
+            );
+            assert!(!s.is_empty());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(crate::test_runner::Config::with_cases(32))]
+
+        #[test]
+        fn macro_binds_ranges_and_tuples(
+            n in 1usize..5,
+            f in -2.0f32..2.0,
+            pair in (0u64..10, prop::bool::ANY),
+            xs in prop::collection::vec(0usize..3, 0..6),
+        ) {
+            prop_assert!(n >= 1 && n < 5);
+            prop_assert!((-2.0..2.0).contains(&f));
+            prop_assert!(pair.0 < 10);
+            prop_assert!(xs.len() < 6);
+            prop_assert!(xs.iter().all(|&x| x < 3));
+            prop_assert_eq!(n, n);
+            prop_assert_ne!(n, n + 1, "arithmetic sanity: {}", n);
+        }
+    }
+}

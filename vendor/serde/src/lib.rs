@@ -1,0 +1,14 @@
+//! Offline stand-in for `serde`.
+//!
+//! SACCS derives `Serialize`/`Deserialize` as annotations but performs all
+//! actual serialization through hand-rolled codecs, so the traits here are
+//! pure markers and the derives (from the sibling `serde_derive` stand-in)
+//! emit empty impls.
+
+/// Marker for types annotated as serializable.
+pub trait Serialize {}
+
+/// Marker for types annotated as deserializable.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

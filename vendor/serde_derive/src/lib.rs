@@ -1,0 +1,45 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! SACCS only uses `#[derive(Serialize, Deserialize)]` as forward-looking
+//! annotations — every snapshot format in the workspace is hand-rolled
+//! (see `saccs-index`'s private `serde_json` module and `saccs-nn`'s
+//! `serialize` codec). The derives therefore expand to marker-trait
+//! impls and nothing else.
+
+use proc_macro::TokenStream;
+
+/// Extract the bare type name following `struct`/`enum` so we can emit a
+/// marker impl. Generic types are not used with these derives in SACCS.
+fn type_name(input: &TokenStream) -> Option<String> {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        let s = tt.to_string();
+        if saw_kw {
+            return Some(s);
+        }
+        if s == "struct" || s == "enum" {
+            saw_kw = true;
+        }
+    }
+    None
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Serialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match type_name(&input) {
+        Some(name) => format!("impl ::serde::Deserialize for {name} {{}}")
+            .parse()
+            .unwrap_or_default(),
+        None => TokenStream::new(),
+    }
+}
