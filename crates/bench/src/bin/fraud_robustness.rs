@@ -40,6 +40,7 @@ fn build_service(corpus: &YelpCorpus, filter: Option<&FraudFilter>) -> SaccsServ
 }
 
 fn main() {
+    saccs_bench::obs_init();
     let scale = scale(0.5);
     println!("Fraud robustness (Section 7 extension): astroturf campaigns vs the FraudFilter");
     println!("gold extraction, scale={scale}\n");
@@ -121,4 +122,8 @@ fn main() {
     }
     println!("(naive = Equation-1 evidence straight from all reviews; FraudFilter =");
     println!(" duplicate-burst suppression, no access to fake/real labels)");
+    saccs_bench::obs_finish(
+        "fraud_robustness",
+        &[("ndcg_clean_baseline", f64::from(baseline))],
+    );
 }

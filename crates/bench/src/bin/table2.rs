@@ -24,6 +24,7 @@ use saccs_text::{Domain, Lexicon, SubjectiveTag};
 const K: usize = 10;
 
 fn main() {
+    saccs_bench::obs_init();
     let scale = scale(0.5);
     let per_level: usize = std::env::var("SACCS_QUERIES")
         .ok()
@@ -212,6 +213,30 @@ fn main() {
             println!("  -> disjoint intervals: SACCS-18 > IR is outside resampling noise");
         }
     }
+
+    // Observability pass: drive the complete Algorithm-1 entry point
+    // (search_api → extract → probe → aggregate → pad) over the Short
+    // queries so the exported snapshot carries per-stage latency for all
+    // five stages. Skipped entirely on the zero-cost path; the scored
+    // tables above come from `rank_with_tags` and are unaffected.
+    if saccs_obs::enabled() {
+        use saccs_core::{SearchApi, Slots};
+        let api_backend = SearchApi::new(&corpus.entities);
+        let slots = Slots::default();
+        let (_, short_queries) = &sets[0];
+        for q in short_queries {
+            let _ = saccs.service.rank(&q.utterance(), &api_backend, &slots);
+        }
+    }
+    saccs_bench::obs_finish(
+        "table2",
+        &[
+            ("ndcg_saccs18_short", f64::from(results[5].1[0])),
+            ("ndcg_saccs18_medium", f64::from(results[5].1[1])),
+            ("ndcg_saccs18_long", f64::from(results[5].1[2])),
+            ("ndcg_ir_short", f64::from(results[0].1[0])),
+        ],
+    );
 
     println!("\nPaper reference:");
     println!("{:<18} {:>7} {:>7} {:>7}", "IR", 0.829, 0.896, 0.916);

@@ -5,14 +5,18 @@
 use saccs_data::DatasetId;
 
 fn main() {
+    saccs_bench::obs_init();
     println!("Table 3: Dataset Descriptions with number of sentences for train and test");
     println!();
     println!(
         "{:<9} {:<26} {:>6} {:>6} {:>6}",
         "Dataset", "Description", "Train", "Test", "Total"
     );
+    let mut total_sentences = 0usize;
     for id in DatasetId::ALL {
         let (train, test) = id.sizes();
+        saccs_obs::counter!("table3.datasets").inc();
+        total_sentences += train + test;
         println!(
             "{:<9} {:<26} {:>6} {:>6} {:>6}",
             id.label(),
@@ -22,6 +26,7 @@ fn main() {
             train + test
         );
     }
+    saccs_bench::obs_finish("table3", &[("total_sentences", total_sentences as f64)]);
     println!();
     println!("(Synthetic substitutes are generated at exactly these sizes;");
     println!(" see DESIGN.md §1 for the substitution rationale.)");

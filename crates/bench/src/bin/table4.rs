@@ -15,6 +15,7 @@ use saccs_tagger::{Adversarial, Architecture, Tagger, TrainConfig};
 use std::rc::Rc;
 
 fn main() {
+    saccs_bench::obs_init();
     let scale = scale(0.35);
     let epochs = epochs(15);
     println!("Table 4: Evaluation of aspect/opinion tagger (span F1, %)");
@@ -97,6 +98,15 @@ fn main() {
     for (label, values) in &rows {
         println!("{}", row_pct(label, values));
     }
+
+    saccs_bench::obs_finish(
+        "table4",
+        &[
+            ("f1_opinedb_s1", f64::from(rows[0].1[0])),
+            ("f1_opinedb_dk_s1", f64::from(rows[1].1[0])),
+            ("f1_adversarial_eps02_s1", f64::from(rows[3].1[0])),
+        ],
+    );
 
     println!("\nPaper reference (their BERT/testbed; shape, not absolutes, is the target):");
     println!(

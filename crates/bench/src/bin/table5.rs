@@ -29,6 +29,7 @@ fn print_row(label: &str, c: &BinaryConfusion) {
 }
 
 fn main() {
+    saccs_bench::obs_init();
     let scale = scale(1.0);
     println!("Table 5: Evaluation of the pairing models (scale={scale})\n");
     eprintln!("Training encoder (MLM + domain post-training + tagging fine-tune)...");
@@ -119,6 +120,16 @@ fn main() {
         &test,
     );
     print_row("Discrim. (PM)", &disc_pm);
+
+    saccs_bench::obs_finish(
+        "table5",
+        &[
+            ("acc_majority_vote", f64::from(mv.accuracy())),
+            ("acc_probabilistic", f64::from(pm.accuracy())),
+            ("acc_discriminative_mv", f64::from(disc.accuracy())),
+            ("acc_discriminative_pm", f64::from(disc_pm.accuracy())),
+        ],
+    );
 
     println!("\nPaper reference (their BERT heads and benchmark):");
     println!("  OpineDB 83.87 acc | lf_bert_7:10 82.62/95.02/78.36/85.89");

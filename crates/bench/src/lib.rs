@@ -5,7 +5,11 @@
 //! * `SACCS_SCALE` — fractional scale of the paper's dataset sizes
 //!   (default varies per binary; `1.0` = exact paper sizes);
 //! * `SACCS_EPOCHS` — training epochs for the tagger sweeps (default 15,
-//!   the paper's setting).
+//!   the paper's setting);
+//! * `SACCS_OBS` — observability mode: `json` writes a
+//!   `BENCH_<bin>.json` registry snapshot (and enables span timing),
+//!   `stderr` prints the live span tree, anything else (or unset) leaves
+//!   instrumentation on its zero-cost path.
 //!
 //! All runs are seeded; identical settings regenerate identical tables.
 
@@ -21,6 +25,47 @@ use saccs_index::index::{EntityEvidence, IndexConfig};
 use saccs_index::SubjectiveIndex;
 use saccs_text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
 use std::rc::Rc;
+
+/// Install the exporter selected by `SACCS_OBS` (see the crate docs).
+/// Call at the top of every bench `main`; pair with [`obs_finish`].
+pub fn obs_init() {
+    match std::env::var("SACCS_OBS").as_deref() {
+        Ok("json") => {
+            // The snapshot is cut from the metrics registry at
+            // obs_finish; installing any exporter turns span timing on.
+            // Span events themselves go to the in-memory collector (the
+            // tree is not re-read, but event streaming must stay cheap).
+            saccs_obs::install(std::sync::Arc::new(saccs_obs::InMemoryCollector::new()));
+        }
+        Ok("stderr") => {
+            saccs_obs::install(std::sync::Arc::new(saccs_obs::StderrTree));
+        }
+        _ => {}
+    }
+}
+
+/// If `SACCS_OBS=json`, write `BENCH_<bin>.json` into the current
+/// directory: the full metrics registry (counters, gauges, span-duration
+/// histograms) plus the bin's headline quality numbers. Returns the path
+/// written, if any.
+pub fn obs_finish(bin: &str, headline: &[(&str, f64)]) -> Option<String> {
+    saccs_obs::flush();
+    if std::env::var("SACCS_OBS").as_deref() != Ok("json") {
+        return None;
+    }
+    let path = format!("BENCH_{bin}.json");
+    let doc = saccs_obs::json::bench_snapshot(bin, headline);
+    match std::fs::write(&path, doc) {
+        Ok(()) => {
+            println!("wrote {path}");
+            Some(path)
+        }
+        Err(e) => {
+            println!("failed to write {path}: {e}");
+            None
+        }
+    }
+}
 
 /// Parse `SACCS_SCALE` with a per-binary default.
 pub fn scale(default: f64) -> f64 {

@@ -114,9 +114,11 @@ impl SaccsBuilder {
 
     /// Train everything against `corpus` and build the populated service.
     pub fn build(&self, corpus: &YelpCorpus) -> TrainedSaccs {
+        let _build = saccs_obs::span!("build.pipeline");
         let mut rng = StdRng::seed_from_u64(self.seed);
 
         // 1–3: the encoder.
+        let _pretrain = saccs_obs::span!("build.pretrain");
         let vocab = build_vocab(&[Domain::Restaurants, Domain::Electronics, Domain::Hotels]);
         let bert = MiniBert::new(vocab, self.bert.clone());
         train_mlm(
@@ -166,12 +168,14 @@ impl SaccsBuilder {
                 self.seed ^ 3,
             );
         }
+        drop(_pretrain);
         let bert = Rc::new(bert);
 
-        // 4: the tagger.
+        // 4: the tagger (spans itself as `tagger.train`).
         let tagger = Tagger::train(bert.clone(), &tagger_train, &self.tagger);
 
-        // 5: the pairing pipeline (dev = a slice of the tagging data).
+        // 5: the pairing pipeline (dev = a slice of the tagging data;
+        // spans itself as `pairing.fit`).
         let dev: Vec<_> = tagging_data.test.iter().take(60).cloned().collect();
         let pairing = PairingPipeline::fit(
             bert.clone(),
@@ -188,19 +192,22 @@ impl SaccsBuilder {
             ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
             self.index.clone(),
         );
-        for entity in &corpus.entities {
-            let review_ids = corpus.reviews_of(entity.id);
-            let mut review_tags = Vec::new();
-            for &ri in review_ids {
-                for sentence in &corpus.reviews[ri].sentences {
-                    review_tags.extend(extractor.extract_from_tokens(&sentence.tokens));
+        {
+            let _extract = saccs_obs::span!("build.extract_reviews");
+            for entity in &corpus.entities {
+                let review_ids = corpus.reviews_of(entity.id);
+                let mut review_tags = Vec::new();
+                for &ri in review_ids {
+                    for sentence in &corpus.reviews[ri].sentences {
+                        review_tags.extend(extractor.extract_from_tokens(&sentence.tokens));
+                    }
                 }
+                index.register_entity(EntityEvidence {
+                    entity_id: entity.id,
+                    review_count: review_ids.len(),
+                    review_tags,
+                });
             }
-            index.register_entity(EntityEvidence {
-                entity_id: entity.id,
-                review_count: review_ids.len(),
-                review_tags,
-            });
         }
         let tags: Vec<SubjectiveTag> = canonical_tags()
             .iter()

@@ -15,8 +15,10 @@
 //! operators, but the arithmetic mean works better in practice") — all
 //! three are implemented so the ablation bench can verify that claim.
 
+use crate::dialog::Slots;
 use crate::extractor::TagExtractor;
 use crate::profile::UserProfile;
+use crate::search_api::SearchApi;
 use saccs_index::SubjectiveIndex;
 use saccs_text::SubjectiveTag;
 use std::collections::HashMap;
@@ -41,8 +43,14 @@ impl Aggregation {
     }
 
     fn combine(self, scores: &[f32]) -> f32 {
+        if scores.is_empty() {
+            // The padding path can hand over an empty per-tag score set;
+            // every operator must agree it contributes nothing (a bare
+            // `product` would say 1.0 and a bare `min` +∞).
+            return 0.0;
+        }
         match self {
-            Aggregation::Mean => scores.iter().sum::<f32>() / scores.len().max(1) as f32,
+            Aggregation::Mean => scores.iter().sum::<f32>() / scores.len() as f32,
             Aggregation::Product => scores.iter().product(),
             Aggregation::Min => scores.iter().fold(f32::INFINITY, |m, &s| m.min(s)),
         }
@@ -167,32 +175,38 @@ impl SaccsService {
         }
         // Per-tag score maps (lines 7–10), optionally profile-weighted.
         let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
-        for (i, t) in tags.iter().enumerate() {
-            let w = weights.map_or(1.0, |ws| ws[i]);
-            per_tag.push(
-                self.index
-                    .probe(t)
-                    .into_iter()
-                    .map(|(e, s)| (e, s * w))
-                    .collect(),
-            );
+        {
+            let _probe = saccs_obs::span!("algo1.probe");
+            for (i, t) in tags.iter().enumerate() {
+                let w = weights.map_or(1.0, |ws| ws[i]);
+                per_tag.push(
+                    self.index
+                        .probe(t)
+                        .into_iter()
+                        .map(|(e, s)| (e, s * w))
+                        .collect(),
+                );
+            }
         }
 
         // Line 11: strict intersection, plus optional partial matches.
         let mut full: Vec<(usize, f32)> = Vec::new();
         let mut partial: Vec<(usize, f32, usize)> = Vec::new();
-        for &e in api_results {
-            let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
-            if scores.len() == tags.len() {
-                full.push((e, self.config.aggregation.combine(&scores)));
-            } else if !scores.is_empty() && self.config.pad_partial_matches {
-                // Partials score as the aggregate of the *present* tags
-                // discounted by coverage. Under Mean this equals the
-                // zero-padded mean; under Product/Min it keeps partials
-                // comparable instead of collapsing them all to zero.
-                let coverage = scores.len() as f32 / tags.len() as f32;
-                let score = self.config.aggregation.combine(&scores) * coverage;
-                partial.push((e, score, scores.len()));
+        {
+            let _aggregate = saccs_obs::span!("algo1.aggregate");
+            for &e in api_results {
+                let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
+                if scores.len() == tags.len() {
+                    full.push((e, self.config.aggregation.combine(&scores)));
+                } else if !scores.is_empty() && self.config.pad_partial_matches {
+                    // Partials score as the aggregate of the *present* tags
+                    // discounted by coverage. Under Mean this equals the
+                    // zero-padded mean; under Product/Min it keeps partials
+                    // comparable instead of collapsing them all to zero.
+                    let coverage = scores.len() as f32 / tags.len() as f32;
+                    let score = self.config.aggregation.combine(&scores) * coverage;
+                    partial.push((e, score, scores.len()));
+                }
             }
         }
         // Degenerate case: the subjective filters matched nothing at all
@@ -202,6 +216,7 @@ impl SaccsService {
         if full.is_empty() && partial.is_empty() {
             return passthrough(api_results, self.config.top_k);
         }
+        let _pad = saccs_obs::span!("algo1.pad");
         full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         partial.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.total_cmp(&a.1)).then(a.0.cmp(&b.0)));
         let mut out = full;
@@ -210,6 +225,32 @@ impl SaccsService {
         }
         out.truncate(self.config.top_k);
         out
+    }
+
+    /// Complete Algorithm 1 from a raw utterance and dialog slots: call
+    /// the objective `search_api`, extract the subjective tags with the
+    /// neural pipeline, then filter, aggregate and rank. This is the
+    /// fully-observable serving entry point: each stage runs under its own
+    /// `saccs-obs` span (`algo1.search_api`, `algo1.extract`,
+    /// `algo1.probe`, `algo1.aggregate`, `algo1.pad`, all nested inside
+    /// `algo1.rank`). Panics if the service was built
+    /// [`SaccsService::index_only`].
+    pub fn rank(
+        &mut self,
+        utterance: &str,
+        api: &SearchApi<'_>,
+        slots: &Slots,
+    ) -> Vec<(usize, f32)> {
+        let _rank = saccs_obs::span!("algo1.rank");
+        let api_results = {
+            let _search = saccs_obs::span!("algo1.search_api");
+            api.search(slots)
+        };
+        let tags = {
+            let _extract = saccs_obs::span!("algo1.extract");
+            self.extract_tags(utterance)
+        };
+        self.rank_core(&tags, &api_results, None)
     }
 
     /// Full Algorithm 1 from a raw utterance: extract tags with the neural
@@ -269,6 +310,15 @@ mod tests {
         });
         idx.index_tags(&[tag("delicious", "food"), tag("nice", "staff")]);
         SaccsService::index_only(idx, SaccsConfig::default())
+    }
+
+    #[test]
+    fn combine_on_empty_scores_is_zero_for_every_operator() {
+        // Regression: Product used to return 1.0 and Min +∞ on an empty
+        // slice, which would float garbage to the top of padded rankings.
+        for agg in Aggregation::ALL {
+            assert_eq!(agg.combine(&[]), 0.0, "{} on empty slice", agg.label());
+        }
     }
 
     #[test]

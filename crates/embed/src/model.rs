@@ -135,6 +135,7 @@ impl MiniBert {
             !ids.is_empty() && ids.len() <= self.config.max_len,
             "bad sequence length"
         );
+        saccs_obs::counter!("embed.forward").inc();
         // Any fresh forward overwrites the recorded attentions.
         *self.attention_key.borrow_mut() = None;
         let pos: Vec<usize> = (0..ids.len()).collect();

@@ -145,11 +145,13 @@ pub fn general_corpus(n: usize, seed: u64) -> Vec<Vec<String>> {
 /// post-training (call twice with different corpora).
 pub fn train_mlm(bert: &MiniBert, sentences: &[Vec<String>], config: &MlmConfig) -> f32 {
     assert!(!sentences.is_empty(), "empty MLM corpus");
+    let _mlm = saccs_obs::span!("mlm.train");
     let params = bert.params();
     let mut opt = Adam::new(config.lr).with_clip(1.0);
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut last_epoch_loss = f32::INFINITY;
     for _ in 0..config.epochs {
+        let _epoch = saccs_obs::span!("mlm.epoch");
         let mut total = 0.0;
         let mut count = 0usize;
         for tokens in sentences {
@@ -179,6 +181,12 @@ pub fn train_mlm(bert: &MiniBert, sentences: &[Vec<String>], config: &MlmConfig)
             count += 1;
         }
         last_epoch_loss = total / count.max(1) as f32;
+        saccs_obs::counter!("mlm.epochs").inc();
+        if saccs_obs::enabled() {
+            saccs_obs::registry()
+                .gauge("mlm.epoch_loss")
+                .set(f64::from(last_epoch_loss));
+        }
     }
     last_epoch_loss
 }
@@ -204,6 +212,7 @@ pub fn finetune_tagging(
     let mut opt = Adam::new(lr).with_clip(1.0);
     let mut last = f32::INFINITY;
     for _ in 0..epochs {
+        let _epoch = saccs_obs::span!("finetune.epoch");
         let mut total = 0.0;
         let mut count = 0usize;
         for s in sentences {

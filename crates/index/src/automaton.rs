@@ -94,6 +94,7 @@ impl TagAutomaton {
 
     /// Exact lookup.
     pub fn get(&self, tag: &SubjectiveTag) -> Option<&[IndexEntry]> {
+        saccs_obs::counter!("automaton.get").inc();
         let phrase = tag.phrase();
         let mut cur = 0usize;
         for &b in phrase.as_bytes() {
@@ -136,6 +137,7 @@ impl TagAutomaton {
     /// query phrase (one substitution, insertion or deletion — the typo
     /// model of §5.1's robustness discussion). Exact matches come first.
     pub fn fuzzy_get(&self, tag: &SubjectiveTag) -> Vec<(String, &[IndexEntry])> {
+        saccs_obs::counter!("automaton.fuzzy_get").inc();
         let query = tag.phrase();
         let q = query.as_bytes();
         let mut out: Vec<(String, &[IndexEntry])> = Vec::new();

@@ -216,6 +216,8 @@ impl SubjectiveIndex {
     /// tags are recomputed; construction parallelizes over tags with
     /// crossbeam scoped threads.
     pub fn index_tags(&mut self, tags: &[SubjectiveTag]) {
+        let _build = saccs_obs::span!("index.build");
+        saccs_obs::counter!("index.build.tags").add(tags.len() as u64);
         let threads = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -250,6 +252,8 @@ impl SubjectiveIndex {
             .into_iter()
             .filter(|t| !self.entries.contains_key(t))
             .collect();
+        saccs_obs::counter!("index.reindex.rounds").inc();
+        saccs_obs::counter!("index.reindex.tags").add(fresh.len() as u64);
         self.index_tags(&fresh);
         fresh.len()
     }
@@ -328,12 +332,17 @@ impl SubjectiveIndex {
             // in which case the similarity fallback is strictly more
             // informative than silence.
             if !postings.is_empty() {
+                saccs_obs::counter!("index.probe.exact").inc();
                 return postings
                     .iter()
                     .map(|e| (e.entity_id, e.degree_of_truth))
                     .collect();
             }
         }
+        // θ_filter similarity fallback: the tag is unknown (or indexed
+        // empty), so scan every index tag. The exact/fallback counter
+        // ratio is the index miss rate under real query traffic.
+        saccs_obs::counter!("index.probe.fallback").inc();
         let theta = self.theta_filter_for(tag);
         let mut scores: BTreeMap<usize, f32> = BTreeMap::new();
         for (index_tag, postings) in &self.entries {

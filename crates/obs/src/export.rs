@@ -1,0 +1,238 @@
+//! Pluggable exporters and the global enable switch.
+//!
+//! At most one [`Exporter`] is installed process-wide. The switch is a
+//! single relaxed [`AtomicBool`] checked by every span enter and by
+//! call sites that want to skip expensive measurement (gradient norms,
+//! per-candidate stats): with nothing installed, [`enabled`] is one
+//! atomic load and everything downstream is skipped. Installation is
+//! expected at process start (bench bins read `SACCS_OBS`) or inside a
+//! single test; exporters themselves must be `Send + Sync`.
+
+use parking_lot::{Mutex, RwLock};
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Receives span lifecycle callbacks from instrumented code.
+///
+/// `depth` is the number of enclosing spans on the emitting thread
+/// (0 = top level); `nanos` is the span's wall duration. Implementations
+/// run inline on the instrumented thread, so they should stay cheap.
+pub trait Exporter: Send + Sync {
+    /// A span named `name` opened at nesting `depth`.
+    fn span_enter(&self, name: &'static str, depth: usize);
+    /// The span closed after `nanos` of wall time.
+    fn span_exit(&self, name: &'static str, depth: usize, nanos: u64);
+    /// Flush any buffered output (end of process / end of bench).
+    fn flush(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn slot() -> &'static RwLock<Option<Arc<dyn Exporter>>> {
+    static SLOT: OnceLock<RwLock<Option<Arc<dyn Exporter>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// Whether an exporter is currently installed. The disabled-path cost of
+/// every span and gated measurement in the workspace is exactly this
+/// relaxed load.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Install `exporter` as the process-wide sink (replacing any previous
+/// one) and flip the enable switch on.
+pub fn install(exporter: Arc<dyn Exporter>) {
+    *slot().write() = Some(exporter);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Flush and remove the installed exporter; spans go back to the inert
+/// fast path.
+pub fn uninstall() {
+    ENABLED.store(false, Ordering::Release);
+    let previous = slot().write().take();
+    if let Some(e) = previous {
+        e.flush();
+    }
+}
+
+/// Run `f` against the installed exporter, if any.
+pub fn with_exporter(f: impl FnOnce(&dyn Exporter)) {
+    let guard = slot().read();
+    if let Some(e) = guard.as_ref() {
+        f(e.as_ref());
+    }
+}
+
+/// Flush the installed exporter without removing it.
+pub fn flush() {
+    with_exporter(|e| e.flush());
+}
+
+/// Human-readable tree on stderr: one indented line per span exit with
+/// its duration. Writes via `std::io::Write` (never `eprintln!` — the
+/// `no-print-in-lib` lint bans direct printing in instrumented crates).
+#[derive(Debug, Default)]
+pub struct StderrTree;
+
+impl Exporter for StderrTree {
+    fn span_enter(&self, _name: &'static str, _depth: usize) {}
+
+    fn span_exit(&self, name: &'static str, depth: usize, nanos: u64) {
+        let stderr = std::io::stderr();
+        let mut out = stderr.lock();
+        let _ = writeln!(
+            out,
+            "[obs] {:indent$}{name} {:.3}ms",
+            "",
+            nanos as f64 / 1e6,
+            indent = depth * 2,
+        );
+    }
+
+    fn flush(&self) {
+        let _ = std::io::stderr().flush();
+    }
+}
+
+/// Streams one JSON object per span event to any writer (a file, a
+/// `Vec<u8>` in tests): `{"ev":"enter",...}` / `{"ev":"exit",...}`.
+pub struct JsonLines<W: Write + Send> {
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// Wrap `out`; every event becomes one line of JSON on it.
+    pub fn new(out: W) -> JsonLines<W> {
+        JsonLines {
+            out: Mutex::new(out),
+        }
+    }
+}
+
+impl<W: Write + Send> Exporter for JsonLines<W> {
+    fn span_enter(&self, name: &'static str, depth: usize) {
+        let mut out = self.out.lock();
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"enter\",\"span\":\"{}\",\"depth\":{depth}}}",
+            crate::json::escape(name),
+        );
+    }
+
+    fn span_exit(&self, name: &'static str, depth: usize, nanos: u64) {
+        let mut out = self.out.lock();
+        let _ = writeln!(
+            out,
+            "{{\"ev\":\"exit\",\"span\":\"{}\",\"depth\":{depth},\"ns\":{nanos}}}",
+            crate::json::escape(name),
+        );
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().flush();
+    }
+}
+
+/// One recorded span lifecycle event (see [`InMemoryCollector`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanEvent {
+    /// Span opened at `depth`.
+    Enter {
+        /// Span name as passed to `span!`.
+        name: &'static str,
+        /// Enclosing span count on the emitting thread.
+        depth: usize,
+    },
+    /// Span closed after `nanos`.
+    Exit {
+        /// Span name as passed to `span!`.
+        name: &'static str,
+        /// Enclosing span count on the emitting thread.
+        depth: usize,
+        /// Wall duration of the span.
+        nanos: u64,
+    },
+}
+
+/// Test exporter that records every event in order, so tests can assert
+/// the exact span tree an instrumented call produces.
+#[derive(Debug, Default)]
+pub struct InMemoryCollector {
+    events: Mutex<Vec<SpanEvent>>,
+}
+
+impl InMemoryCollector {
+    /// An empty collector (install it, run the code under test, read
+    /// [`events`](Self::events)).
+    pub fn new() -> InMemoryCollector {
+        InMemoryCollector::default()
+    }
+
+    /// Everything recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.events.lock().clone()
+    }
+
+    /// `(name, depth)` of each `Enter` event, in order — the span tree
+    /// in preorder.
+    pub fn enter_tree(&self) -> Vec<(&'static str, usize)> {
+        self.events
+            .lock()
+            .iter()
+            .filter_map(|e| match e {
+                SpanEvent::Enter { name, depth } => Some((*name, *depth)),
+                SpanEvent::Exit { .. } => None,
+            })
+            .collect()
+    }
+}
+
+impl Exporter for InMemoryCollector {
+    fn span_enter(&self, name: &'static str, depth: usize) {
+        self.events.lock().push(SpanEvent::Enter { name, depth });
+    }
+
+    fn span_exit(&self, name: &'static str, depth: usize, nanos: u64) {
+        self.events
+            .lock()
+            .push(SpanEvent::Exit { name, depth, nanos });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_lines_emit_valid_objects() {
+        let sink = JsonLines::new(Vec::new());
+        sink.span_enter("stage.\"a\"", 0);
+        sink.span_exit("stage.\"a\"", 0, 1500);
+        let text = String::from_utf8(sink.out.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(
+            lines[0],
+            "{\"ev\":\"enter\",\"span\":\"stage.\\\"a\\\"\",\"depth\":0}"
+        );
+        assert_eq!(
+            lines[1],
+            "{\"ev\":\"exit\",\"span\":\"stage.\\\"a\\\"\",\"depth\":0,\"ns\":1500}"
+        );
+    }
+
+    #[test]
+    fn collector_preserves_order_and_tree() {
+        let c = InMemoryCollector::new();
+        c.span_enter("a", 0);
+        c.span_enter("b", 1);
+        c.span_exit("b", 1, 10);
+        c.span_exit("a", 0, 20);
+        assert_eq!(c.enter_tree(), vec![("a", 0), ("b", 1)]);
+        assert_eq!(c.events().len(), 4);
+    }
+}

@@ -1,0 +1,157 @@
+//! Minimal JSON serialization for bench snapshots — enough to write a
+//! valid `BENCH_<bin>.json` without a serde dependency.
+
+use crate::metrics::registry;
+
+/// Escape a string for embedding inside a JSON string literal (quotes,
+/// backslashes and control characters).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render an `f64` as a JSON number (`null` for NaN/±∞, which JSON
+/// cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize the entire global registry plus bench headline metrics as a
+/// pretty-printed `BENCH_<bin>.json` document:
+///
+/// ```json
+/// {
+///   "schema": 1,
+///   "bin": "table2",
+///   "headline": {"ndcg_short": 0.93, ...},
+///   "counters": {"index.probe.exact": 120, ...},
+///   "gauges": {"tagger.epoch_loss": 0.41, ...},
+///   "histograms": {"algo1.probe": {"count":30,"p50":1200,...}, ...}
+/// }
+/// ```
+///
+/// Histogram values are span durations in nanoseconds.
+pub fn bench_snapshot(bin: &str, headline: &[(&str, f64)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str(&format!("  \"bin\": \"{}\",\n", escape(bin)));
+
+    out.push_str("  \"headline\": {");
+    push_entries(
+        &mut out,
+        headline.iter().map(|(k, v)| ((*k).to_string(), number(*v))),
+    );
+    out.push_str("},\n");
+
+    out.push_str("  \"counters\": {");
+    push_entries(
+        &mut out,
+        registry()
+            .counter_values()
+            .into_iter()
+            .map(|(k, v)| (k, v.to_string())),
+    );
+    out.push_str("},\n");
+
+    out.push_str("  \"gauges\": {");
+    push_entries(
+        &mut out,
+        registry()
+            .gauge_values()
+            .into_iter()
+            .map(|(k, v)| (k, number(v))),
+    );
+    out.push_str("},\n");
+
+    out.push_str("  \"histograms\": {");
+    push_entries(
+        &mut out,
+        registry().histogram_snapshots().into_iter().map(|(k, s)| {
+            let body = format!(
+                "{{\"count\": {}, \"sum_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \
+                 \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                s.count, s.sum, s.min, s.max, s.p50, s.p95, s.p99
+            );
+            (k, body)
+        }),
+    );
+    out.push_str("}\n");
+
+    out.push_str("}\n");
+    out
+}
+
+/// Write `"key": value` pairs indented one level inside an object whose
+/// opening brace is already emitted.
+fn push_entries(out: &mut String, entries: impl Iterator<Item = (String, String)>) {
+    let mut first = true;
+    for (k, v) in entries {
+        out.push_str(if first { "\n" } else { ",\n" });
+        first = false;
+        out.push_str(&format!("    \"{}\": {}", escape(&k), v));
+    }
+    if !first {
+        out.push_str("\n  ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn number_maps_nonfinite_to_null() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn snapshot_has_required_top_level_keys() {
+        registry().counter("json.test.counter").inc();
+        registry().histogram("json.test.hist").record(42);
+        let doc = bench_snapshot("unit", &[("ndcg", 0.5)]);
+        for key in [
+            "\"schema\"",
+            "\"bin\"",
+            "\"headline\"",
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+        ] {
+            assert!(doc.contains(key), "missing {key} in {doc}");
+        }
+        assert!(doc.contains("\"json.test.counter\": 1"));
+        assert!(doc.contains("\"p50_ns\": 42"));
+        // Balanced braces ⇒ at least structurally plausible JSON; the
+        // real parse check lives in `xtask check-bench`.
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces: {doc}"
+        );
+    }
+}

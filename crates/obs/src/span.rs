@@ -1,0 +1,151 @@
+//! Hierarchical spans: thread-local depth tracking, monotonic timing and
+//! RAII exit guards.
+//!
+//! A span is entered with [`SpanGuard::enter`] (or the
+//! [`span!`](crate::span) macro) and exits when the guard drops. While an
+//! exporter is installed ([`crate::install`]), entering pushes the
+//! thread-local depth, notifies the exporter, and the exit records the
+//! span's wall duration both to the exporter and to the global histogram
+//! registered under the span's name. With **no exporter installed the
+//! whole path is two relaxed atomic loads and a `None` guard** — no
+//! clock read, no allocation, no registry lookup — so instrumented hot
+//! paths cost nothing in default builds.
+
+use crate::export::{enabled, with_exporter};
+use std::cell::Cell;
+use std::time::Instant;
+
+thread_local! {
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Depth of the innermost active span on this thread (0 = top level).
+pub fn current_depth() -> usize {
+    DEPTH.with(Cell::get)
+}
+
+struct ActiveSpan {
+    name: &'static str,
+    start: Instant,
+    depth: usize,
+}
+
+/// RAII guard for one span; the span exits when this drops.
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// Enter a span named `name`. Near-free when no exporter is
+    /// installed (returns an inert guard).
+    #[inline]
+    pub fn enter(name: &'static str) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard { active: None };
+        }
+        SpanGuard::enter_enabled(name)
+    }
+
+    fn enter_enabled(name: &'static str) -> SpanGuard {
+        let depth = DEPTH.with(|d| {
+            let v = d.get();
+            d.set(v + 1);
+            v
+        });
+        with_exporter(|e| e.span_enter(name, depth));
+        SpanGuard {
+            active: Some(ActiveSpan {
+                name,
+                start: Instant::now(),
+                depth,
+            }),
+        }
+    }
+
+    /// Whether this guard is actually timing (an exporter was installed
+    /// at enter time).
+    pub fn is_active(&self) -> bool {
+        self.active.is_some()
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let nanos = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        DEPTH.with(|d| d.set(span.depth));
+        crate::metrics::registry()
+            .histogram(span.name)
+            .record(nanos);
+        with_exporter(|e| e.span_exit(span.name, span.depth, nanos));
+    }
+}
+
+/// Enter a span for the rest of the enclosing scope:
+///
+/// ```
+/// let _span = saccs_obs::span!("algo1.probe");
+/// ```
+///
+/// Bind the guard to a named `_`-prefixed local — a bare `let _ =` would
+/// drop (and exit) the span immediately.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::SpanGuard::enter($name)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::{install, uninstall, InMemoryCollector, SpanEvent};
+    use std::sync::Arc;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        // No exporter installed: no depth tracking, inactive guard.
+        let g = SpanGuard::enter("noop");
+        assert!(!g.is_active());
+        assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn nesting_tracks_depth_and_restores_it() {
+        let collector = Arc::new(InMemoryCollector::new());
+        install(collector.clone());
+        {
+            let _outer = span!("outer");
+            assert_eq!(current_depth(), 1);
+            {
+                let _inner = span!("inner");
+                assert_eq!(current_depth(), 2);
+            }
+            assert_eq!(current_depth(), 1);
+        }
+        assert_eq!(current_depth(), 0);
+        uninstall();
+        let enters: Vec<(&str, usize)> = collector
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SpanEvent::Enter { name, depth } => Some((*name, *depth)),
+                SpanEvent::Exit { .. } => None,
+            })
+            .collect();
+        assert_eq!(enters, vec![("outer", 0), ("inner", 1)]);
+        // Inner exits before outer, and durations land in the registry.
+        let exits: Vec<&str> = collector
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                SpanEvent::Exit { name, .. } => Some(*name),
+                SpanEvent::Enter { .. } => None,
+            })
+            .collect();
+        assert_eq!(exits, vec!["inner", "outer"]);
+        assert!(crate::metrics::registry().histogram("outer").count() >= 1);
+    }
+}

@@ -82,6 +82,7 @@ impl PairingPipeline {
         dev: &[LabeledSentence],
         config: PipelineConfig,
     ) -> Self {
+        let _fit = saccs_obs::span!("pairing.fit");
         let lfs = build_labeling_functions(&bert, dev);
 
         // Vote matrix over every candidate of every training sentence.
@@ -118,6 +119,24 @@ impl PairingPipeline {
             !vote_rows.is_empty(),
             "no pairing candidates in training data"
         );
+        saccs_obs::counter!("pairing.candidates").add(vote_rows.len() as u64);
+        if saccs_obs::enabled() {
+            // Per-LF diagnostics: how often each labeling function fires,
+            // and how often it agrees with the majority vote it feeds.
+            for (li, lf) in lfs.iter().enumerate() {
+                let fired = vote_rows.iter().filter(|row| row[li]).count();
+                let agree = vote_rows
+                    .iter()
+                    .filter(|row| row[li] == majority_vote(row))
+                    .count();
+                let n = vote_rows.len() as f64;
+                let reg = saccs_obs::registry();
+                reg.gauge(&format!("pairing.lf.{}.fire_rate", lf.name()))
+                    .set(fired as f64 / n);
+                reg.gauge(&format!("pairing.lf.{}.agreement", lf.name()))
+                    .set(agree as f64 / n);
+            }
+        }
 
         let probabilistic = ProbabilisticModel::fit(&vote_rows, config.em_iterations);
         let weak: Vec<bool> = vote_rows

@@ -73,6 +73,7 @@ impl Tagger {
     /// `config.epochs` passes in shuffled order.
     pub fn train(bert: Rc<MiniBert>, train_set: &[LabeledSentence], config: &TrainConfig) -> Self {
         assert!(!train_set.is_empty(), "empty training set");
+        let _train = saccs_obs::span!("tagger.train");
         let mut rng = StdRng::seed_from_u64(config.seed);
         let model = TaggerModel::new(
             config.architecture,
@@ -87,6 +88,12 @@ impl Tagger {
         let mut order: Vec<usize> = (0..train_set.len()).collect();
 
         for _ in 0..config.epochs {
+            let _epoch = saccs_obs::span!("tagger.epoch");
+            // Loss/norm bookkeeping reads values out of the graph, which
+            // costs extra traversals — only do it when someone is looking.
+            let observing = saccs_obs::enabled();
+            let mut epoch_loss = 0.0f64;
+            let mut seen = 0usize;
             order.shuffle(&mut rng);
             for &i in &order {
                 let f = &features[i];
@@ -96,11 +103,11 @@ impl Tagger {
                     continue;
                 }
                 zero_grads(&params);
-                match config.adversarial {
+                let step_loss = match config.adversarial {
                     None => {
-                        model
-                            .loss(&Var::leaf(f.clone()), y, true, &mut rng)
-                            .backward();
+                        let loss = model.loss(&Var::leaf(f.clone()), y, true, &mut rng);
+                        loss.backward();
+                        loss
                     }
                     Some(adv) => {
                         // Pass 1: input gradient for δ* (Eq. 9).
@@ -115,18 +122,44 @@ impl Tagger {
                                 adv.epsilon * g.signum()
                             }
                         });
+                        if observing {
+                            saccs_obs::registry()
+                                .gauge("tagger.fgsm.delta_norm")
+                                .set(f64::from(delta.norm()));
+                        }
                         // Discard the parameter gradients of the probe pass.
                         zero_grads(&params);
                         // Pass 2+3: combined objective (Eq. 8).
                         let clean = model.loss(&Var::leaf(f.clone()), y, true, &mut rng);
                         let perturbed = model.loss(&Var::leaf(f.add(&delta)), y, true, &mut rng);
-                        clean
+                        let combined = clean
                             .scale(adv.alpha)
-                            .add(&perturbed.scale(1.0 - adv.alpha))
-                            .backward();
+                            .add(&perturbed.scale(1.0 - adv.alpha));
+                        combined.backward();
+                        combined
                     }
+                };
+                if observing {
+                    epoch_loss += f64::from(step_loss.scalar());
+                    seen += 1;
+                    let grad_sq: f32 = params
+                        .iter()
+                        .map(|p| {
+                            let n = p.grad().norm();
+                            n * n
+                        })
+                        .sum();
+                    saccs_obs::registry()
+                        .gauge("tagger.grad_norm")
+                        .set(f64::from(grad_sq.sqrt()));
                 }
                 opt.step(&params);
+            }
+            saccs_obs::counter!("tagger.epochs").inc();
+            if observing && seen > 0 {
+                saccs_obs::registry()
+                    .gauge("tagger.epoch_loss")
+                    .set(epoch_loss / seen as f64);
             }
         }
         Tagger { bert, model }

@@ -9,6 +9,7 @@ pub(crate) mod doc_coverage;
 pub(crate) mod float_accum;
 pub(crate) mod hot_assert;
 pub(crate) mod lock_hazard;
+pub(crate) mod no_print;
 pub(crate) mod no_unwrap;
 
 use crate::scan::SourceFile;
@@ -51,6 +52,7 @@ pub(crate) trait Lint {
 pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(no_unwrap::NoUnwrapInLib),
+        Box::new(no_print::NoPrintInLib),
         Box::new(lock_hazard::LockHazard),
         Box::new(float_accum::FloatAccum),
         Box::new(hot_assert::AssertInHotPath),

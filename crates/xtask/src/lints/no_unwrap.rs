@@ -9,10 +9,11 @@
 use super::{Lint, Violation};
 use crate::scan::SourceFile;
 
-const CRATES: [&str; 5] = [
+const CRATES: [&str; 6] = [
     "crates/core/src/",
     "crates/index/src/",
     "crates/nn/src/",
+    "crates/obs/src/",
     "crates/tagger/src/",
     "crates/pairing/src/",
 ];

@@ -9,6 +9,7 @@
 //! panic density, lock discipline, float accumulation, hot-loop asserts
 //! and API doc coverage.
 
+mod benchjson;
 mod lints;
 mod scan;
 
@@ -21,8 +22,16 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(),
+        Some("check-bench") => match args.get(1) {
+            Some(path) => check_bench(path),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- check-bench BENCH_<bin>.json");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!("usage: cargo run -p xtask -- check");
+            eprintln!("       cargo run -p xtask -- check-bench BENCH_<bin>.json");
             eprintln!();
             eprintln!("lints:");
             for lint in all_lints() {
@@ -30,6 +39,28 @@ fn main() -> ExitCode {
             }
             ExitCode::from(2)
         }
+    }
+}
+
+/// Validate one `BENCH_<bin>.json` snapshot emitted by a bench bin under
+/// `SACCS_OBS=json` (syntax, required sections, histogram shape).
+fn check_bench(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-bench: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = benchjson::validate(&text);
+    if problems.is_empty() {
+        println!("xtask check-bench: {path} ok");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("xtask check-bench: {path}: {p}");
+        }
+        ExitCode::FAILURE
     }
 }
 

@@ -10,6 +10,7 @@
 #   3. build     cargo build --workspace --release
 #   4. test      cargo test -q --workspace
 #   5. sanitize  cargo test -q --features saccs-nn/sanitize
+#   6. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,5 +47,13 @@ cargo test "${OFFLINE[@]}" -q --workspace || fail test
 
 stage sanitize "cargo test -q --features saccs-nn/sanitize"
 cargo test "${OFFLINE[@]}" -q --features saccs-nn/sanitize || fail sanitize
+
+# Observability round-trip: run the cheapest bench bin with the JSON
+# exporter and validate the snapshot it writes (syntax + required keys).
+stage bench-obs "SACCS_OBS=json table3 -> xtask check-bench"
+rm -f BENCH_table3.json
+SACCS_OBS=json cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin table3 \
+    >/dev/null || fail bench-obs
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_table3.json || fail bench-obs
 
 printf '\n=== CI green: all stages passed ===\n'

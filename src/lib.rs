@@ -41,6 +41,8 @@ pub use saccs_index as index;
 pub use saccs_ir as ir;
 /// Reverse-mode autograd, matrices, layers and optimizers.
 pub use saccs_nn as nn;
+/// Zero-dependency tracing spans, metrics registry and exporters.
+pub use saccs_obs as obs;
 /// Aspect-opinion pairing: heuristics, labeling functions and classifiers.
 pub use saccs_pairing as pairing;
 /// Heuristic dependency-ish parsing for the tree pairing heuristic.
