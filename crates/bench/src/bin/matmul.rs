@@ -1,0 +1,82 @@
+//! Matmul microbenchmark: the seed's zero-skip `i-k-j` kernel vs the
+//! blocked SIMD kernel (`saccs-nn::kernel`), interleaved best-of-N so
+//! noisy shared-vCPU hosts cannot bias one side.
+//!
+//! `cargo run --release -p saccs-bench --bin matmul`
+//! Environment: `SACCS_THREADS` (pool width for the blocked kernel),
+//! `SACCS_MM_REPS` (timed repetitions per shape, default 7),
+//! `SACCS_OBS=json` to emit `BENCH_matmul.json` (validated by
+//! `xtask check-bench`).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs_nn::Matrix;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// `(m, k, n)` shapes: the 256³ headline plus two pipeline-sized shapes
+/// (a MiniBert block forward and a tagger feature projection).
+const SHAPES: [(usize, usize, usize); 3] = [(256, 256, 256), (40, 48, 96), (192, 64, 48)];
+
+fn main() {
+    saccs_bench::obs_init();
+    let reps: usize = std::env::var("SACCS_MM_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let threads = saccs_rt::threads();
+    println!(
+        "Matmul kernels: naive zero-skip vs blocked `{}` (best of {reps}, {threads} thread(s))\n",
+        saccs_nn::kernel_name()
+    );
+    println!(
+        "{:<16} {:>12} {:>12} {:>9} {:>9}",
+        "shape", "naive ms", "blocked ms", "GFLOP/s", "speedup"
+    );
+
+    let mut headline_gflops = 0.0f64;
+    let mut headline_speedup = 0.0f64;
+    for (m, k, n) in SHAPES {
+        let mut rng = StdRng::seed_from_u64(0xB14C);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, 1.0, &mut rng);
+        // Warm both paths (page in, populate the kernel dispatch cache).
+        black_box(a.matmul_naive(&b));
+        black_box(a.matmul(&b));
+
+        let mut t_naive = f64::INFINITY;
+        let mut t_blocked = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            black_box(a.matmul_naive(&b));
+            t_naive = t_naive.min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            black_box(a.matmul(&b));
+            t_blocked = t_blocked.min(t0.elapsed().as_secs_f64());
+        }
+        let flops = 2.0 * m as f64 * k as f64 * n as f64;
+        let gflops = flops / t_blocked / 1e9;
+        let speedup = t_naive / t_blocked;
+        if (m, k, n) == SHAPES[0] {
+            headline_gflops = gflops;
+            headline_speedup = speedup;
+        }
+        println!(
+            "{:<16} {:>12.3} {:>12.3} {:>9.2} {:>8.2}x",
+            format!("{m}x{k}.{k}x{n}"),
+            t_naive * 1e3,
+            t_blocked * 1e3,
+            gflops,
+            speedup
+        );
+    }
+
+    saccs_bench::obs_finish(
+        "matmul",
+        &[
+            ("gflops", headline_gflops),
+            ("speedup_vs_serial", headline_speedup),
+            ("threads", threads as f64),
+        ],
+    );
+}

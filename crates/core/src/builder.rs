@@ -194,6 +194,16 @@ impl SaccsBuilder {
         );
         {
             let _extract = saccs_obs::span!("build.extract_reviews");
+            // Warm the whole corpus's frozen features in one deduped,
+            // pool-parallel batch: review sentences repeat heavily (the
+            // generators reuse templates), so the per-sentence extraction
+            // below hits the encoder memo instead of re-running forwards.
+            let all_sentences: Vec<Vec<String>> = corpus
+                .reviews
+                .iter()
+                .flat_map(|r| r.sentences.iter().map(|s| s.tokens.clone()))
+                .collect();
+            extractor.warm_features(&all_sentences);
             for entity in &corpus.entities {
                 let review_ids = corpus.reviews_of(entity.id);
                 let mut review_tags = Vec::new();

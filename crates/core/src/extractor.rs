@@ -221,16 +221,39 @@ impl TagExtractor {
         tags
     }
 
+    /// Batch-warm the encoder's frozen-feature memo for `sentences`:
+    /// deduped and fanned out across the `saccs-rt` pool by
+    /// `MiniBert::features_batch`, so the per-sentence tagging that
+    /// follows serves every forward from the cache. A no-op for zero or
+    /// one (non-empty) sentences — nothing to batch.
+    pub fn warm_features(&self, sentences: &[Vec<String>]) {
+        let non_empty: Vec<Vec<String>> = sentences
+            .iter()
+            .filter(|t| !t.is_empty())
+            .cloned()
+            .collect();
+        if non_empty.len() > 1 {
+            let _ = self.tagger.bert().features_batch(&non_empty);
+        }
+    }
+
     /// Extract subjective tags from free text (reviews or utterances):
-    /// sentence-split, tokenize, tag, pair.
+    /// sentence-split, tokenize, batch the tagger's feature forwards,
+    /// then tag and pair per sentence.
     pub fn extract(&self, text: &str) -> Vec<SubjectiveTag> {
+        let sentences: Vec<Vec<String>> = split_sentences(text)
+            .into_iter()
+            .map(|sentence| {
+                tokenize_lower(&sentence)
+                    .into_iter()
+                    .map(|t| t.text)
+                    .collect()
+            })
+            .collect();
+        self.warm_features(&sentences);
         let mut out = Vec::new();
-        for sentence in split_sentences(text) {
-            let tokens: Vec<String> = tokenize_lower(&sentence)
-                .into_iter()
-                .map(|t| t.text)
-                .collect();
-            out.extend(self.extract_from_tokens(&tokens));
+        for tokens in &sentences {
+            out.extend(self.extract_from_tokens(tokens));
         }
         out
     }

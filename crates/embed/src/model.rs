@@ -5,6 +5,28 @@ use rand::SeedableRng;
 use saccs_nn::layers::{Embedding, Layer, LayerNorm, Linear, MultiHeadSelfAttention};
 use saccs_nn::{Matrix, Var};
 use saccs_text::vocab::{Vocab, CLS};
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Cap on memoized frozen-feature matrices. The SACCS pipeline re-embeds
+/// the same tag phrases and review sentences thousands of times (degree
+/// computation, probes, the adaptation loop); a bounded FIFO memo turns
+/// the repeats into clones. At dim 32 and typical sentence lengths this
+/// is a few MiB at the cap.
+const FEATURE_CACHE_CAP: usize = 4096;
+
+/// Distinguishes encoder instances so worker-thread replicas (see
+/// [`MiniBert::parallel_with_replicas`]) never serve weights from a
+/// different model that happens to share a version number.
+static NEXT_UID: AtomicU64 = AtomicU64::new(1);
+
+/// Bounded FIFO memo of frozen features keyed by the encoded id sequence.
+#[derive(Default)]
+struct FeatureCache {
+    map: HashMap<Vec<usize>, Matrix>,
+    order: VecDeque<Vec<usize>>,
+}
 
 /// Encoder hyperparameters.
 #[derive(Debug, Clone)]
@@ -81,6 +103,13 @@ pub struct MiniBert {
     /// Ids of the sequence whose attention matrices are currently stored
     /// in the blocks (see [`MiniBert::ensure_attentions`]).
     attention_key: std::cell::RefCell<Option<Vec<usize>>>,
+    /// Identity of this instance (replica cache key, see
+    /// [`MiniBert::parallel_with_replicas`]).
+    uid: u64,
+    /// Bumped whenever the weights change; invalidates the feature memo
+    /// and any worker-thread replicas.
+    weights_version: Cell<u64>,
+    feature_cache: RefCell<FeatureCache>,
 }
 
 impl MiniBert {
@@ -101,6 +130,9 @@ impl MiniBert {
             blocks,
             mlm_head,
             attention_key: std::cell::RefCell::new(None),
+            uid: NEXT_UID.fetch_add(1, Ordering::Relaxed),
+            weights_version: Cell::new(0),
+            feature_cache: RefCell::new(FeatureCache::default()),
         }
     }
 
@@ -157,10 +189,131 @@ impl MiniBert {
 
     /// Convenience: tokens (without `[CLS]`) → frozen features *without*
     /// the `[CLS]` row, aligned 1:1 with the input tokens.
+    ///
+    /// Results are memoized in a bounded FIFO cache keyed by the encoded
+    /// id sequence; the cache is cleared whenever the weights change
+    /// (training, [`MiniBert::load_bytes`]).
     pub fn features(&self, tokens: &[String]) -> Matrix {
         let ids = self.ids(tokens);
+        if let Some(hit) = self.feature_cache.borrow().map.get(&ids) {
+            saccs_obs::counter!("embed.cache.hit").inc();
+            return hit.clone();
+        }
+        saccs_obs::counter!("embed.cache.miss").inc();
         let full = self.encode_frozen(&ids);
-        full.slice_rows(1, full.rows())
+        let feats = full.slice_rows(1, full.rows());
+        self.cache_insert(ids, feats.clone());
+        feats
+    }
+
+    /// Frozen features for a batch of token sequences, one matrix per
+    /// input, in input order. Cache hits are served directly; each unique
+    /// miss is encoded exactly once, fanned out across the `saccs-rt`
+    /// pool when it is wider than one thread. Replicas carry bit-identical
+    /// weights and the matmul kernel never varies with thread count, so
+    /// the output is bitwise independent of `SACCS_THREADS`.
+    pub fn features_batch(&self, token_seqs: &[Vec<String>]) -> Vec<Matrix> {
+        let _span = saccs_obs::span!("embed.features_batch");
+        let keys: Vec<Vec<usize>> = token_seqs.iter().map(|t| self.ids(t)).collect();
+        // Dedupe the misses so repeated sentences cost one forward.
+        let mut miss_keys: Vec<Vec<usize>> = Vec::new();
+        let mut miss_of: HashMap<&[usize], usize> = HashMap::new();
+        {
+            let cache = self.feature_cache.borrow();
+            for key in &keys {
+                if cache.map.contains_key(key) {
+                    saccs_obs::counter!("embed.cache.hit").inc();
+                } else if !miss_of.contains_key(key.as_slice()) {
+                    saccs_obs::counter!("embed.cache.miss").inc();
+                    miss_of.insert(key, miss_keys.len());
+                    miss_keys.push(key.clone());
+                }
+            }
+        }
+        let encoded: Vec<Matrix> = self.parallel_with_replicas(miss_keys.len(), 4, |bert, i| {
+            let full = bert.encode_frozen(&miss_keys[i]);
+            full.slice_rows(1, full.rows())
+        });
+        for (key, feats) in miss_keys.iter().zip(&encoded) {
+            self.cache_insert(key.clone(), feats.clone());
+        }
+        // Serve from the cache but fall back to the freshly encoded list:
+        // a batch larger than the cache cap evicts its own entries.
+        let cache = self.feature_cache.borrow();
+        keys.iter()
+            .map(|key| match cache.map.get(key) {
+                Some(m) => m.clone(),
+                None => encoded[miss_of[key.as_slice()]].clone(),
+            })
+            .collect()
+    }
+
+    /// Run `f(replica, i)` for every `i in 0..n`, fanning out across the
+    /// `saccs-rt` pool. Each worker thread lazily rebuilds a private
+    /// replica of this encoder from its serialized weights (keyed by
+    /// instance uid + weights version, so stale replicas are replaced
+    /// after training). Falls back to running `f(self, i)` serially when
+    /// the pool is one thread wide or the batch is below `min_per_task`.
+    /// Results are positional: independent of which thread ran what.
+    pub fn parallel_with_replicas<R, F>(&self, n: usize, min_per_task: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&MiniBert, usize) -> R + Sync,
+    {
+        thread_local! {
+            static REPLICA: RefCell<Option<((u64, u64), MiniBert)>> =
+                const { RefCell::new(None) };
+        }
+        if n == 0 {
+            return Vec::new();
+        }
+        if saccs_rt::threads() == 1 || n <= min_per_task {
+            return (0..n).map(|i| f(self, i)).collect();
+        }
+        let bytes = self.save_bytes();
+        let key = (self.uid, self.weights_version.get());
+        let vocab = &self.vocab;
+        let config = &self.config;
+        saccs_rt::parallel_map(n, min_per_task, |i| {
+            REPLICA.with(|slot| {
+                let mut slot = slot.borrow_mut();
+                let stale = !matches!(&*slot, Some((k, _)) if *k == key);
+                if stale {
+                    let replica = MiniBert::new(vocab.clone(), config.clone());
+                    replica
+                        .load_bytes(&bytes)
+                        .expect("replica rejected weights serialized from the same model");
+                    *slot = Some((key, replica));
+                }
+                match &*slot {
+                    Some((_, replica)) => f(replica, i),
+                    None => unreachable!("replica slot filled above"),
+                }
+            })
+        })
+    }
+
+    /// Record that the weights changed: clears the feature memo and
+    /// invalidates worker-thread replicas. Training entry points and
+    /// [`MiniBert::load_bytes`] call this; call it manually after any
+    /// out-of-band parameter mutation through [`Layer::params`].
+    pub fn bump_weights_version(&self) {
+        self.weights_version.set(self.weights_version.get() + 1);
+        let mut cache = self.feature_cache.borrow_mut();
+        cache.map.clear();
+        cache.order.clear();
+    }
+
+    fn cache_insert(&self, key: Vec<usize>, value: Matrix) {
+        let mut cache = self.feature_cache.borrow_mut();
+        if cache.map.len() >= FEATURE_CACHE_CAP {
+            if let Some(old) = cache.order.pop_front() {
+                cache.map.remove(&old);
+            }
+        }
+        if cache.map.insert(key.clone(), value).is_none() {
+            cache.order.push_back(key);
+        }
     }
 
     /// Make sure the blocks' recorded attention matrices correspond to
@@ -197,6 +350,15 @@ impl MiniBert {
         self.mlm_head.forward(&self.encode(ids))
     }
 
+    /// Masked-LM logits for only the `rows` positions: `|rows|×vocab`.
+    /// Equivalent to `mlm_logits(ids).gather_rows(rows)` — the head is
+    /// row-wise linear and the kernel computes each output row from its
+    /// input row alone — but skips the head forward/backward for every
+    /// unmasked position, which is most of the MLM pretraining cost.
+    pub fn mlm_logits_rows(&self, ids: &[usize], rows: &[usize]) -> Var {
+        self.mlm_head.forward(&self.encode(ids).gather_rows(rows))
+    }
+
     /// Mean-pooled phrase embedding (frozen), e.g. for similarity probes.
     pub fn phrase_embedding(&self, tokens: &[String]) -> Vec<f32> {
         let feats = self.features(tokens);
@@ -223,6 +385,7 @@ impl MiniBert {
     pub fn load_bytes(&self, bytes: &[u8]) -> Result<(), saccs_nn::CodecError> {
         let state = saccs_nn::decode_state(bytes)?;
         self.load_state(&state);
+        self.bump_weights_version();
         Ok(())
     }
 }
@@ -353,6 +516,37 @@ mod tests {
         assert_eq!(a.encode_frozen(&ids), before);
         // Garbage is rejected.
         assert!(a.load_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn feature_cache_serves_identical_values_and_invalidates() {
+        let b = tiny_bert();
+        let t = toks(&["food", "is", "nice"]);
+        let first = b.features(&t);
+        // Second call is a cache hit and must be bit-identical.
+        assert_eq!(b.features(&t), first);
+        // Out-of-band weight mutation + bump: no stale features.
+        for p in b.params() {
+            p.update_value(|v| *v = v.scale(0.0));
+        }
+        b.bump_weights_version();
+        assert_ne!(b.features(&t), first);
+    }
+
+    #[test]
+    fn features_batch_matches_sequential_features() {
+        let b = tiny_bert();
+        let seqs = vec![
+            toks(&["food", "is", "nice"]),
+            toks(&["the", "staff"]),
+            toks(&["food", "is", "nice"]), // duplicate: served from memo
+            toks(&["delicious"]),
+        ];
+        let batch = b.features_batch(&seqs);
+        assert_eq!(batch.len(), seqs.len());
+        for (seq, got) in seqs.iter().zip(&batch) {
+            assert_eq!(got, &b.features(seq));
+        }
     }
 
     #[test]

@@ -173,8 +173,12 @@ pub fn train_mlm(bert: &MiniBert, sentences: &[Vec<String>], config: &MlmConfig)
             let targets: Vec<usize> = masked.iter().map(|&p| original[p]).collect();
 
             zero_grads(&params);
-            let logits = bert.mlm_logits(&input);
-            let loss = logits.gather_rows(&masked).cross_entropy(&targets);
+            // Mask-first: run the vocab-sized head only over the masked
+            // rows (same loss and gradients as heading every position and
+            // gathering after — the head is row-wise linear).
+            let loss = bert
+                .mlm_logits_rows(&input, &masked)
+                .cross_entropy(&targets);
             loss.backward();
             opt.step(&params);
             total += loss.scalar();
@@ -188,6 +192,7 @@ pub fn train_mlm(bert: &MiniBert, sentences: &[Vec<String>], config: &MlmConfig)
                 .set(f64::from(last_epoch_loss));
         }
     }
+    bert.bump_weights_version();
     last_epoch_loss
 }
 
@@ -232,20 +237,24 @@ pub fn finetune_tagging(
         }
         last = total / count.max(1) as f32;
     }
+    bert.bump_weights_version();
     last
 }
 
 /// Mean masked-prediction loss on a held-out corpus without updating
 /// weights (for measuring domain-adaptation gains).
+///
+/// Each sentence's mask positions derive from `(seed, sentence index)`
+/// and the per-sentence losses are summed in index order, so evaluation
+/// fans out across the `saccs-rt` pool (via per-worker encoder replicas)
+/// with a result that is independent of the thread count.
 pub fn eval_mlm(bert: &MiniBert, sentences: &[Vec<String>], mask_prob: f64, seed: u64) -> f32 {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut total = 0.0;
-    let mut count = 0usize;
-    for tokens in sentences {
-        let original = bert.ids(tokens);
+    let losses = bert.parallel_with_replicas(sentences.len(), 8, |bert, i| {
+        let original = bert.ids(&sentences[i]);
         if original.len() < 2 {
-            continue;
+            return None;
         }
+        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         let mut masked: Vec<usize> = (1..original.len())
             .filter(|_| rng.gen_bool(mask_prob))
             .collect();
@@ -257,8 +266,16 @@ pub fn eval_mlm(bert: &MiniBert, sentences: &[Vec<String>], mask_prob: f64, seed
             input[p] = MASK;
         }
         let targets: Vec<usize> = masked.iter().map(|&p| original[p]).collect();
-        let logits = bert.mlm_logits(&input);
-        total += logits.gather_rows(&masked).cross_entropy(&targets).scalar();
+        Some(
+            bert.mlm_logits_rows(&input, &masked)
+                .cross_entropy(&targets)
+                .scalar(),
+        )
+    });
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for loss in losses.into_iter().flatten() {
+        total += loss;
         count += 1;
     }
     total / count.max(1) as f32

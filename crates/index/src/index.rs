@@ -213,32 +213,17 @@ impl SubjectiveIndex {
     }
 
     /// (Re)index the given tags against all registered evidence. Existing
-    /// tags are recomputed; construction parallelizes over tags with
-    /// crossbeam scoped threads.
+    /// tags are recomputed; construction fans out one task per tag across
+    /// the `saccs-rt` pool. Posting lists come back positionally and each
+    /// is a pure function of `(tag, evidence)`, so the resulting index is
+    /// bitwise independent of the thread count.
     pub fn index_tags(&mut self, tags: &[SubjectiveTag]) {
         let _build = saccs_obs::span!("index.build");
         saccs_obs::counter!("index.build.tags").add(tags.len() as u64);
-        let threads = std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1);
-        let results = parking_lot::Mutex::new(Vec::with_capacity(tags.len()));
-        crossbeam::thread::scope(|scope| {
-            let chunk = tags.len().div_ceil(threads.max(1)).max(1);
-            for batch in tags.chunks(chunk) {
-                let results = &results;
-                let this = &*self;
-                scope.spawn(move |_| {
-                    let mut local = Vec::with_capacity(batch.len());
-                    for tag in batch {
-                        local.push((tag.clone(), this.build_postings(tag)));
-                    }
-                    results.lock().extend(local);
-                });
-            }
-        })
-        .expect("index worker panicked");
-        for (tag, postings) in results.into_inner() {
-            self.entries.insert(tag, postings);
+        let this = &*self;
+        let postings = saccs_rt::parallel_map(tags.len(), 4, |i| this.build_postings(&tags[i]));
+        for (tag, postings) in tags.iter().zip(postings) {
+            self.entries.insert(tag.clone(), postings);
         }
     }
 

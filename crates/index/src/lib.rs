@@ -10,7 +10,7 @@
 //!   example of §3.2),
 //! * a user tag history feeding dynamic re-indexing rounds (§3.1,
 //!   Figure 1), which is how SACCS "adapts to new user needs",
-//! * parallel construction over index tags (crossbeam scoped threads),
+//! * parallel construction over index tags (the `saccs-rt` pool),
 //! * serde snapshots.
 //!
 //! The index is deliberately decoupled from the neural extractor: callers

@@ -46,6 +46,31 @@ impl SharedIndex {
         result
     }
 
+    /// Fan a batch of probes out across the `saccs-rt` pool, one task per
+    /// tag, each under its own shared-lock acquisition. Results are
+    /// positional and each probe is read-only, so the output matches a
+    /// sequential [`SharedIndex::probe`] loop bit for bit at any thread
+    /// count; unknown tags are queued afterwards in input order (so the
+    /// pending queue is deterministic too).
+    pub fn probe_many(&self, tags: &[SubjectiveTag]) -> Vec<Vec<(usize, f32)>> {
+        let _span = saccs_obs::span!("index.probe_many");
+        let probed = saccs_rt::parallel_map(tags.len(), 2, |i| {
+            let guard = self.inner.read();
+            let known = guard.lookup(&tags[i]).is_some();
+            let result = guard.probe_readonly(&tags[i]);
+            drop(guard);
+            (known, result)
+        });
+        let mut out = Vec::with_capacity(probed.len());
+        for (tag, (known, result)) in tags.iter().zip(probed) {
+            if !known {
+                self.pending.lock().push(tag.clone());
+            }
+            out.push(result);
+        }
+        out
+    }
+
     /// Number of index tags (shared lock).
     pub fn len(&self) -> usize {
         self.inner.read().len()

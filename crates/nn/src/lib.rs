@@ -15,6 +15,8 @@
 //!   consume;
 //! * everything is seeded and deterministic.
 
+/// Blocked/SIMD matmul kernels and their runtime dispatch.
+pub mod kernel;
 /// Neural layers: embeddings, LSTMs, attention, norms.
 pub mod layers;
 /// Dense row-major f32 matrices.
@@ -26,6 +28,8 @@ pub mod serialize;
 /// Reverse-mode autograd variables.
 pub mod var;
 
+/// Name of the micro-kernel selected for this host.
+pub use kernel::kernel_name;
 /// Layer building blocks.
 pub use layers::{
     BiLstm, Dropout, Embedding, Layer, LayerNorm, Linear, Lstm, MultiHeadSelfAttention,

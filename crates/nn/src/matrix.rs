@@ -91,15 +91,37 @@ impl Matrix {
         &mut self.data
     }
 
+    /// Bounds check behind the `sanitize` feature: release builds of a
+    /// non-square matrix would otherwise *silently* read the wrong cell
+    /// whenever `c < rows·cols/cols` holds but `c ≥ cols` (the flat
+    /// index stays in range). Sanitize builds panic naming the index
+    /// and shape; default builds keep the debug-only check.
+    #[cfg(feature = "sanitize")]
+    #[inline]
+    fn check_bounds(&self, r: usize, c: usize, op: &str) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "{op}: index ({r}, {c}) out of bounds for {}\u{d7}{} matrix",
+            self.rows,
+            self.cols
+        );
+    }
+
+    #[cfg(not(feature = "sanitize"))]
+    #[inline(always)]
+    fn check_bounds(&self, r: usize, c: usize, _op: &str) {
+        debug_assert!(r < self.rows && c < self.cols);
+    }
+
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols);
+        self.check_bounds(r, c, "get");
         self.data[r * self.cols + c]
     }
 
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        debug_assert!(r < self.rows && c < self.cols);
+        self.check_bounds(r, c, "set");
         self.data[r * self.cols + c] = v;
     }
 
@@ -116,7 +138,18 @@ impl Matrix {
     }
 
     /// Matrix product `self · other`; `(m×k) · (k×n) = (m×n)`.
+    ///
+    /// Dispatches to the cache-blocked SIMD kernel ([`crate::kernel`])
+    /// and fans row blocks out across the `saccs-rt` pool for large
+    /// shapes; results are bitwise identical at every thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        self.matmul_with_threads(other, saccs_rt::threads())
+    }
+
+    /// [`Matrix::matmul`] with an explicit fan-out width (test/bench
+    /// hook — the cross-thread-count determinism suite compares widths
+    /// inside one process without touching the global pool override).
+    pub fn matmul_with_threads(&self, other: &Matrix, width: usize) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: {}×{} · {}×{}",
@@ -124,30 +157,55 @@ impl Matrix {
         );
         let (m, n) = (self.rows, other.cols);
         let mut out = Matrix::zeros(m, n);
-        // i-k-j loop order: streams through `other` rows, cache-friendly for
-        // row-major data.
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * n..(i + 1) * n];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::kernel::matmul_into(
+            &self.data,
+            &other.data,
+            m,
+            self.cols,
+            n,
+            &mut out.data,
+            width.max(1),
+        );
         out
     }
 
-    /// Transpose.
+    /// The pre-kernel serial matmul (scalar i-k-j with a zero-skip
+    /// branch), kept as the bench baseline and as an independent oracle
+    /// for the kernel equivalence tests.
+    pub fn matmul_naive(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul: {}×{} · {}×{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        crate::kernel::reference_zero_skip_into(
+            &self.data,
+            &other.data,
+            m,
+            self.cols,
+            n,
+            &mut out.data,
+        );
+        out
+    }
+
+    /// Transpose (blocked: 32×32 tiles keep both the read and the
+    /// write side within a few cache lines, where the naive loop
+    /// strides the destination by `rows` on every element).
     pub fn transpose(&self) -> Matrix {
+        const TILE: usize = 32;
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+        for rb in (0..self.rows).step_by(TILE) {
+            let r_hi = (rb + TILE).min(self.rows);
+            for cb in (0..self.cols).step_by(TILE) {
+                let c_hi = (cb + TILE).min(self.cols);
+                for r in rb..r_hi {
+                    for c in cb..c_hi {
+                        out.data[c * self.rows + r] = self.data[r * self.cols + c];
+                    }
+                }
             }
         }
         out
@@ -442,6 +500,22 @@ mod tests {
     }
 
     #[test]
+    fn transpose_known_values() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), (3, 2));
+        assert_eq!(t.data(), &[1., 4., 2., 5., 3., 6.]);
+        // Shapes straddling the 32-wide tile boundary.
+        let big = Matrix::from_vec(33, 65, (0..33 * 65).map(|i| i as f32).collect());
+        let bt = big.transpose();
+        for r in 0..33 {
+            for c in 0..65 {
+                assert_eq!(bt.get(c, r), big.get(r, c), "({r}, {c})");
+            }
+        }
+    }
+
+    #[test]
     fn softmax_rows_sum_to_one() {
         let a = Matrix::from_vec(2, 3, vec![1., 2., 3., -1., 0., 1.]);
         let s = a.softmax_rows();
@@ -531,6 +605,32 @@ mod tests {
             let rhs = b.transpose().matmul(&a.transpose());
             for (x, y) in lhs.data().iter().zip(rhs.data()) {
                 prop_assert!((x - y).abs() < 1e-5);
+            }
+        }
+
+        #[test]
+        fn prop_transpose_round_trips(r in 1usize..70, c in 1usize..70, seed in 0u64..20) {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(r, c, 3.0, &mut rng);
+            let t = a.transpose();
+            prop_assert_eq!(t.shape(), (c, r));
+            prop_assert_eq!(&t.transpose(), &a);
+            // Spot-check the mapping itself, not just the involution.
+            prop_assert_eq!(t.get(c - 1, r - 1), a.get(r - 1, c - 1));
+            prop_assert_eq!(t.get(0, r - 1), a.get(r - 1, 0));
+        }
+
+        #[test]
+        fn prop_blocked_matmul_matches_naive(m in 1usize..40, k in 1usize..40, n in 1usize..40, seed in 0u64..20) {
+            // The blocked/SIMD kernel agrees with the legacy serial
+            // kernel to fp tolerance (FMA changes rounding, not math).
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Matrix::uniform(m, k, 1.0, &mut rng);
+            let b = Matrix::uniform(k, n, 1.0, &mut rng);
+            let fast = a.matmul(&b);
+            let slow = a.matmul_naive(&b);
+            for (x, y) in fast.data().iter().zip(slow.data()) {
+                prop_assert!((x - y).abs() < 1e-4, "{x} vs {y}");
             }
         }
 

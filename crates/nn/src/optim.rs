@@ -46,17 +46,37 @@ impl Sgd {
             params.len(),
             "parameter list changed size"
         );
+        let lr = self.lr;
+        let momentum = self.momentum;
+        // `clamp(-∞, ∞)` is the identity (NaN included), so the no-clip
+        // case shares the branch-free loop below.
+        let (lo, hi) = match self.clip {
+            Some(c) => (-c, c),
+            None => (f32::NEG_INFINITY, f32::INFINITY),
+        };
         for (p, v) in params.iter().zip(self.velocity.iter_mut()) {
-            let mut g = p.grad().clone();
-            if let Some(c) = self.clip {
-                g = g.map(|x| x.clamp(-c, c));
-            }
-            if self.momentum > 0.0 {
-                *v = v.scale(self.momentum).add(&g);
-                p.update_value(|val| val.add_scaled(v, -self.lr));
-            } else {
-                p.update_value(|val| val.add_scaled(&g, -self.lr));
-            }
+            // One fused in-place, branch-free pass per parameter: the
+            // per-element expressions are kept verbatim from the old
+            // multi-temporary formulation (and SIMD min/max/mul/add are
+            // bit-exact elementwise), so the update is bitwise identical.
+            p.update_value(|val| {
+                let g = p.grad();
+                let w = val.data_mut();
+                let n = w.len();
+                let (vs, gd) = (&mut v.data_mut()[..n], &g.data()[..n]);
+                if momentum > 0.0 {
+                    for i in 0..n {
+                        let gi = gd[i].clamp(lo, hi);
+                        vs[i] = vs[i] * momentum + gi;
+                        w[i] += -lr * vs[i];
+                    }
+                } else {
+                    for i in 0..n {
+                        let gi = gd[i].clamp(lo, hi);
+                        w[i] += -lr * gi;
+                    }
+                }
+            });
         }
     }
 }
@@ -108,22 +128,39 @@ impl Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let lr = self.lr;
+        let eps = self.eps;
+        let (beta1, beta2) = (self.beta1, self.beta2);
+        // `clamp(-∞, ∞)` is the identity (NaN included), so the no-clip
+        // case shares the branch-free loop below.
+        let (lo, hi) = match self.clip {
+            Some(c) => (-c, c),
+            None => (f32::NEG_INFINITY, f32::INFINITY),
+        };
         for ((p, m), v) in params.iter().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
-            let mut g = p.grad().clone();
-            if let Some(c) = self.clip {
-                g = g.map(|x| x.clamp(-c, c));
-            }
-            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1));
-            *v = v
-                .scale(self.beta2)
-                .add(&g.hadamard(&g).scale(1.0 - self.beta2));
-            let lr = self.lr;
-            let eps = self.eps;
+            // One fused in-place, branch-free pass instead of ~8
+            // full-matrix temporaries per step — and, critically, a loop
+            // shape LLVM turns into packed min/max/sqrt/div (the scalar
+            // sqrt+div chain dominated every optimizer step). Elementwise
+            // SIMD arithmetic is bit-exact, and the per-element
+            // expressions are kept verbatim, so the update is bitwise
+            // identical to the old formulation.
             p.update_value(|val| {
-                for ((w, &mi), &vi) in val.data_mut().iter_mut().zip(m.data()).zip(v.data()) {
-                    let mhat = mi / bc1;
-                    let vhat = vi / bc2;
-                    *w -= lr * mhat / (vhat.sqrt() + eps);
+                let g = p.grad();
+                let w = val.data_mut();
+                let n = w.len();
+                let (ms, vs, gd) = (
+                    &mut m.data_mut()[..n],
+                    &mut v.data_mut()[..n],
+                    &g.data()[..n],
+                );
+                for i in 0..n {
+                    let gi = gd[i].clamp(lo, hi);
+                    ms[i] = ms[i] * beta1 + gi * (1.0 - beta1);
+                    vs[i] = vs[i] * beta2 + (gi * gi) * (1.0 - beta2);
+                    let mhat = ms[i] / bc1;
+                    let vhat = vs[i] / bc2;
+                    w[i] -= lr * mhat / (vhat.sqrt() + eps);
                 }
             });
         }

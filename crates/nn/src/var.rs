@@ -43,6 +43,12 @@ fn accum(target: &Var, delta: &Matrix) {
     target.0.grad.borrow_mut().add_assign(delta);
 }
 
+/// `target.grad += alpha · delta` without materialising the scaled
+/// temporary (`x * α` and `α * x` are the same IEEE product).
+fn accum_scaled(target: &Var, delta: &Matrix, alpha: f32) {
+    target.0.grad.borrow_mut().add_scaled(delta, alpha);
+}
+
 impl Var {
     /// A leaf node (parameter or input). Gradients accumulate into it.
     pub fn leaf(value: Matrix) -> Var {
@@ -107,11 +113,9 @@ impl Var {
         f(&mut self.0.value.borrow_mut());
     }
 
-    /// Reset the gradient to zero.
+    /// Reset the gradient to zero (in place — no reallocation).
     pub fn zero_grad(&self) {
-        let mut g = self.0.grad.borrow_mut();
-        let (r, c) = g.shape();
-        *g = Matrix::zeros(r, c);
+        self.0.grad.borrow_mut().data_mut().fill(0.0);
     }
 
     /// `(rows, cols)` of the value.
@@ -169,7 +173,10 @@ impl Var {
         }
         for node in order.iter().rev() {
             if let Some(f) = &node.0.backward {
-                let g = node.0.grad.borrow().clone();
+                // Borrow, don't clone: backward fns only touch *parent*
+                // grad cells, never this node's own (the DAG is acyclic
+                // and the output var cannot be captured by its closure).
+                let g = node.0.grad.borrow();
                 #[cfg(feature = "sanitize")]
                 sanitize::check_grad_shape(node.0.op, &g, &node.0.value.borrow());
                 f(&g, &node.0.parents);
@@ -204,15 +211,18 @@ impl Var {
     /// Matrix product.
     pub fn matmul(&self, other: &Var) -> Var {
         let value = self.value().matmul(&other.value());
-        let a_val = self.value_clone();
-        let b_val = other.value_clone();
         Var::from_op(
             "matmul",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
-                accum(&parents[0], &g.matmul(&b_val.transpose()));
-                accum(&parents[1], &a_val.transpose().matmul(g));
+                // Parent values are still live at backward time (updates
+                // happen only after the pass), so borrow instead of
+                // cloning both operands into the closure.
+                let da = g.matmul(&parents[1].value().transpose());
+                accum(&parents[0], &da);
+                let db = parents[0].value().transpose().matmul(g);
+                accum(&parents[1], &db);
             }),
         )
     }
@@ -240,7 +250,7 @@ impl Var {
             vec![self.clone(), other.clone()],
             Box::new(|g, parents| {
                 accum(&parents[0], g);
-                accum(&parents[1], &g.scale(-1.0));
+                accum_scaled(&parents[1], g, -1.0);
             }),
         )
     }
@@ -261,18 +271,19 @@ impl Var {
 
     /// Multiply every row of `self` elementwise by a `1×n` row vector.
     pub fn mul_row_broadcast(&self, row: &Var) -> Var {
-        let r = row.value_clone();
-        let x = self.value_clone();
-        assert_eq!(
-            r.rows(),
-            1,
-            "mul_row_broadcast: operand must be a row vector"
-        );
-        assert_eq!(r.cols(), x.cols(), "mul_row_broadcast: column mismatch");
-        let mut value = x.clone();
-        for i in 0..value.rows() {
-            for (v, &w) in value.row_mut(i).iter_mut().zip(r.data()) {
-                *v *= w;
+        let mut value = self.value().clone();
+        {
+            let r = row.value();
+            assert_eq!(
+                r.rows(),
+                1,
+                "mul_row_broadcast: operand must be a row vector"
+            );
+            assert_eq!(r.cols(), value.cols(), "mul_row_broadcast: column mismatch");
+            for i in 0..value.rows() {
+                for (v, &w) in value.row_mut(i).iter_mut().zip(r.data()) {
+                    *v *= w;
+                }
             }
         }
         Var::from_op(
@@ -281,29 +292,33 @@ impl Var {
             vec![self.clone(), row.clone()],
             Box::new(move |g, parents| {
                 let mut dx = g.clone();
-                for i in 0..dx.rows() {
-                    for (v, &w) in dx.row_mut(i).iter_mut().zip(r.data()) {
-                        *v *= w;
+                {
+                    let r = parents[1].value();
+                    for i in 0..dx.rows() {
+                        for (v, &w) in dx.row_mut(i).iter_mut().zip(r.data()) {
+                            *v *= w;
+                        }
                     }
                 }
                 accum(&parents[0], &dx);
-                accum(&parents[1], &g.hadamard(&x).sum_rows());
+                let dr = g.hadamard(&parents[0].value()).sum_rows();
+                accum(&parents[1], &dr);
             }),
         )
     }
 
     /// Hadamard product (same shape).
     pub fn hadamard(&self, other: &Var) -> Var {
-        let a_val = self.value_clone();
-        let b_val = other.value_clone();
-        let value = a_val.hadamard(&b_val);
+        let value = self.value().hadamard(&other.value());
         Var::from_op(
             "hadamard",
             value,
             vec![self.clone(), other.clone()],
             Box::new(move |g, parents| {
-                accum(&parents[0], &g.hadamard(&b_val));
-                accum(&parents[1], &g.hadamard(&a_val));
+                let da = g.hadamard(&parents[1].value());
+                accum(&parents[0], &da);
+                let db = g.hadamard(&parents[0].value());
+                accum(&parents[1], &db);
             }),
         )
     }
@@ -315,7 +330,7 @@ impl Var {
             "scale",
             value,
             vec![self.clone()],
-            Box::new(move |g, parents| accum(&parents[0], &g.scale(alpha))),
+            Box::new(move |g, parents| accum_scaled(&parents[0], g, alpha)),
         )
     }
 
@@ -349,17 +364,22 @@ impl Var {
 
     /// Elementwise ReLU.
     pub fn relu(&self) -> Var {
-        let x = self.value_clone();
-        let y = x.map(|v| v.max(0.0));
+        let y = self.value().map(|v| v.max(0.0));
         Var::from_op(
             "relu",
             y,
             vec![self.clone()],
             Box::new(move |g, parents| {
-                accum(
-                    &parents[0],
-                    &g.hadamard(&x.map(|v| if v > 0.0 { 1.0 } else { 0.0 })),
-                );
+                // dx = g ⊙ 1[x > 0] — one fused pass over the input
+                // borrow instead of two temporaries (`*d * 0.0` keeps
+                // the signed-zero bits of the old hadamard-mask path).
+                let mut dx = g.clone();
+                for (d, &v) in dx.data_mut().iter_mut().zip(parents[0].value().data()) {
+                    // Branch-free select keeps the loop packed; `g·1.0`
+                    // and `g·0.0` reproduce the old hadamard-mask bits.
+                    *d *= if v > 0.0 { 1.0 } else { 0.0 };
+                }
+                accum(&parents[0], &dx);
             }),
         )
     }
@@ -477,10 +497,12 @@ impl Var {
     /// Columns `start..end` as a new var (gradient scatters back).
     pub fn slice_cols(&self, start: usize, end: usize) -> Var {
         let (rows, total_cols) = self.shape();
-        let src = self.value_clone();
         let mut value = Matrix::zeros(rows, end - start);
-        for r in 0..rows {
-            value.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+        {
+            let src = self.value();
+            for r in 0..rows {
+                value.row_mut(r).copy_from_slice(&src.row(r)[start..end]);
+            }
         }
         Var::from_op(
             "slice_cols",
@@ -499,15 +521,19 @@ impl Var {
     /// Gather rows by index: `out[t] = self[ids[t]]`. This is the embedding
     /// lookup; gradients scatter-add into the selected rows.
     pub fn gather_rows(&self, ids: &[usize]) -> Var {
-        let src = self.value_clone();
-        let (rows, cols) = src.shape();
+        let (rows, cols) = self.shape();
         let ids: Vec<usize> = ids.to_vec();
         for &i in &ids {
             debug_assert!(i < rows, "gather_rows: id {i} out of {rows}");
         }
         let mut value = Matrix::zeros(ids.len(), cols);
-        for (t, &i) in ids.iter().enumerate() {
-            value.row_mut(t).copy_from_slice(src.row(i));
+        {
+            // Borrow the source (it can be the whole embedding table —
+            // cloning it per lookup dominated the old forward cost).
+            let src = self.value();
+            for (t, &i) in ids.iter().enumerate() {
+                value.row_mut(t).copy_from_slice(src.row(i));
+            }
         }
         Var::from_op(
             "gather_rows",
@@ -552,18 +578,20 @@ impl Var {
     /// [`Var::mul_row_broadcast`] / [`Var::add_row_broadcast`] for those).
     #[allow(clippy::needless_range_loop)] // parallel indexing of x/y/sigmas
     pub fn layer_norm_rows(&self, eps: f32) -> Var {
-        let x = self.value_clone();
-        let (rows, cols) = x.shape();
+        let (rows, cols) = self.shape();
         let mut y = Matrix::zeros(rows, cols);
         let mut sigmas = vec![0.0f32; rows];
-        for r in 0..rows {
-            let row = x.row(r);
-            let mu = row.iter().sum::<f32>() / cols as f32;
-            let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
-            let sigma = (var + eps).sqrt();
-            sigmas[r] = sigma;
-            for (c, &v) in row.iter().enumerate() {
-                y.set(r, c, (v - mu) / sigma);
+        {
+            let x = self.value();
+            for r in 0..rows {
+                let row = x.row(r);
+                let mu = row.iter().sum::<f32>() / cols as f32;
+                let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+                let sigma = (var + eps).sqrt();
+                sigmas[r] = sigma;
+                for (c, &v) in row.iter().enumerate() {
+                    y.set(r, c, (v - mu) / sigma);
+                }
             }
         }
         let y_c = y.clone();
@@ -610,8 +638,7 @@ impl Var {
     pub fn cross_entropy(&self, targets: &[usize]) -> Var {
         let (rows, cols) = self.shape();
         assert_eq!(rows, targets.len(), "cross_entropy: target length mismatch");
-        let logits = self.value_clone();
-        let ls = logits.log_softmax_rows();
+        let ls = self.value().log_softmax_rows();
         let mut loss = 0.0;
         for (t, &y) in targets.iter().enumerate() {
             debug_assert!(y < cols, "cross_entropy: target {y} out of {cols}");

@@ -1,0 +1,58 @@
+//! Bitwise determinism of the parallel matmul across thread counts.
+//!
+//! The kernel's contract (DESIGN.md §9) is that fan-out width only
+//! changes *which thread* computes a row block, never the block's
+//! bits: every output element accumulates its k terms in ascending
+//! order against the same packed B panels. These tests compare
+//! `SACCS_THREADS ∈ {1, 2, 8}` equivalents in one process via the
+//! explicit-width hook.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs_nn::Matrix;
+
+/// Make sure the 8-wide runs really execute on a multi-worker pool.
+fn widen_pool() {
+    saccs_rt::set_threads(8);
+}
+
+#[test]
+fn large_matmul_bitwise_identical_across_widths() {
+    widen_pool();
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    // 256³ is the bench shape and is comfortably above the parallel
+    // threshold, so widths 2 and 8 take the fan-out path for real.
+    let a = Matrix::uniform(256, 256, 1.0, &mut rng);
+    let b = Matrix::uniform(256, 256, 1.0, &mut rng);
+    let serial = a.matmul_with_threads(&b, 1);
+    for width in [2, 8] {
+        let par = a.matmul_with_threads(&b, width);
+        assert!(
+            serial.data() == par.data(),
+            "width {width} diverged from serial"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(proptest::test_runner::Config::with_cases(16))]
+
+    #[test]
+    fn prop_matmul_bitwise_across_widths(
+        m in 1usize..200,
+        k in 1usize..96,
+        n in 1usize..96,
+        seed in 0u64..1000,
+    ) {
+        widen_pool();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Matrix::uniform(m, k, 1.0, &mut rng);
+        let b = Matrix::uniform(k, n, 1.0, &mut rng);
+        let serial = a.matmul_with_threads(&b, 1);
+        for width in [2usize, 8] {
+            let par = a.matmul_with_threads(&b, width);
+            prop_assert!(serial.data() == par.data(), "width {} diverged", width);
+        }
+    }
+}

@@ -94,3 +94,35 @@ fn backward_validates_clean_graphs_quietly() {
     assert_eq!(x.grad().shape(), (1, 2));
     assert!(w.grad().data().iter().all(|g| g.is_finite()));
 }
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn out_of_bounds_get_names_index_and_shape() {
+    // Regression: with only debug_assert!, release builds of get(0, 5)
+    // on a 3×4 matrix read flat index 5 — in range, silently wrong
+    // cell. Sanitize builds must panic naming row, col, and shape.
+    let m = Matrix::zeros(3, 4);
+    let msg = catch_unwind(AssertUnwindSafe(|| m.get(0, 5)))
+        .map_err(|e| panic_text(&*e))
+        .expect_err("column 5 of a 3×4 matrix must not read");
+    assert!(msg.contains("get"), "op missing: {msg}");
+    assert!(msg.contains("(0, 5)"), "index missing: {msg}");
+    assert!(msg.contains("3×4"), "shape missing: {msg}");
+
+    let msg = catch_unwind(AssertUnwindSafe(|| {
+        let mut m = Matrix::zeros(3, 4);
+        m.set(4, 0, 1.0);
+    }))
+    .map_err(|e| panic_text(&*e))
+    .expect_err("row 4 of a 3×4 matrix must not write");
+    assert!(msg.contains("set"), "op missing: {msg}");
+    assert!(msg.contains("(4, 0)"), "index missing: {msg}");
+}
+
+#[cfg(feature = "sanitize")]
+#[test]
+fn in_bounds_get_set_pass_under_sanitize() {
+    let mut m = Matrix::zeros(2, 5);
+    m.set(1, 4, 7.5);
+    assert_eq!(m.get(1, 4), 7.5);
+}

@@ -1,0 +1,118 @@
+//! 8-thread stress tests for the pool: nested scopes, panic-in-task
+//! propagation, and sustained mixed load. Runs in its own test binary so
+//! the `set_threads(8)` override cannot race another crate's width
+//! tests.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The override is process-global; every test in this binary serializes
+/// on this lock and pins the width to 8.
+static WIDTH: Mutex<()> = Mutex::new(());
+
+fn at_eight_threads(f: impl FnOnce()) {
+    let _g = WIDTH.lock().unwrap_or_else(|e| e.into_inner());
+    saccs_rt::set_threads(8);
+    f();
+}
+
+#[test]
+fn nested_scopes_on_worker_threads() {
+    at_eight_threads(|| {
+        // Outer tasks each open an inner scope from (potentially) a
+        // worker thread; the helping wait loop must keep both levels
+        // progressing without deadlock.
+        let total = AtomicUsize::new(0);
+        saccs_rt::scope(|outer| {
+            for _ in 0..16 {
+                let total = &total;
+                outer.spawn(move || {
+                    let mut inner_parts = vec![0usize; 8];
+                    saccs_rt::scope(|inner| {
+                        for (i, p) in inner_parts.iter_mut().enumerate() {
+                            inner.spawn(move || *p = i + 1);
+                        }
+                    });
+                    total.fetch_add(inner_parts.iter().sum(), Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 16 * 36);
+    });
+}
+
+#[test]
+fn panic_in_task_propagates_to_scope_caller() {
+    at_eight_threads(|| {
+        let finished = AtomicUsize::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            saccs_rt::scope(|s| {
+                for i in 0..8 {
+                    let finished = &finished;
+                    s.spawn(move || {
+                        if i == 3 {
+                            panic!("boom from task {i}");
+                        }
+                        finished.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }));
+        let payload = result.expect_err("task panic must re-raise at the scope");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("boom from task 3"), "payload: {msg:?}");
+        // The panicking task must not cancel its siblings.
+        assert_eq!(finished.load(Ordering::Relaxed), 7);
+    });
+}
+
+#[test]
+fn pool_survives_a_panicked_scope() {
+    at_eight_threads(|| {
+        for round in 0..20 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                saccs_rt::scope(|s| {
+                    s.spawn(move || panic!("round {round}"));
+                });
+            }));
+            assert!(result.is_err());
+            // Pool still functional right after the unwound scope.
+            let sum: usize = saccs_rt::parallel_map(64, 1, |i| i).iter().sum();
+            assert_eq!(sum, 64 * 63 / 2);
+        }
+    });
+}
+
+#[test]
+fn join_nests_under_load() {
+    at_eight_threads(|| {
+        fn sum_range(lo: usize, hi: usize) -> usize {
+            if hi - lo <= 64 {
+                return (lo..hi).sum();
+            }
+            let mid = lo + (hi - lo) / 2;
+            let (a, b) = saccs_rt::join(|| sum_range(lo, mid), || sum_range(mid, hi));
+            a + b
+        }
+        let n = 10_000;
+        assert_eq!(sum_range(0, n), n * (n - 1) / 2);
+    });
+}
+
+#[test]
+fn heavy_mixed_fanout() {
+    at_eight_threads(|| {
+        let mut data = vec![0u64; 100_000];
+        saccs_rt::parallel_for_chunks(&mut data, 1024, |ci, chunk| {
+            for (j, v) in chunk.iter_mut().enumerate() {
+                *v = (ci * 1024 + j) as u64;
+            }
+        });
+        let expect: u64 = (0..100_000u64).sum();
+        assert_eq!(data.iter().sum::<u64>(), expect);
+    });
+}

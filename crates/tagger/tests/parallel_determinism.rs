@@ -1,0 +1,66 @@
+//! Bitwise thread-count invariance of batched tagger training.
+//!
+//! The `batch_size > 1` path computes per-example gradients on worker
+//! replicas and merges them through a fixed-shard tree (see `train.rs`
+//! and DESIGN.md §9); the trained weights must therefore be identical
+//! bits at every `SACCS_THREADS`. One test function on purpose:
+//! `saccs_rt::set_threads` is grow-only and process-global, so the
+//! width-1 run must happen before any widening.
+
+use saccs_data::{Dataset, DatasetId};
+use saccs_embed::{build_vocab, MiniBert, MiniBertConfig};
+use saccs_tagger::{Tagger, TrainConfig};
+use saccs_text::Domain;
+use std::rc::Rc;
+
+fn bert() -> Rc<MiniBert> {
+    Rc::new(MiniBert::new(
+        build_vocab(&[Domain::Restaurants]),
+        MiniBertConfig {
+            dim: 16,
+            heads: 2,
+            layers: 2,
+            max_len: 48,
+            seed: 2,
+        },
+    ))
+}
+
+fn train_states(data: &Dataset, batch_size: usize) -> Vec<saccs_nn::Matrix> {
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size,
+        ..Default::default()
+    };
+    Tagger::train(bert(), &data.train, &cfg).model().state()
+}
+
+#[test]
+fn batched_training_bitwise_identical_across_widths() {
+    let data = Dataset::generate_scaled(DatasetId::S4, 0.08);
+
+    let base = train_states(&data, 3);
+    for width in [2, 8] {
+        saccs_rt::set_threads(width);
+        let wide = train_states(&data, 3);
+        assert_eq!(base.len(), wide.len());
+        for (k, (a, b)) in base.iter().zip(&wide).enumerate() {
+            assert!(
+                a.data() == b.data(),
+                "param {k} diverged from serial at width {width}"
+            );
+        }
+    }
+
+    // And the batched path still learns: a short run must beat chance on
+    // its own training data (full-strength training is covered by the
+    // batch_size=1 unit tests).
+    let cfg = TrainConfig {
+        epochs: 6,
+        batch_size: 4,
+        ..Default::default()
+    };
+    let tagger = Tagger::train(bert(), &data.train, &cfg);
+    let f1 = tagger.evaluate(&data.train).f1();
+    assert!(f1 > 0.3, "batched training failed to learn: F1={f1}");
+}

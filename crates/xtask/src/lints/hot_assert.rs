@@ -1,9 +1,9 @@
 //! `assert-in-hot-path`: release-mode asserts inside per-token/per-cell
 //! loops.
 //!
-//! The forward/backward passes (`nn`) and the Viterbi/feature loops
-//! (`tagger`) execute their innermost bodies millions of times per
-//! training run. A release-mode `assert!` there pays a branch plus
+//! The forward/backward passes (`nn`), the Viterbi/feature loops
+//! (`tagger`) and the work-stealing loops (`rt`) execute their innermost
+//! bodies millions of times per run. A release-mode `assert!` there pays a branch plus
 //! format-machinery codegen on every iteration for an invariant already
 //! guaranteed by construction. Such checks belong in `debug_assert!`
 //! (kept in the test profile, free in release) or hoisted out of the
@@ -20,7 +20,9 @@ impl Lint for AssertInHotPath {
     }
 
     fn applies(&self, path: &str) -> bool {
-        path.starts_with("crates/nn/src/") || path.starts_with("crates/tagger/src/")
+        path.starts_with("crates/nn/src/")
+            || path.starts_with("crates/tagger/src/")
+            || path.starts_with("crates/rt/src/")
     }
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
@@ -99,8 +101,9 @@ mod tests {
     }
 
     #[test]
-    fn scope_is_nn_and_tagger_only() {
+    fn scope_is_the_hot_kernel_crates_only() {
         assert!(AssertInHotPath.applies("crates/tagger/src/crf.rs"));
+        assert!(AssertInHotPath.applies("crates/rt/src/lib.rs"));
         assert!(!AssertInHotPath.applies("crates/index/src/index.rs"));
     }
 }

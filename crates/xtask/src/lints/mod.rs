@@ -10,6 +10,7 @@ pub(crate) mod float_accum;
 pub(crate) mod hot_assert;
 pub(crate) mod lock_hazard;
 pub(crate) mod no_print;
+pub(crate) mod no_spawn;
 pub(crate) mod no_unwrap;
 
 use crate::scan::SourceFile;
@@ -56,6 +57,7 @@ pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(lock_hazard::LockHazard),
         Box::new(float_accum::FloatAccum),
         Box::new(hot_assert::AssertInHotPath),
+        Box::new(no_spawn::NoSpawnOutsideRt),
         Box::new(doc_coverage::DocCoverage),
     ]
 }

@@ -11,6 +11,7 @@
 #   4. test      cargo test -q --workspace
 #   5. sanitize  cargo test -q --features saccs-nn/sanitize
 #   6. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
+#   7. perf      SACCS_OBS=json matmul microbench + xtask check-bench
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -55,5 +56,15 @@ rm -f BENCH_table3.json
 SACCS_OBS=json cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin table3 \
     >/dev/null || fail bench-obs
 cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_table3.json || fail bench-obs
+
+# Kernel perf gate: the blocked matmul vs the seed's naive kernel,
+# interleaved best-of-N (GFLOP/s, thread count and speedup land in the
+# headline; nn.matmul span histograms in the snapshot).
+stage perf "SACCS_OBS=json matmul -> xtask check-bench"
+rm -f BENCH_matmul.json
+SACCS_OBS=json SACCS_THREADS="${SACCS_THREADS:-8}" \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin matmul \
+    || fail perf
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_matmul.json || fail perf
 
 printf '\n=== CI green: all stages passed ===\n'
