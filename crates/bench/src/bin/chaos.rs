@@ -1,0 +1,200 @@
+//! Chaos/resilience bench: hardening-overhead A/B plus a deterministic
+//! fault-schedule export.
+//!
+//! Phase 1 (faults disarmed): interleaved best-of-N timing of
+//! `SaccsService::rank` vs `rank_resilient` on the same utterance batch
+//! — the hardening-overhead headline quoted in EXPERIMENTS.md.
+//!
+//! Phase 2 (chaos export): arm the seeded scenario and drive a fixed
+//! request batch through `rank_resilient`, writing one JSON line per
+//! request (ranking with score *bits*, degradation events) plus a final
+//! `fault.*` counter-delta line. With an error-only scenario the file is
+//! a pure function of `(seed, scenario)`; `scripts/ci.sh` runs the bin
+//! twice and diffs the two exports to prove it. Delay effects and
+//! deadlines are wall-clock and would break the diff — keep them out of
+//! the CI scenario. Without the `fault` feature the schedule is inert
+//! and the export records a degradation-free run.
+//!
+//! `cargo run --release -p saccs-bench --features fault --bin chaos`
+//!
+//! Environment: `SACCS_CHAOS_SEED` (default 2024),
+//! `SACCS_CHAOS_SCENARIO` (default `algo1.probe=err@p=0.9`),
+//! `SACCS_CHAOS_OUT` (default `CHAOS_report.jsonl`),
+//! `SACCS_CHAOS_REPS` (timing repetitions, default 200),
+//! `SACCS_OBS=json` to emit `BENCH_chaos.json`.
+
+use saccs_core::{SaccsBuilder, SearchApi, Slots, TrainedSaccs};
+use saccs_data::yelp::{YelpConfig, YelpCorpus};
+use saccs_fault::{arm_guard, Scenario};
+use saccs_text::{Domain, Lexicon};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+const UTTERANCES: [&str; 3] = [
+    "I want a restaurant with delicious food and a nice staff",
+    "somewhere with friendly staff and tasty food",
+    "find me a cozy place with a great atmosphere",
+];
+
+/// Requests in the chaos export (the utterances, cycled).
+const CHAOS_REQUESTS: usize = 8;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn build() -> (YelpCorpus, TrainedSaccs) {
+    let corpus = YelpCorpus::generate(
+        Lexicon::new(Domain::Restaurants),
+        &YelpConfig {
+            n_entities: 24,
+            n_reviews: 420,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let trained = SaccsBuilder::quick().build(&corpus);
+    (corpus, trained)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fault_counters() -> BTreeMap<String, u64> {
+    saccs_obs::registry()
+        .counter_values()
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("fault."))
+        .collect()
+}
+
+fn main() {
+    saccs_bench::obs_init();
+    let seed: u64 = env_or("SACCS_CHAOS_SEED", "2024").parse().unwrap_or(2024);
+    let scenario_text = env_or("SACCS_CHAOS_SCENARIO", "algo1.probe=err@p=0.9");
+    let scenario = match Scenario::parse(&scenario_text) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("bad SACCS_CHAOS_SCENARIO: {e}");
+            std::process::exit(2);
+        }
+    };
+    // Per-call cost is ~100µs; fewer reps than this and the best-of-N
+    // minimum has not converged, which reads as phantom overhead.
+    let reps: usize = env_or("SACCS_CHAOS_REPS", "200").parse().unwrap_or(200);
+    let out_path = env_or("SACCS_CHAOS_OUT", "CHAOS_report.jsonl");
+
+    println!("Chaos bench: rank vs rank_resilient, then seeded fault replay");
+    println!("  (seed={seed} scenario={scenario} requests={CHAOS_REQUESTS})\n");
+    let (corpus, mut trained) = build();
+    let api = SearchApi::new(&corpus.entities);
+    let slots = Slots::default();
+
+    // Phase 1: hardening overhead with no faults armed. Interleaved
+    // best-of-N over the whole batch so host noise cannot bias a side.
+    let mut t_plain = f64::INFINITY;
+    let mut t_resilient = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        for u in UTTERANCES {
+            black_box(trained.service.rank(u, &api, &slots));
+        }
+        t_plain = t_plain.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        for u in UTTERANCES {
+            black_box(trained.service.rank_resilient(u, &api, &slots));
+        }
+        t_resilient = t_resilient.min(t0.elapsed().as_secs_f64());
+    }
+    let overhead_pct = (t_resilient / t_plain - 1.0) * 100.0;
+    println!(
+        "{:<16} {:>12} {:>16} {:>10}",
+        "batch", "rank ms", "resilient ms", "overhead"
+    );
+    println!(
+        "{:<16} {:>12.3} {:>16.3} {:>9.2}%",
+        format!("{} utterances", UTTERANCES.len()),
+        t_plain * 1e3,
+        t_resilient * 1e3,
+        overhead_pct
+    );
+
+    // Phase 2: the deterministic export under an armed schedule.
+    let before = fault_counters();
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "{{\"seed\":{seed},\"scenario\":\"{}\"}}",
+        json_escape(&scenario.to_string())
+    );
+    {
+        let _faults = arm_guard(&scenario, seed);
+        for (i, u) in UTTERANCES.iter().cycle().take(CHAOS_REQUESTS).enumerate() {
+            let outcome = trained.service.rank_resilient(u, &api, &slots);
+            let ranking: Vec<String> = outcome
+                .results
+                .iter()
+                .map(|&(e, s)| format!("[{e},{}]", s.to_bits()))
+                .collect();
+            let events: Vec<String> = outcome
+                .degradation
+                .events
+                .iter()
+                .map(|ev| {
+                    format!(
+                        "\"{}\"",
+                        json_escape(&format!("{}:{}:{}", ev.stage, ev.action.label(), ev.error))
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                report,
+                "{{\"request\":{i},\"ranking\":[{}],\"degradation\":[{}]}}",
+                ranking.join(","),
+                events.join(",")
+            );
+        }
+    }
+    let after = fault_counters();
+    let deltas: Vec<String> = after
+        .iter()
+        .map(|(name, v)| {
+            let d = v - before.get(name).copied().unwrap_or(0);
+            format!("\"{}\":{d}", json_escape(name))
+        })
+        .collect();
+    let _ = writeln!(report, "{{\"counters\":{{{}}}}}", deltas.join(","));
+    let degraded = after.get("fault.degraded_requests").copied().unwrap_or(0)
+        - before.get("fault.degraded_requests").copied().unwrap_or(0);
+    match std::fs::write(&out_path, &report) {
+        Ok(()) => println!("\nwrote {out_path} ({CHAOS_REQUESTS} requests, {degraded} degraded)"),
+        Err(e) => {
+            println!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    saccs_bench::obs_finish(
+        "chaos",
+        &[
+            ("overhead_pct", overhead_pct),
+            ("chaos_requests", CHAOS_REQUESTS as f64),
+            ("degraded_requests", degraded as f64),
+        ],
+    );
+}

@@ -1,0 +1,167 @@
+//! The typed service-failure taxonomy.
+//!
+//! Algorithm 1's stages historically had no failure model at all — any
+//! infrastructure error was a panic. `SaccsError` names the ways a
+//! stage can fail so the resilient serving path
+//! ([`crate::service::SaccsService::rank_resilient`]) can decide, per
+//! error, where on the degradation ladder to land (retry → drop the
+//! tag → objective-only → partial results).
+
+use saccs_fault::FaultError;
+use std::fmt;
+use std::time::Duration;
+
+/// The failable stages of Algorithm 1 (the aggregate/pad stages are
+/// pure in-memory compute and cannot fail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// The objective `search_api` call.
+    SearchApi,
+    /// Neural subjective-tag extraction.
+    Extract,
+    /// Per-tag index probes.
+    Probe,
+}
+
+impl Stage {
+    /// Stable lowercase name, matching the failpoint site suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::SearchApi => "search_api",
+            Stage::Extract => "extract",
+            Stage::Probe => "probe",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Why a stage of a resilient request failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaccsError {
+    /// A single injected (or, one day, real) infrastructure fault.
+    Fault(FaultError),
+    /// The stage's circuit breaker is open; the call was not attempted.
+    CircuitOpen { stage: Stage },
+    /// The stage failed on every allowed attempt.
+    RetriesExhausted {
+        stage: Stage,
+        attempts: u32,
+        last: FaultError,
+    },
+    /// The per-request deadline budget lapsed at this stage.
+    DeadlineExceeded { stage: Stage, elapsed: Duration },
+    /// The stage's component is absent (e.g. an `index_only` service
+    /// has no extractor).
+    Unavailable { stage: Stage },
+}
+
+impl SaccsError {
+    /// The stage the error is attributed to.
+    pub fn stage(&self) -> Stage {
+        match self {
+            SaccsError::Fault(e) => {
+                if e.site.ends_with("search_api") {
+                    Stage::SearchApi
+                } else if e.site.ends_with("extract") {
+                    Stage::Extract
+                } else {
+                    Stage::Probe
+                }
+            }
+            SaccsError::CircuitOpen { stage }
+            | SaccsError::RetriesExhausted { stage, .. }
+            | SaccsError::DeadlineExceeded { stage, .. }
+            | SaccsError::Unavailable { stage } => *stage,
+        }
+    }
+}
+
+impl fmt::Display for SaccsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SaccsError::Fault(e) => write!(f, "{e}"),
+            SaccsError::CircuitOpen { stage } => {
+                write!(f, "circuit breaker open for stage `{stage}`")
+            }
+            SaccsError::RetriesExhausted {
+                stage,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "stage `{stage}` failed after {attempts} attempts: {last}"
+            ),
+            SaccsError::DeadlineExceeded { stage, elapsed } => write!(
+                f,
+                "deadline exceeded at stage `{stage}` after {:.1}ms",
+                elapsed.as_secs_f64() * 1e3
+            ),
+            SaccsError::Unavailable { stage } => {
+                write!(f, "stage `{stage}` has no backing component")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SaccsError {}
+
+impl From<FaultError> for SaccsError {
+    fn from(e: FaultError) -> Self {
+        SaccsError::Fault(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saccs_fault::FaultKind;
+
+    #[test]
+    fn stage_attribution_covers_every_variant() {
+        let fault = FaultError::new("algo1.search_api", FaultKind::Timeout, 1);
+        assert_eq!(SaccsError::Fault(fault.clone()).stage(), Stage::SearchApi);
+        assert_eq!(
+            SaccsError::Fault(FaultError::new("algo1.extract", FaultKind::Timeout, 1)).stage(),
+            Stage::Extract
+        );
+        assert_eq!(
+            SaccsError::Fault(FaultError::new("algo1.probe", FaultKind::Timeout, 1)).stage(),
+            Stage::Probe
+        );
+        assert_eq!(
+            SaccsError::CircuitOpen {
+                stage: Stage::Extract
+            }
+            .stage(),
+            Stage::Extract
+        );
+        assert_eq!(
+            SaccsError::RetriesExhausted {
+                stage: Stage::Probe,
+                attempts: 3,
+                last: fault,
+            }
+            .stage(),
+            Stage::Probe
+        );
+    }
+
+    #[test]
+    fn displays_are_informative() {
+        let e = SaccsError::RetriesExhausted {
+            stage: Stage::Probe,
+            attempts: 3,
+            last: FaultError::new("algo1.probe", FaultKind::Unavailable, 7),
+        };
+        let s = e.to_string();
+        assert!(
+            s.contains("probe") && s.contains('3') && s.contains("unavailable"),
+            "{s}"
+        );
+    }
+}

@@ -257,6 +257,14 @@ impl TagExtractor {
         }
         out
     }
+
+    /// Fallible [`TagExtractor::extract`] behind the `algo1.extract`
+    /// failpoint, for the resilient service path: a deployed extractor
+    /// sits on a model server that can go away mid-request.
+    pub fn try_extract(&self, text: &str) -> Result<Vec<SubjectiveTag>, saccs_fault::FaultError> {
+        saccs_fault::failpoint!("algo1.extract")?;
+        Ok(self.extract(text))
+    }
 }
 
 #[cfg(test)]

@@ -25,12 +25,16 @@ pub mod conversation;
 pub mod dialog;
 /// Tag similarity backed by MiniBert embeddings.
 pub mod embedding_similarity;
+/// Typed failure taxonomy for the service stages.
+pub mod error;
 /// The neural tag extractor (tagger + pairing pipeline).
 pub mod extractor;
 /// Saving and loading extractor weights (SNN1 codec).
 pub mod persist;
 /// Per-user interest profiles accumulated across turns.
 pub mod profile;
+/// Retry/breaker/deadline primitives and the degradation report.
+pub mod resilient;
 /// Objective search API stand-in over the entity database.
 pub mod search_api;
 /// Algorithm 1: subjective filtering and ranking.
@@ -44,12 +48,18 @@ pub use conversation::{Conversation, TurnEffect};
 pub use dialog::{Intent, RuleNlu, Slots};
 /// Embedding-space tag similarity for the index.
 pub use embedding_similarity::EmbeddingSimilarity;
+/// The typed service failure taxonomy and its stages.
+pub use error::{SaccsError, Stage};
 /// Utterance to subjective tags, end to end.
 pub use extractor::TagExtractor;
 /// Extractor weight persistence.
 pub use persist::{load_extractor_weights, save_extractor, PersistError};
 /// A user's accumulated subjective interests.
 pub use profile::UserProfile;
+/// Resilient-serving primitives and the degraded-response report.
+pub use resilient::{
+    Degradation, DegradationEvent, DegradeAction, RankOutcome, ResilienceConfig, RetryPolicy,
+};
 /// The objective (non-subjective) search backend.
 pub use search_api::SearchApi;
 /// The ranking service and its configuration.

@@ -31,6 +31,9 @@ use std::path::Path;
 pub enum PersistError {
     Io(io::Error),
     Codec(saccs_nn::CodecError),
+    /// Injected by the `persist.save` / `persist.load` failpoints
+    /// (chaos testing of the restart path).
+    Fault(saccs_fault::FaultError),
 }
 
 impl std::fmt::Display for PersistError {
@@ -38,7 +41,14 @@ impl std::fmt::Display for PersistError {
         match self {
             PersistError::Io(e) => write!(f, "io error: {e}"),
             PersistError::Codec(e) => write!(f, "codec error: {e}"),
+            PersistError::Fault(e) => write!(f, "{e}"),
         }
+    }
+}
+
+impl From<saccs_fault::FaultError> for PersistError {
+    fn from(e: saccs_fault::FaultError) -> Self {
+        PersistError::Fault(e)
     }
 }
 
@@ -58,6 +68,7 @@ impl From<saccs_nn::CodecError> for PersistError {
 
 /// Save the extractor's weights under `dir` (created if absent).
 pub fn save_extractor(extractor: &TagExtractor, dir: &Path) -> Result<(), PersistError> {
+    saccs_fault::failpoint!("persist.save")?;
     std::fs::create_dir_all(dir)?;
     std::fs::write(dir.join("bert.snn"), extractor.tagger().bert().save_bytes())?;
     std::fs::write(
@@ -74,6 +85,7 @@ pub fn save_extractor(extractor: &TagExtractor, dir: &Path) -> Result<(), Persis
 /// Load weights saved by [`save_extractor`] into a same-shaped extractor.
 /// Parameters are interior-mutable, so a shared reference suffices.
 pub fn load_extractor_weights(extractor: &TagExtractor, dir: &Path) -> Result<(), PersistError> {
+    saccs_fault::failpoint!("persist.load")?;
     extractor
         .tagger()
         .bert()

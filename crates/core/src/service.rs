@@ -16,8 +16,13 @@
 //! three are implemented so the ablation bench can verify that claim.
 
 use crate::dialog::Slots;
+use crate::error::{SaccsError, Stage};
 use crate::extractor::TagExtractor;
 use crate::profile::UserProfile;
+use crate::resilient::{
+    call_with_retry, DeadlineClock, Degradation, DegradeAction, RankOutcome, ResilienceConfig,
+    StageBreakers,
+};
 use crate::search_api::SearchApi;
 use saccs_index::SubjectiveIndex;
 use saccs_text::SubjectiveTag;
@@ -85,15 +90,21 @@ pub struct SaccsService {
     index: SubjectiveIndex,
     extractor: Option<TagExtractor>,
     config: SaccsConfig,
+    resilience: ResilienceConfig,
+    breakers: StageBreakers,
 }
 
 impl SaccsService {
     /// Build from a populated index and a trained extractor.
     pub fn new(index: SubjectiveIndex, extractor: TagExtractor, config: SaccsConfig) -> Self {
+        let resilience = ResilienceConfig::default();
+        let breakers = StageBreakers::new(resilience.breaker);
         SaccsService {
             index,
             extractor: Some(extractor),
             config,
+            resilience,
+            breakers,
         }
     }
 
@@ -101,11 +112,34 @@ impl SaccsService {
     /// [`SaccsService::rank_with_tags`] is available. Useful for index-only
     /// experiments and tests.
     pub fn index_only(index: SubjectiveIndex, config: SaccsConfig) -> Self {
+        let resilience = ResilienceConfig::default();
+        let breakers = StageBreakers::new(resilience.breaker);
         SaccsService {
             index,
             extractor: None,
             config,
+            resilience,
+            breakers,
         }
+    }
+
+    /// Replace the resilience tuning (retries, breakers, deadline) used
+    /// by [`SaccsService::rank_resilient`]. Resets the stage breakers.
+    pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
+        self.breakers = StageBreakers::new(resilience.breaker);
+        self.resilience = resilience;
+        self
+    }
+
+    /// The active resilience tuning.
+    pub fn resilience(&self) -> &ResilienceConfig {
+        &self.resilience
+    }
+
+    /// The per-stage circuit breakers (inspection; chaos tests assert
+    /// on trip counts).
+    pub fn breakers(&self) -> &StageBreakers {
+        &self.breakers
     }
 
     pub fn index(&self) -> &SubjectiveIndex {
@@ -158,6 +192,11 @@ impl SaccsService {
         self.rank_core(tags, api_results, Some(&weights))
     }
 
+    /// Objective passthrough: the API order verbatim with zero scores.
+    fn passthrough(api: &[usize], k: usize) -> Vec<(usize, f32)> {
+        api.iter().take(k).map(|&e| (e, 0.0)).collect()
+    }
+
     /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
     /// per-tag weights (the personalization hook).
     fn rank_core(
@@ -166,12 +205,9 @@ impl SaccsService {
         api_results: &[usize],
         weights: Option<&[f32]>,
     ) -> Vec<(usize, f32)> {
-        let passthrough = |api: &[usize], k: usize| -> Vec<(usize, f32)> {
-            api.iter().take(k).map(|&e| (e, 0.0)).collect()
-        };
         if tags.is_empty() {
             // No subjective signal: return the API order as-is.
-            return passthrough(api_results, self.config.top_k);
+            return Self::passthrough(api_results, self.config.top_k);
         }
         // Per-tag score maps (lines 7–10), optionally profile-weighted.
         let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
@@ -188,7 +224,19 @@ impl SaccsService {
                 );
             }
         }
+        self.aggregate_and_pad(api_results, &per_tag)
+    }
 
+    /// Algorithm 1 lines 11–12 over already-probed tag score maps:
+    /// intersect, aggregate, pad, rank. `per_tag` holds one map per
+    /// *successfully probed* tag — the resilient path hands over fewer
+    /// maps than extracted tags when probes were dropped, and the
+    /// full/partial split then applies to the surviving tags only.
+    fn aggregate_and_pad(
+        &self,
+        api_results: &[usize],
+        per_tag: &[HashMap<usize, f32>],
+    ) -> Vec<(usize, f32)> {
         // Line 11: strict intersection, plus optional partial matches.
         let mut full: Vec<(usize, f32)> = Vec::new();
         let mut partial: Vec<(usize, f32, usize)> = Vec::new();
@@ -196,14 +244,14 @@ impl SaccsService {
             let _aggregate = saccs_obs::span!("algo1.aggregate");
             for &e in api_results {
                 let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
-                if scores.len() == tags.len() {
+                if scores.len() == per_tag.len() {
                     full.push((e, self.config.aggregation.combine(&scores)));
                 } else if !scores.is_empty() && self.config.pad_partial_matches {
                     // Partials score as the aggregate of the *present* tags
                     // discounted by coverage. Under Mean this equals the
                     // zero-padded mean; under Product/Min it keeps partials
                     // comparable instead of collapsing them all to zero.
-                    let coverage = scores.len() as f32 / tags.len() as f32;
+                    let coverage = scores.len() as f32 / per_tag.len() as f32;
                     let score = self.config.aggregation.combine(&scores) * coverage;
                     partial.push((e, score, scores.len()));
                 }
@@ -214,7 +262,7 @@ impl SaccsService {
         // index tag). Fall back to the objective API order — SACCS then
         // behaves exactly like the underlying search service.
         if full.is_empty() && partial.is_empty() {
-            return passthrough(api_results, self.config.top_k);
+            return Self::passthrough(api_results, self.config.top_k);
         }
         let _pad = saccs_obs::span!("algo1.pad");
         full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
@@ -251,6 +299,157 @@ impl SaccsService {
             self.extract_tags(utterance)
         };
         self.rank_core(&tags, &api_results, None)
+    }
+
+    /// Hardened Algorithm 1: [`SaccsService::rank`] with a failure model.
+    ///
+    /// Every failable stage (`search_api`, `extract`, per-tag `probe`)
+    /// runs under its own circuit breaker and bounded retries with
+    /// deterministic backoff, inside a per-request deadline budget
+    /// ([`ResilienceConfig`]). Failures degrade instead of panicking,
+    /// walking the ladder documented in [`crate::resilient`]:
+    ///
+    /// * a failing probe drops that tag's filter ([`DegradeAction::DroppedTag`]);
+    /// * failed extraction — or every probe failing — returns the
+    ///   objective API order ([`DegradeAction::ObjectiveOnly`]);
+    /// * a lapsed deadline returns whatever is ranked so far
+    ///   ([`DegradeAction::Partial`]);
+    /// * an unreachable `search_api` returns empty results
+    ///   ([`DegradeAction::Empty`]) — with the reason in the report.
+    ///
+    /// With no faults armed (or the `fault` feature off) the output is
+    /// bitwise identical to [`SaccsService::rank`] and the overhead is
+    /// one closed-breaker check per stage. Every retry, breaker
+    /// transition, degradation and deadline miss is counted on the
+    /// `fault.*` metrics; `fault.degraded_requests` increments at most
+    /// once per request.
+    pub fn rank_resilient(
+        &mut self,
+        utterance: &str,
+        api: &SearchApi<'_>,
+        slots: &Slots,
+    ) -> RankOutcome {
+        let _rank = saccs_obs::span!("algo1.rank_resilient");
+        let clock = DeadlineClock::start(self.resilience.deadline);
+        let mut degradation = Degradation::default();
+        let finish = |results: Vec<(usize, f32)>, degradation: Degradation| {
+            if degradation.is_degraded() {
+                saccs_obs::counter!("fault.degraded_requests").inc();
+            }
+            RankOutcome {
+                results,
+                degradation,
+            }
+        };
+
+        // Stage 1: objective search — the floor of the ladder. If it is
+        // unreachable there is nothing left to serve.
+        let api_results = {
+            let _search = saccs_obs::span!("algo1.search_api");
+            let retry = &self.resilience.retry;
+            let breaker = &mut self.breakers.search_api;
+            match call_with_retry(Stage::SearchApi, retry, breaker, &clock, || {
+                api.try_search(slots)
+            }) {
+                Ok(results) => results,
+                Err(err) => {
+                    degradation.record(Stage::SearchApi, err, DegradeAction::Empty);
+                    return finish(Vec::new(), degradation);
+                }
+            }
+        };
+
+        // Stage 2: subjective extraction — objective-only on failure
+        // (an absent extractor degrades identically: `index_only`
+        // services serve objective results instead of panicking).
+        let tags: Vec<SubjectiveTag> = if clock.expired() {
+            saccs_obs::counter!("fault.deadline.exceeded").inc();
+            degradation.record(
+                Stage::Extract,
+                clock.exceeded_at(Stage::Extract),
+                DegradeAction::ObjectiveOnly,
+            );
+            Vec::new()
+        } else {
+            let _extract = saccs_obs::span!("algo1.extract");
+            match self.extractor.as_ref() {
+                None => {
+                    degradation.record(
+                        Stage::Extract,
+                        SaccsError::Unavailable {
+                            stage: Stage::Extract,
+                        },
+                        DegradeAction::ObjectiveOnly,
+                    );
+                    Vec::new()
+                }
+                Some(extractor) => {
+                    let retry = &self.resilience.retry;
+                    let breaker = &mut self.breakers.extract;
+                    match call_with_retry(Stage::Extract, retry, breaker, &clock, || {
+                        extractor.try_extract(utterance)
+                    }) {
+                        Ok(tags) => tags,
+                        Err(err) => {
+                            degradation.record(Stage::Extract, err, DegradeAction::ObjectiveOnly);
+                            Vec::new()
+                        }
+                    }
+                }
+            }
+        };
+        if tags.is_empty() {
+            return finish(
+                Self::passthrough(&api_results, self.config.top_k),
+                degradation,
+            );
+        }
+
+        // Stage 3: per-tag probes. Each failing tag is dropped on its
+        // own; the deadline is re-checked between tags so a lapsed
+        // budget truncates the probe list instead of blocking.
+        let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
+        let mut probe_failures: Vec<SaccsError> = Vec::new();
+        {
+            let _probe = saccs_obs::span!("algo1.probe");
+            let retry = &self.resilience.retry;
+            let breaker = &mut self.breakers.probe;
+            let index = &mut self.index;
+            for t in &tags {
+                if clock.expired() {
+                    saccs_obs::counter!("fault.deadline.exceeded").inc();
+                    degradation.record(
+                        Stage::Probe,
+                        clock.exceeded_at(Stage::Probe),
+                        DegradeAction::Partial,
+                    );
+                    break;
+                }
+                match call_with_retry(Stage::Probe, retry, breaker, &clock, || index.try_probe(t)) {
+                    Ok(scores) => per_tag.push(scores.into_iter().collect()),
+                    Err(err) => probe_failures.push(err),
+                }
+            }
+        }
+        // A dropped probe costs one tag if its siblings survived, and
+        // the whole subjective stage if none did.
+        let probe_action = if per_tag.is_empty() {
+            DegradeAction::ObjectiveOnly
+        } else {
+            DegradeAction::DroppedTag
+        };
+        for err in probe_failures {
+            degradation.record(Stage::Probe, err, probe_action);
+        }
+        if per_tag.is_empty() {
+            return finish(
+                Self::passthrough(&api_results, self.config.top_k),
+                degradation,
+            );
+        }
+
+        // Stage 4: pure in-memory aggregation — cannot fail.
+        finish(self.aggregate_and_pad(&api_results, &per_tag), degradation)
     }
 
     /// Full Algorithm 1 from a raw utterance: extract tags with the neural
@@ -427,6 +626,50 @@ mod tests {
         // With boost 0 the order is purely score-based and deterministic.
         let neutral = s.rank_with_tags_profiled(&tags, &[1, 2], &UserProfile::new(), 0.0);
         assert_eq!(neutral.len(), 2);
+    }
+
+    fn entities(n: usize) -> Vec<saccs_data::Entity> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let lex = Lexicon::new(Domain::Restaurants);
+        let mut rng = StdRng::seed_from_u64(5);
+        (0..n)
+            .map(|i| saccs_data::Entity::sample(i, &lex, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn rank_resilient_without_extractor_is_objective_only() {
+        // `index_only` services have no extractor; `rank` would panic,
+        // the resilient path degrades to the objective order instead.
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let mut s = service();
+        let out = s.rank_resilient("delicious food", &api, &Slots::default());
+        assert_eq!(out.results, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
+        assert!(out.degradation.is_degraded());
+        assert_eq!(out.degradation.worst(), Some(DegradeAction::ObjectiveOnly));
+        assert!(matches!(
+            out.degradation.events[0].error,
+            SaccsError::Unavailable { .. }
+        ));
+    }
+
+    #[test]
+    fn rank_resilient_zero_deadline_reports_instead_of_blocking() {
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let mut s = service().with_resilience(ResilienceConfig {
+            deadline: Some(std::time::Duration::ZERO),
+            ..ResilienceConfig::default()
+        });
+        let out = s.rank_resilient("delicious food", &api, &Slots::default());
+        assert!(out.results.is_empty());
+        assert_eq!(out.degradation.worst(), Some(DegradeAction::Empty));
+        assert!(matches!(
+            out.degradation.events[0].error,
+            SaccsError::DeadlineExceeded { .. }
+        ));
     }
 
     #[test]

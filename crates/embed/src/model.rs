@@ -214,6 +214,14 @@ impl MiniBert {
     /// the output is bitwise independent of `SACCS_THREADS`.
     pub fn features_batch(&self, token_seqs: &[Vec<String>]) -> Vec<Matrix> {
         let _span = saccs_obs::span!("embed.features_batch");
+        if saccs_fault::failpoint!("embed.features_batch").is_err() {
+            // Degrade instead of failing: the batch fan-out is an
+            // optimization, so an injected batch failure falls back to
+            // the serial per-sequence path, which produces bitwise
+            // identical features (same weights, same kernel).
+            saccs_obs::counter!("fault.degraded.features_batch").inc();
+            return token_seqs.iter().map(|t| self.features(t)).collect();
+        }
         let keys: Vec<Vec<usize>> = token_seqs.iter().map(|t| self.ids(t)).collect();
         // Dedupe the misses so repeated sentences cost one forward.
         let mut miss_keys: Vec<Vec<usize>> = Vec::new();

@@ -1,0 +1,137 @@
+//! Deterministic exponential backoff with bounded jitter.
+//!
+//! The usual backoff-with-jitter draws a fresh random factor per retry,
+//! which makes failure traces unreplayable. Here the jitter for attempt
+//! `n` is a pure function of `(seed, n)`, so a logged `(seed, attempt)`
+//! pair reproduces the exact delay sequence.
+//!
+//! Two properties hold by construction (and are proptested in
+//! `tests/state_machines.rs`):
+//!
+//! - **Monotone:** `delay(n) <= delay(n + 1)`. The jitter fraction is
+//!   clamped to `[0, factor - 1]`, so even a maximally jittered attempt
+//!   `n` stays below the un-jittered attempt `n + 1`:
+//!   `base·factorⁿ·(1 + jitter·u) <= base·factorⁿ·factor`.
+//! - **Capped:** `delay(n) <= max`, always.
+
+use std::time::Duration;
+
+use crate::rng::{splitmix, Xoshiro};
+
+/// Retry-delay policy: exponential growth, deterministic jitter, hard
+/// cap. Construct with [`Backoff::new`] and tune with the builder
+/// methods; `delay(attempt)` is a pure function of the policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Backoff {
+    base: Duration,
+    factor: f64,
+    max: Duration,
+    jitter: f64,
+    seed: u64,
+}
+
+impl Backoff {
+    /// A policy starting at `base`, doubling per attempt, capped at
+    /// `max`, with no jitter. Jitter is opt-in via [`Backoff::jitter`].
+    pub fn new(base: Duration, max: Duration) -> Backoff {
+        Backoff {
+            base,
+            factor: 2.0,
+            max,
+            jitter: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// Set the per-attempt growth factor (clamped to at least 1).
+    pub fn factor(mut self, factor: f64) -> Backoff {
+        self.factor = factor.max(1.0);
+        self
+    }
+
+    /// Set the jitter fraction. Clamped to `[0, factor - 1]` — the
+    /// widest band that keeps delays monotone non-decreasing.
+    pub fn jitter(mut self, jitter: f64) -> Backoff {
+        self.jitter = jitter.clamp(0.0, self.factor - 1.0);
+        self
+    }
+
+    /// Set the seed the deterministic jitter stream derives from.
+    pub fn seed(mut self, seed: u64) -> Backoff {
+        self.seed = seed;
+        self
+    }
+
+    /// Delay before retry number `attempt` (0-based: `delay(0)` is the
+    /// wait after the first failure). Pure — no internal state.
+    pub fn delay(&self, attempt: u32) -> Duration {
+        let max = self.max.as_secs_f64();
+        // Exponent capped so factor^attempt cannot overflow to inf
+        // before the min() with max takes effect.
+        let exponent = attempt.min(64);
+        let raw = (self.base.as_secs_f64() * self.factor.powi(exponent as i32)).min(max);
+        let jittered = if self.jitter > 0.0 {
+            let mut rng = Xoshiro::seed_from_u64(splitmix(
+                self.seed ^ u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ));
+            raw * (1.0 + self.jitter * rng.next_f64())
+        } else {
+            raw
+        };
+        Duration::from_secs_f64(jittered.min(max))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_exponentially_without_jitter() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_secs(1));
+        assert_eq!(b.delay(0), Duration::from_millis(10));
+        assert_eq!(b.delay(1), Duration::from_millis(20));
+        assert_eq!(b.delay(2), Duration::from_millis(40));
+        assert_eq!(b.delay(10), Duration::from_secs(1), "capped at max");
+    }
+
+    #[test]
+    fn jitter_is_deterministic_per_seed_and_attempt() {
+        let a = Backoff::new(Duration::from_millis(10), Duration::from_secs(1))
+            .jitter(0.5)
+            .seed(7);
+        let b = a;
+        let c = a.seed(8);
+        for attempt in 0..6 {
+            assert_eq!(a.delay(attempt), b.delay(attempt));
+        }
+        assert!(
+            (0..6).any(|n| a.delay(n) != c.delay(n)),
+            "seed changes delays"
+        );
+    }
+
+    #[test]
+    fn jitter_clamps_to_preserve_monotonicity() {
+        // Requested jitter 5.0 with factor 2.0 must clamp to 1.0.
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_secs(60))
+            .jitter(5.0)
+            .seed(3);
+        for attempt in 0..20 {
+            assert!(
+                b.delay(attempt) <= b.delay(attempt + 1),
+                "attempt {attempt}: {:?} > {:?}",
+                b.delay(attempt),
+                b.delay(attempt + 1)
+            );
+        }
+    }
+
+    #[test]
+    fn huge_attempt_numbers_do_not_overflow() {
+        let b = Backoff::new(Duration::from_millis(10), Duration::from_secs(5))
+            .jitter(0.3)
+            .seed(1);
+        assert_eq!(b.delay(u32::MAX), Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,282 @@
+//! Call-count-driven circuit breaker.
+//!
+//! Textbook breakers open on failures and transition to half-open after
+//! a wall-clock cooldown — which makes chaos tests time-dependent and
+//! unreplayable. This breaker is driven entirely by call counts:
+//!
+//! ```text
+//! Closed ──(failure_threshold consecutive failures)──▶ Open
+//! Open   ──(rejects open_calls calls)───────────────▶ HalfOpen
+//! HalfOpen ──(success_to_close successes)───────────▶ Closed
+//! HalfOpen ──(any failure)──────────────────────────▶ Open
+//! ```
+//!
+//! In `HalfOpen` at most `half_open_permits` probe calls may be in
+//! flight; [`CircuitBreaker::allow`] hands out permits and every permit
+//! is returned by exactly one later `on_success`/`on_failure` (the
+//! permit-conservation invariant, proptested in
+//! `tests/state_machines.rs`). The breaker is not internally
+//! synchronized — the service layer owns one per stage behind
+//! `&mut self`, which matches how `SaccsService` is already driven.
+
+/// Which of the three states a breaker is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Calls flow; consecutive failures are counted.
+    Closed,
+    /// Calls are rejected outright until the open window lapses.
+    Open,
+    /// A bounded number of probe calls may test the dependency.
+    HalfOpen,
+}
+
+/// Breaker tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures in `Closed` that trip the breaker.
+    pub failure_threshold: u32,
+    /// Calls rejected in `Open` before probing resumes (the
+    /// call-count analogue of a cooldown timer).
+    pub open_calls: u32,
+    /// Maximum concurrent probe calls allowed in `HalfOpen`.
+    pub half_open_permits: u32,
+    /// Probe successes required to close from `HalfOpen`.
+    pub success_to_close: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 3,
+            open_calls: 5,
+            half_open_permits: 1,
+            success_to_close: 2,
+        }
+    }
+}
+
+impl BreakerConfig {
+    /// Normalize zero thresholds up to 1 so every state is reachable
+    /// and no transition divides by a zero budget.
+    fn sanitized(self) -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: self.failure_threshold.max(1),
+            open_calls: self.open_calls.max(1),
+            half_open_permits: self.half_open_permits.max(1),
+            success_to_close: self.success_to_close.max(1),
+        }
+    }
+}
+
+/// The closed/open/half-open breaker state machine. One instance per
+/// protected stage; see the module docs for the transition diagram.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    /// Consecutive failures observed in `Closed`.
+    consecutive_failures: u32,
+    /// Calls rejected so far in the current `Open` window.
+    rejected: u32,
+    /// Probe permits currently handed out in `HalfOpen`.
+    permits_out: u32,
+    /// Probe successes accumulated in the current `HalfOpen` episode.
+    half_open_successes: u32,
+    /// Lifetime count of `Closed → Open` and `HalfOpen → Open` trips.
+    times_opened: u64,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given config (zeros normalized to 1).
+    pub fn new(config: BreakerConfig) -> CircuitBreaker {
+        CircuitBreaker {
+            config: config.sanitized(),
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            rejected: 0,
+            permits_out: 0,
+            half_open_successes: 0,
+            times_opened: 0,
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Lifetime number of transitions into `Open`.
+    pub fn times_opened(&self) -> u64 {
+        self.times_opened
+    }
+
+    /// Ask to make a call. `true` hands out a permit that MUST be
+    /// returned by exactly one later [`on_success`](Self::on_success)
+    /// or [`on_failure`](Self::on_failure); `false` means the call is
+    /// rejected (fail fast) and nothing may be reported back.
+    pub fn allow(&mut self) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                self.rejected += 1;
+                if self.rejected >= self.config.open_calls {
+                    self.state = BreakerState::HalfOpen;
+                    self.permits_out = 0;
+                    self.half_open_successes = 0;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                if self.permits_out < self.config.half_open_permits {
+                    self.permits_out += 1;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Report that a permitted call succeeded.
+    pub fn on_success(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures = 0;
+            }
+            BreakerState::HalfOpen => {
+                self.permits_out = self.permits_out.saturating_sub(1);
+                self.half_open_successes += 1;
+                if self.half_open_successes >= self.config.success_to_close {
+                    self.state = BreakerState::Closed;
+                    self.consecutive_failures = 0;
+                    self.permits_out = 0;
+                }
+            }
+            // A success racing a trip (permit issued in Closed, breaker
+            // opened meanwhile) is stale news: ignore it.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Report that a permitted call failed.
+    pub fn on_failure(&mut self) {
+        match self.state {
+            BreakerState::Closed => {
+                self.consecutive_failures += 1;
+                if self.consecutive_failures >= self.config.failure_threshold {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.permits_out = self.permits_out.saturating_sub(1);
+                self.trip();
+            }
+            BreakerState::Open => {}
+        }
+    }
+
+    fn trip(&mut self) {
+        self.state = BreakerState::Open;
+        self.rejected = 0;
+        self.permits_out = 0;
+        self.half_open_successes = 0;
+        self.consecutive_failures = 0;
+        self.times_opened += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> BreakerConfig {
+        BreakerConfig {
+            failure_threshold: 2,
+            open_calls: 3,
+            half_open_permits: 1,
+            success_to_close: 2,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_only() {
+        let mut b = CircuitBreaker::new(config());
+        assert!(b.allow());
+        b.on_failure();
+        assert!(b.allow());
+        b.on_success(); // success resets the streak
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 1);
+    }
+
+    #[test]
+    fn open_rejects_then_half_opens_after_open_calls() {
+        let mut b = CircuitBreaker::new(config());
+        b.on_failure();
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert!(!b.allow());
+        assert!(!b.allow());
+        assert!(!b.allow()); // third rejection lapses the window
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+
+    #[test]
+    fn half_open_bounds_permits_and_closes_on_successes() {
+        let mut b = CircuitBreaker::new(config());
+        b.on_failure();
+        b.on_failure();
+        for _ in 0..3 {
+            b.allow();
+        }
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        assert!(b.allow(), "first probe permitted");
+        assert!(!b.allow(), "second concurrent probe rejected");
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen, "needs 2 successes");
+        assert!(b.allow());
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_failure_reopens() {
+        let mut b = CircuitBreaker::new(config());
+        b.on_failure();
+        b.on_failure();
+        for _ in 0..3 {
+            b.allow();
+        }
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.times_opened(), 2);
+    }
+
+    #[test]
+    fn zero_config_is_normalized_not_divergent() {
+        let mut b = CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 0,
+            open_calls: 0,
+            half_open_permits: 0,
+            success_to_close: 0,
+        });
+        assert!(b.allow());
+        b.on_failure();
+        assert_eq!(b.state(), BreakerState::Open, "threshold 0 acts as 1");
+        assert!(!b.allow());
+        assert_eq!(b.state(), BreakerState::HalfOpen, "open_calls 0 acts as 1");
+        assert!(b.allow(), "permit budget 0 acts as 1");
+        b.on_success();
+        assert_eq!(
+            b.state(),
+            BreakerState::Closed,
+            "success_to_close 0 acts as 1"
+        );
+    }
+}

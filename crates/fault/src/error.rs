@@ -1,0 +1,102 @@
+//! The injected-fault error type and its kinds.
+
+use std::fmt;
+
+/// The flavor of infrastructure failure a failpoint injects. The kinds
+/// mirror what a network-backed `SearchApi` or model store would
+/// actually produce, so hardened callers can exercise kind-specific
+/// handling before any real backend exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The dependency is down or refusing connections.
+    Unavailable,
+    /// The dependency did not answer within its own budget.
+    Timeout,
+    /// The dependency answered with data that failed validation.
+    Corrupt,
+}
+
+impl FaultKind {
+    /// Stable lowercase name (used by the DSL and in error messages).
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultKind::Unavailable => "unavailable",
+            FaultKind::Timeout => "timeout",
+            FaultKind::Corrupt => "corrupt",
+        }
+    }
+
+    pub(crate) fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "unavailable" => Some(FaultKind::Unavailable),
+            "timeout" => Some(FaultKind::Timeout),
+            "corrupt" => Some(FaultKind::Corrupt),
+            _ => None,
+        }
+    }
+}
+
+/// One injected fault: which site fired, what kind of failure it
+/// simulates, and the site's 1-based call index at which it fired (the
+/// reproducibility breadcrumb — `(seed, schedule, call)` pins the event
+/// exactly).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    /// The failpoint site, e.g. `algo1.probe`.
+    pub site: String,
+    /// Simulated failure flavor.
+    pub kind: FaultKind,
+    /// 1-based call index at the site when the rule fired.
+    pub call: u64,
+}
+
+impl FaultError {
+    /// Build a fault error (public so hardened layers can synthesize
+    /// faults for conditions the registry cannot see, e.g. a missing
+    /// extractor).
+    pub fn new(site: impl Into<String>, kind: FaultKind, call: u64) -> FaultError {
+        FaultError {
+            site: site.into(),
+            kind,
+            call,
+        }
+    }
+}
+
+impl fmt::Display for FaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected {} fault at `{}` (call {})",
+            self.kind.label(),
+            self.site,
+            self.call
+        )
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip_through_parse() {
+        for kind in [
+            FaultKind::Unavailable,
+            FaultKind::Timeout,
+            FaultKind::Corrupt,
+        ] {
+            assert_eq!(FaultKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(FaultKind::parse("gremlins"), None);
+    }
+
+    #[test]
+    fn display_names_site_kind_and_call() {
+        let e = FaultError::new("algo1.probe", FaultKind::Timeout, 3);
+        let s = e.to_string();
+        assert!(s.contains("algo1.probe") && s.contains("timeout") && s.contains('3'));
+    }
+}

@@ -1,0 +1,58 @@
+//! Thread-count independence of armed fault schedules.
+//!
+//! Probability triggers decide per *call index*, not per RNG-stream
+//! position, so the set of firing calls is a pure function of
+//! `(seed, schedule)` — identical whether one thread or eight race
+//! through the site. Requires the `fault` feature (the registry is
+//! compiled out otherwise):
+//!
+//! ```text
+//! cargo test -p saccs-fault --features fault --test determinism
+//! ```
+
+#![cfg(feature = "fault")]
+
+use saccs_fault::{arm_guard, check, Scenario};
+
+/// One test fn: the registry is process-global, so concurrent tests in
+/// this binary would race on arm/disarm.
+#[test]
+fn identical_seeds_fire_identical_call_sets_across_8_threads() {
+    saccs_rt::set_threads(8);
+    let scenario = Scenario::parse("p.site=err@p=0.3").expect("parses");
+    const CALLS: usize = 400;
+    const SEED: u64 = 2024;
+
+    let run_parallel = |seed: u64| -> Vec<u64> {
+        let _guard = arm_guard(&scenario, seed);
+        // All workers hammer the same site concurrently; each firing
+        // call reports its 1-based index in the injected error.
+        let fired: Vec<Option<u64>> =
+            saccs_rt::parallel_map(CALLS, 1, |_| check("p.site").err().map(|e| e.call));
+        let mut fired: Vec<u64> = fired.into_iter().flatten().collect();
+        fired.sort_unstable();
+        fired
+    };
+
+    let parallel_a = run_parallel(SEED);
+    let parallel_b = run_parallel(SEED);
+    assert_eq!(parallel_a, parallel_b, "same seed must replay exactly");
+
+    // Serial reference: the *set* of firing call indices must match the
+    // 8-thread runs bit for bit.
+    let serial: Vec<u64> = {
+        let _guard = arm_guard(&scenario, SEED);
+        (0..CALLS)
+            .filter_map(|_| check("p.site").err().map(|e| e.call))
+            .collect()
+    };
+    assert_eq!(parallel_a, serial, "schedule depends on thread count");
+
+    // And the seed actually matters.
+    let other = run_parallel(SEED + 1);
+    assert_ne!(parallel_a, other, "different seeds, different schedules");
+
+    // Sanity: p=0.3 over 400 calls fires a plausible fraction.
+    let p = parallel_a.len() as f64 / CALLS as f64;
+    assert!((0.15..0.45).contains(&p), "p=0.3 fired at rate {p}");
+}

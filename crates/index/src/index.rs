@@ -227,6 +227,19 @@ impl SubjectiveIndex {
         }
     }
 
+    /// Fallible [`SubjectiveIndex::index_tags`] behind the `index.build`
+    /// failpoint. A failed call leaves the index exactly as it was (the
+    /// fault fires before any posting list is rebuilt), so callers can
+    /// retry the whole round.
+    pub fn try_index_tags(
+        &mut self,
+        tags: &[SubjectiveTag],
+    ) -> Result<(), saccs_fault::FaultError> {
+        saccs_fault::failpoint!("index.build")?;
+        self.index_tags(tags);
+        Ok(())
+    }
+
     /// Run an indexing round over the accumulated user tag history
     /// (Figure 1's "next indexing round"): every tag users asked about and
     /// the index didn't know becomes a first-class index tag. Returns how
@@ -307,6 +320,19 @@ impl SubjectiveIndex {
             self.history.record(tag.clone());
         }
         self.probe_readonly(tag)
+    }
+
+    /// Fallible [`SubjectiveIndex::probe`] behind the `algo1.probe`
+    /// failpoint: the index of a deployed service lives behind storage
+    /// that can fail per-lookup. An injected failure happens *before*
+    /// the probe, so neither postings nor the user tag history are
+    /// touched by a failed call.
+    pub fn try_probe(
+        &mut self,
+        tag: &SubjectiveTag,
+    ) -> Result<Vec<(usize, f32)>, saccs_fault::FaultError> {
+        saccs_fault::failpoint!("algo1.probe")?;
+        Ok(self.probe(tag))
     }
 
     /// Read-only probe (no history side effect), for concurrent serving.

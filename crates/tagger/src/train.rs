@@ -195,6 +195,13 @@ impl Tagger {
             let mut seen = 0usize;
             order.shuffle(&mut rng);
             for &i in &order {
+                if saccs_fault::failpoint!("tagger.train_step").is_err() {
+                    // An injected step failure skips this example (the
+                    // weak-supervision stance: training tolerates lost
+                    // steps, it does not abort the run).
+                    saccs_obs::counter!("fault.train.skipped_steps").inc();
+                    continue;
+                }
                 let f = &features[i];
                 let y = &train_set[i].tags;
                 if f.rows() != y.len() {
@@ -297,6 +304,12 @@ impl Tagger {
             let mut seen = 0usize;
             order.shuffle(rng);
             for batch in order.chunks(config.batch_size) {
+                if saccs_fault::failpoint!("tagger.train_step").is_err() {
+                    // Batched mode: the whole batch is one step; an
+                    // injected failure drops it and moves on.
+                    saccs_obs::counter!("fault.train.skipped_steps").inc();
+                    continue;
+                }
                 step += 1;
                 let snapshot = model.state();
                 let shards = saccs_rt::parallel_map(GRAD_SHARDS, 1, |s| -> ShardGrads {

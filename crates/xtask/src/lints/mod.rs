@@ -9,6 +9,7 @@ pub(crate) mod doc_coverage;
 pub(crate) mod float_accum;
 pub(crate) mod hot_assert;
 pub(crate) mod lock_hazard;
+pub(crate) mod no_panic;
 pub(crate) mod no_print;
 pub(crate) mod no_spawn;
 pub(crate) mod no_unwrap;
@@ -54,6 +55,7 @@ pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(no_unwrap::NoUnwrapInLib),
         Box::new(no_print::NoPrintInLib),
+        Box::new(no_panic::NoPanicInService),
         Box::new(lock_hazard::LockHazard),
         Box::new(float_accum::FloatAccum),
         Box::new(hot_assert::AssertInHotPath),

@@ -1,0 +1,115 @@
+//! `no-panic-in-service`: aborting macros in the hardened serving layer.
+//!
+//! The whole point of the resilience work is that `SaccsService` answers
+//! degraded instead of dying: every infrastructure failure maps to a
+//! `SaccsError` and a rung on the degradation ladder. A `panic!`,
+//! `unreachable!` or `todo!` in the service path (or in `saccs-fault`,
+//! which must never kill the process it is injecting faults into)
+//! silently reintroduces an abort path behind the typed taxonomy. Return
+//! a `SaccsError` (or restructure so the case is impossible); genuinely
+//! unreachable arms can carry an inline `lint:allow` with the invariant.
+
+use super::{Lint, Violation};
+use crate::scan::SourceFile;
+
+pub(crate) struct NoPanicInService;
+
+/// Files under the no-abort contract: the hardened service layer and
+/// the entire fault-injection crate.
+const SCOPED: [&str; 4] = [
+    "crates/core/src/service.rs",
+    "crates/core/src/resilient.rs",
+    "crates/core/src/error.rs",
+    "crates/fault/src/",
+];
+
+impl Lint for NoPanicInService {
+    fn id(&self) -> &'static str {
+        "no-panic-in-service"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        SCOPED.iter().any(|s| path.starts_with(s))
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for (i, line) in file.lines.iter().enumerate() {
+            if line.in_test {
+                continue;
+            }
+            for pat in ["panic!", "unreachable!", "todo!"] {
+                if line.code.contains(pat) {
+                    out.push(Violation::new(
+                        self.id(),
+                        file,
+                        i,
+                        format!(
+                            "`{pat}` in the resilient serving layer: map the failure \
+                             to a SaccsError / degradation rung instead of aborting"
+                        ),
+                    ));
+                    break;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        NoPanicInService.run(&SourceFile::parse("crates/core/src/service.rs", src))
+    }
+
+    #[test]
+    fn fires_on_each_aborting_macro() {
+        let v = run_on(
+            "pub fn f(x: u8) {\n\
+             \x20   panic!(\"boom\");\n\
+             \x20   unreachable!();\n\
+             \x20   todo!()\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 3, "unexpected: {v:?}");
+        assert!(v[0].message.contains("`panic!`"));
+        assert!(v[1].message.contains("`unreachable!`"));
+        assert!(v[2].message.contains("`todo!`"));
+    }
+
+    #[test]
+    fn quiet_on_test_code_comments_and_strings() {
+        let v = run_on(
+            "//! Docs can discuss panic! safely.\n\
+             pub fn f() -> &'static str { \"panic!\" } // unreachable! note\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   #[test]\n\
+             \x20   fn t() { panic!(\"test assertions may abort\"); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn scope_is_the_service_layer_and_the_fault_crate() {
+        assert!(NoPanicInService.applies("crates/core/src/service.rs"));
+        assert!(NoPanicInService.applies("crates/core/src/resilient.rs"));
+        assert!(NoPanicInService.applies("crates/core/src/error.rs"));
+        assert!(NoPanicInService.applies("crates/fault/src/registry.rs"));
+        assert!(NoPanicInService.applies("crates/fault/src/breaker.rs"));
+        assert!(!NoPanicInService.applies("crates/core/src/builder.rs"));
+        assert!(!NoPanicInService.applies("crates/tagger/src/train.rs"));
+        assert!(!NoPanicInService.applies("src/lib.rs"));
+    }
+
+    #[test]
+    fn a_line_reports_once_under_the_first_matching_macro() {
+        let v = run_on("pub fn f() { if true { panic!() } else { todo!() } }\n");
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("`panic!`"));
+    }
+}

@@ -9,8 +9,9 @@
 use super::{Lint, Violation};
 use crate::scan::SourceFile;
 
-const CRATES: [&str; 6] = [
+const CRATES: [&str; 7] = [
     "crates/core/src/",
+    "crates/fault/src/",
     "crates/index/src/",
     "crates/nn/src/",
     "crates/obs/src/",

@@ -12,6 +12,7 @@
 #   5. sanitize  cargo test -q --features saccs-nn/sanitize
 #   6. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
 #   7. perf      SACCS_OBS=json matmul microbench + xtask check-bench
+#   8. chaos     seeded fault suite + double chaos-bin run, exports diffed
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -66,5 +67,21 @@ SACCS_OBS=json SACCS_THREADS="${SACCS_THREADS:-8}" \
     cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin matmul \
     || fail perf
 cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_matmul.json || fail perf
+
+# Chaos gate: the seeded fault-injection suite, then the chaos bin run
+# twice with the same (seed, scenario) — the JSON-lines exports (rankings
+# as score bits, degradation events, fault.* counter deltas; no timings)
+# must be byte-identical or the schedules are not deterministic.
+stage chaos "fault suite + double chaos run, exports diffed"
+cargo test "${OFFLINE[@]}" -q --features fault --test chaos || fail chaos
+rm -f CHAOS_a.jsonl CHAOS_b.jsonl
+SACCS_CHAOS_OUT=CHAOS_a.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin chaos \
+    || fail chaos
+SACCS_CHAOS_OUT=CHAOS_b.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin chaos \
+    >/dev/null || fail chaos
+diff CHAOS_a.jsonl CHAOS_b.jsonl || fail chaos
+rm -f CHAOS_a.jsonl CHAOS_b.jsonl
 
 printf '\n=== CI green: all stages passed ===\n'

@@ -35,6 +35,8 @@ pub use saccs_data as data;
 pub use saccs_embed as embed;
 /// Evaluation metrics: NDCG, bootstrap CIs, rank correlation, span/pair F1.
 pub use saccs_eval as eval;
+/// Deterministic fault injection: failpoints, schedules, backoff, breakers.
+pub use saccs_fault as fault;
 /// The subjective tag index (Equation 1) with dynamic re-indexing.
 pub use saccs_index as index;
 /// Classical IR baselines: BM25, similarity ranking, attribute-filter oracle.

@@ -1,0 +1,340 @@
+//! Chaos suite: seeded fault schedules driving the hardened rank path.
+//!
+//! The ungated tests pin the zero-fault contract: `rank_resilient` is
+//! bitwise identical to `rank`, and a tag-free utterance passes the
+//! objective order through without ever entering the pad stage. The
+//! `fault`-gated tests arm deterministic schedules (`saccs-fault`) and
+//! drive the degradation ladder end to end:
+//!
+//! ```text
+//! cargo test --features fault --test chaos -- --nocapture
+//! ```
+//!
+//! Every armed test prints its `(seed, scenario)` pair; replaying a
+//! failure is `arm_guard(&Scenario::parse(printed)?, printed_seed)`.
+//!
+//! The fault registry, the obs exporter slot and the metrics registry
+//! are process-global, so every test takes the file-wide mutex and
+//! asserts on counter *deltas* (the `counter!` macro caches handles, so
+//! `registry().reset()` would detach live call sites).
+
+use saccs::core::{SaccsBuilder, SearchApi, Slots, TrainedSaccs};
+use saccs::data::yelp::{YelpConfig, YelpCorpus};
+use saccs::text::{Domain, Lexicon};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+
+fn corpus() -> &'static YelpCorpus {
+    static CORPUS: OnceLock<YelpCorpus> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        YelpCorpus::generate(
+            Lexicon::new(Domain::Restaurants),
+            &YelpConfig {
+                n_entities: 24,
+                n_reviews: 420,
+                seed: 42,
+                ..Default::default()
+            },
+        )
+    })
+}
+
+fn saccs() -> TrainedSaccs {
+    SaccsBuilder::quick().build(corpus())
+}
+
+/// Serialize the whole file: armed schedules, the exporter slot and the
+/// metrics registry are shared process state. A panicking test must not
+/// wedge the rest, so poison is swallowed.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(feature = "fault")]
+fn counter(name: &str) -> u64 {
+    saccs::obs::registry().counter(name).get()
+}
+
+/// Scores compared by bit pattern: "same ranking" here means the exact
+/// same floats, not approximately equal ones.
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(e, s)| (e, s.to_bits())).collect()
+}
+
+/// The objective passthrough `rank_resilient` must fall back to: the
+/// API order with zero scores, truncated to `top_k`.
+fn objective_order(api: &SearchApi<'_>, top_k: usize) -> Vec<(usize, f32)> {
+    api.search(&Slots::default())
+        .into_iter()
+        .take(top_k)
+        .map(|e| (e, 0.0))
+        .collect()
+}
+
+const UTTERANCES: [&str; 3] = [
+    "I want a restaurant with delicious food and a nice staff",
+    "somewhere with friendly staff and tasty food",
+    "find me a cozy place with a great atmosphere",
+];
+
+#[test]
+fn rank_resilient_is_bitwise_identical_to_rank_without_faults() {
+    let _serial = global_lock();
+    let mut trained = saccs();
+    let api = SearchApi::new(&corpus().entities);
+    let slots = Slots::default();
+    for utterance in UTTERANCES {
+        let plain = trained.service.rank(utterance, &api, &slots);
+        let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+        assert!(
+            !outcome.degradation.is_degraded(),
+            "fault-free run degraded on {utterance:?}: {:?}",
+            outcome.degradation.events
+        );
+        assert_eq!(
+            bits(&plain),
+            bits(&outcome.results),
+            "hardened path diverged on {utterance:?}"
+        );
+    }
+}
+
+/// Satellite regression: an utterance with no subjective signal (and
+/// empty slots) must pass the API order through verbatim — and must do
+/// so via the early passthrough, never reaching the pad stage. The
+/// `algo1.pad` histogram (spans record durations there while an
+/// exporter is installed) pins that: its sample count may not move.
+#[test]
+fn tag_free_rank_passes_api_order_through_without_padding() {
+    let _serial = global_lock();
+    let mut trained = saccs();
+    let api = SearchApi::new(&corpus().entities);
+    let slots = Slots::default();
+    assert!(
+        trained.service.extract_tags("").is_empty(),
+        "empty utterance extracted tags"
+    );
+
+    let collector = std::sync::Arc::new(saccs::obs::InMemoryCollector::new());
+    saccs::obs::install(collector);
+    let pad_before = saccs::obs::registry().histogram("algo1.pad").count();
+    let rank_before = saccs::obs::registry().histogram("algo1.rank").count();
+    let ranked = trained.service.rank("", &api, &slots);
+    saccs::obs::uninstall();
+
+    let top_k = trained.service.config().top_k;
+    assert_eq!(
+        bits(&ranked),
+        bits(&objective_order(&api, top_k)),
+        "tag-free rank is not the objective passthrough"
+    );
+    assert_eq!(
+        saccs::obs::registry().histogram("algo1.rank").count(),
+        rank_before + 1,
+        "rank span did not record"
+    );
+    assert_eq!(
+        saccs::obs::registry().histogram("algo1.pad").count(),
+        pad_before,
+        "pad stage ran on a tag-free utterance"
+    );
+}
+
+#[cfg(feature = "fault")]
+mod armed {
+    use super::*;
+    use saccs::core::{DegradeAction, ResilienceConfig, SaccsError};
+    use saccs::fault::{arm_guard, Scenario};
+    use std::time::Duration;
+
+    /// Permanent probe outage: every request must degrade to the
+    /// objective order (never panic, never go empty), with a non-empty
+    /// degradation report, and `fault.degraded_requests` must count
+    /// each one exactly once.
+    #[test]
+    fn permanent_probe_fault_degrades_every_request_to_objective_only() {
+        let _serial = global_lock();
+        let mut trained = saccs();
+        let api = SearchApi::new(&corpus().entities);
+        let slots = Slots::default();
+        let expected = objective_order(&api, trained.service.config().top_k);
+
+        const SEED: u64 = 7;
+        let scenario = Scenario::parse("algo1.probe=err").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+        let degraded_before = counter("fault.degraded_requests");
+        let _faults = arm_guard(&scenario, SEED);
+
+        const REQUESTS: u64 = 4;
+        for (i, utterance) in UTTERANCES
+            .iter()
+            .cycle()
+            .take(REQUESTS as usize)
+            .enumerate()
+        {
+            let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+            assert_eq!(
+                bits(&outcome.results),
+                bits(&expected),
+                "request {i} is not the objective fallback"
+            );
+            assert!(
+                outcome.degradation.is_degraded(),
+                "request {i} reported no degradation"
+            );
+            assert_eq!(
+                outcome.degradation.worst(),
+                Some(DegradeAction::ObjectiveOnly),
+                "request {i} worst rung"
+            );
+        }
+        assert_eq!(
+            counter("fault.degraded_requests") - degraded_before,
+            REQUESTS,
+            "degraded_requests must count each request once"
+        );
+        assert!(
+            trained.service.breakers().probe.times_opened() >= 1,
+            "a permanent outage must trip the probe breaker"
+        );
+    }
+
+    /// Transient faults inside the retry budget are fully absorbed: two
+    /// failing probe calls, then recovery — the ranking is byte-identical
+    /// to the fault-free run and nothing degrades.
+    #[test]
+    fn retries_absorb_transient_probe_faults_bitwise() {
+        let _serial = global_lock();
+        let mut trained = saccs();
+        let api = SearchApi::new(&corpus().entities);
+        let slots = Slots::default();
+        let utterance = UTTERANCES[0];
+        let reference = trained.service.rank_resilient(utterance, &api, &slots);
+        assert!(!reference.degradation.is_degraded());
+
+        const SEED: u64 = 11;
+        // Probe calls 1 and 2 fail; the default policy retries up to 3
+        // attempts, so the first tag recovers on its third call.
+        let scenario = Scenario::parse("algo1.probe=err@1..3").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+        let retries_before = counter("fault.retry.attempts");
+        let outcome = {
+            let _faults = arm_guard(&scenario, SEED);
+            trained.service.rank_resilient(utterance, &api, &slots)
+        };
+        assert!(
+            !outcome.degradation.is_degraded(),
+            "absorbed faults must not degrade: {:?}",
+            outcome.degradation.events
+        );
+        assert_eq!(
+            bits(&outcome.results),
+            bits(&reference.results),
+            "ranking changed once the faults cleared"
+        );
+        assert_eq!(
+            counter("fault.retry.attempts") - retries_before,
+            2,
+            "exactly the two injected failures should have been retried"
+        );
+    }
+
+    /// A lapsed deadline mid-probe returns the partially-ranked results
+    /// (from the tags probed in time) instead of blocking or panicking.
+    #[test]
+    fn deadline_mid_probe_returns_partial_results() {
+        let _serial = global_lock();
+        let trained = saccs();
+        let mut service = trained.service.with_resilience(ResilienceConfig {
+            deadline: Some(Duration::from_millis(250)),
+            ..ResilienceConfig::default()
+        });
+        let api = SearchApi::new(&corpus().entities);
+        let slots = Slots::default();
+        let utterance = UTTERANCES[0];
+        assert!(
+            service.extract_tags(utterance).len() >= 2,
+            "test needs a multi-tag utterance to truncate"
+        );
+
+        const SEED: u64 = 13;
+        // The first probe call sleeps straight through the 250ms budget;
+        // the deadline check before the next tag then truncates the
+        // probe list.
+        let scenario = Scenario::parse("algo1.probe=delay(600ms)@1").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+        let exceeded_before = counter("fault.deadline.exceeded");
+        let outcome = {
+            let _faults = arm_guard(&scenario, SEED);
+            service.rank_resilient(utterance, &api, &slots)
+        };
+        assert!(
+            !outcome.results.is_empty(),
+            "partial degradation must still return the surviving ranking"
+        );
+        assert_eq!(
+            outcome.degradation.worst(),
+            Some(DegradeAction::Partial),
+            "events: {:?}",
+            outcome.degradation.events
+        );
+        assert!(
+            outcome
+                .degradation
+                .events
+                .iter()
+                .any(|e| matches!(e.error, SaccsError::DeadlineExceeded { .. })),
+            "no deadline error in {:?}",
+            outcome.degradation.events
+        );
+        assert!(
+            counter("fault.deadline.exceeded") > exceeded_before,
+            "deadline counter never moved"
+        );
+    }
+
+    /// The reproducibility contract the printed `(seed, scenario)` pairs
+    /// rely on: re-arming the same schedule against a fresh service
+    /// replays the same rankings and the same degradation report,
+    /// event for event.
+    #[test]
+    fn seeded_probabilistic_chaos_replays_exactly() {
+        let _serial = global_lock();
+        const SEED: u64 = 2024;
+        // p must beat the retry budget: a logical probe only degrades
+        // when three consecutive calls fire (p³), so p=0.9 makes at
+        // least one degradation over six requests near-certain.
+        let scenario = Scenario::parse("algo1.probe=err@p=0.9").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+
+        let run = |seed: u64| -> Vec<(Vec<(usize, u32)>, Vec<String>)> {
+            let mut trained = saccs();
+            let api = SearchApi::new(&corpus().entities);
+            let slots = Slots::default();
+            let _faults = arm_guard(&scenario, seed);
+            UTTERANCES
+                .iter()
+                .cycle()
+                .take(6)
+                .map(|utterance| {
+                    let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+                    let events: Vec<String> = outcome
+                        .degradation
+                        .events
+                        .iter()
+                        .map(|e| format!("{}:{}:{}", e.stage, e.action.label(), e.error))
+                        .collect();
+                    (bits(&outcome.results), events)
+                })
+                .collect()
+        };
+
+        let first = run(SEED);
+        let second = run(SEED);
+        assert_eq!(first, second, "same (seed, scenario) must replay exactly");
+        assert!(
+            first.iter().any(|(_, events)| !events.is_empty()),
+            "p=0.5 over 6 requests fired nothing — schedule not armed?"
+        );
+    }
+}
