@@ -30,7 +30,7 @@ fn bench_index(c: &mut Criterion) {
     c.bench_function("index/reindex_round_one_new_tag", |b| {
         b.iter_batched(
             || {
-                let mut idx = gold_index(&corpus, IndexConfig::default(), 18);
+                let idx = gold_index(&corpus, IndexConfig::default(), 18);
                 let _ = idx.probe(&SubjectiveTag::new("dreamy", "vibe"));
                 idx
             },

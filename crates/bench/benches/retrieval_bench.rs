@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use saccs_bench::{gold_index, query_gains, table2_corpus};
-use saccs_core::{SaccsConfig, SaccsService};
+use saccs_core::{RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::CrowdSimulator;
 use saccs_eval::ndcg::ndcg;
@@ -75,11 +75,12 @@ fn bench_retrieval(c: &mut Criterion) {
     c.bench_function("index/fuzzy_lookup_automaton", |b| {
         b.iter(|| automaton.fuzzy_get(&typo))
     });
-    let mut service = SaccsService::index_only(index, SaccsConfig::default());
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let service = SaccsService::index_only(index, SaccsConfig::default());
+    let api = SearchApi::new(&corpus.entities);
     let tags: Vec<SubjectiveTag> = query.tags.iter().map(|t| t.tag()).collect();
+    let request = RankRequest::tags(tags);
     c.bench_function("saccs/algorithm1_rank_medium_query", |b| {
-        b.iter(|| service.rank_with_tags(&tags, &api))
+        b.iter(|| service.rank_request(&request, &api))
     });
 }
 

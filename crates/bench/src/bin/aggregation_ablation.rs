@@ -9,7 +9,7 @@
 //! `cargo run --release -p saccs-bench --bin aggregation_ablation`
 
 use saccs_bench::{gold_index, mean_ndcg_by_level, scale, table2_corpus};
-use saccs_core::{Aggregation, SaccsConfig, SaccsService};
+use saccs_core::{Aggregation, RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::CrowdSimulator;
 use saccs_index::index::IndexConfig;
@@ -23,7 +23,7 @@ fn main() {
     let corpus = table2_corpus(scale);
     let crowd = CrowdSimulator::default();
     let sets = query_sets(100, 0xA66);
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let api = SearchApi::new(&corpus.entities);
 
     println!(
         "{:<18} {:>7} {:>7} {:>7}",
@@ -38,7 +38,7 @@ fn main() {
             },
             18,
         );
-        let mut service = SaccsService::index_only(
+        let service = SaccsService::index_only(
             index,
             SaccsConfig {
                 aggregation: agg,
@@ -48,7 +48,8 @@ fn main() {
         let values = mean_ndcg_by_level(&sets, &corpus, &crowd, |q, _| {
             let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
             service
-                .rank_with_tags(&tags, &api)
+                .rank_request(&RankRequest::tags(tags), &api)
+                .results
                 .into_iter()
                 .map(|(e, _)| e)
                 .collect()

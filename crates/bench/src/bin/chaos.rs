@@ -2,11 +2,12 @@
 //! fault-schedule export.
 //!
 //! Phase 1 (faults disarmed): interleaved best-of-N timing of
-//! `SaccsService::rank` vs `rank_resilient` on the same utterance batch
-//! — the hardening-overhead headline quoted in EXPERIMENTS.md.
+//! `SaccsService::rank_unguarded` vs `rank_request` on the same
+//! utterance batch — the hardening-overhead headline quoted in
+//! EXPERIMENTS.md.
 //!
 //! Phase 2 (chaos export): arm the seeded scenario and drive a fixed
-//! request batch through `rank_resilient`, writing one JSON line per
+//! request batch through `rank_request`, writing one JSON line per
 //! request (ranking with score *bits*, degradation events) plus a final
 //! `fault.*` counter-delta line. With an error-only scenario the file is
 //! a pure function of `(seed, scenario)`; `scripts/ci.sh` runs the bin
@@ -23,7 +24,7 @@
 //! `SACCS_CHAOS_REPS` (timing repetitions, default 200),
 //! `SACCS_OBS=json` to emit `BENCH_chaos.json`.
 
-use saccs_core::{SaccsBuilder, SearchApi, Slots, TrainedSaccs};
+use saccs_core::{RankRequest, SaccsBuilder, SearchApi, TrainedSaccs};
 use saccs_data::yelp::{YelpConfig, YelpCorpus};
 use saccs_fault::{arm_guard, Scenario};
 use saccs_text::{Domain, Lexicon};
@@ -99,11 +100,14 @@ fn main() {
     let reps: usize = env_or("SACCS_CHAOS_REPS", "200").parse().unwrap_or(200);
     let out_path = env_or("SACCS_CHAOS_OUT", "CHAOS_report.jsonl");
 
-    println!("Chaos bench: rank vs rank_resilient, then seeded fault replay");
+    println!("Chaos bench: rank_unguarded vs rank_request, then seeded fault replay");
     println!("  (seed={seed} scenario={scenario} requests={CHAOS_REQUESTS})\n");
-    let (corpus, mut trained) = build();
+    let (corpus, trained) = build();
     let api = SearchApi::new(&corpus.entities);
-    let slots = Slots::default();
+    let requests: Vec<RankRequest> = UTTERANCES
+        .iter()
+        .map(|u| RankRequest::utterance(*u))
+        .collect();
 
     // Phase 1: hardening overhead with no faults armed. Interleaved
     // best-of-N over the whole batch so host noise cannot bias a side.
@@ -111,13 +115,13 @@ fn main() {
     let mut t_resilient = f64::INFINITY;
     for _ in 0..reps {
         let t0 = Instant::now();
-        for u in UTTERANCES {
-            black_box(trained.service.rank(u, &api, &slots));
+        for r in &requests {
+            black_box(trained.service.rank_unguarded(r, &api).ok());
         }
         t_plain = t_plain.min(t0.elapsed().as_secs_f64());
         let t0 = Instant::now();
-        for u in UTTERANCES {
-            black_box(trained.service.rank_resilient(u, &api, &slots));
+        for r in &requests {
+            black_box(trained.service.rank_request(r, &api));
         }
         t_resilient = t_resilient.min(t0.elapsed().as_secs_f64());
     }
@@ -144,8 +148,8 @@ fn main() {
     );
     {
         let _faults = arm_guard(&scenario, seed);
-        for (i, u) in UTTERANCES.iter().cycle().take(CHAOS_REQUESTS).enumerate() {
-            let outcome = trained.service.rank_resilient(u, &api, &slots);
+        for (i, r) in requests.iter().cycle().take(CHAOS_REQUESTS).enumerate() {
+            let outcome = trained.service.rank_request(r, &api);
             let ranking: Vec<String> = outcome
                 .results
                 .iter()

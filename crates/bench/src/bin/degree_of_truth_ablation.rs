@@ -12,7 +12,7 @@
 //! `cargo run --release -p saccs-bench --bin degree_of_truth_ablation`
 
 use saccs_bench::{gold_index, mean_ndcg_by_level, scale, table2_corpus};
-use saccs_core::{SaccsConfig, SaccsService};
+use saccs_core::{RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::CrowdSimulator;
 use saccs_index::index::IndexConfig;
@@ -26,7 +26,7 @@ fn main() {
     let corpus = table2_corpus(scale);
     let crowd = CrowdSimulator::default();
     let sets = query_sets(100, 0xDE6);
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let api = SearchApi::new(&corpus.entities);
 
     println!(
         "{:<18} {:>7} {:>7} {:>7}",
@@ -47,11 +47,12 @@ fn main() {
             },
             18,
         );
-        let mut service = SaccsService::index_only(index, SaccsConfig::default());
+        let service = SaccsService::index_only(index, SaccsConfig::default());
         let values = mean_ndcg_by_level(&sets, &corpus, &crowd, |q, _| {
             let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
             service
-                .rank_with_tags(&tags, &api)
+                .rank_request(&RankRequest::tags(tags), &api)
+                .results
                 .into_iter()
                 .map(|(e, _)| e)
                 .collect()

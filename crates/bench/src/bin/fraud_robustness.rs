@@ -9,7 +9,7 @@
 //! `cargo run --release -p saccs-bench --bin fraud_robustness`
 
 use saccs_bench::{ndcg_of_ranking, scale, table2_corpus};
-use saccs_core::{SaccsConfig, SaccsService};
+use saccs_core::{RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::fraud::{inject_fraud, FraudCampaign};
 use saccs_data::yelp::YelpCorpus;
 use saccs_data::{canonical_tags, CrowdSimulator};
@@ -54,11 +54,11 @@ fn main() {
     let gains: Vec<f32> = (0..clean_corpus.entities.len())
         .map(|e| crowd.sat(&tag, &clean_corpus, e))
         .collect();
-    let api: Vec<usize> = (0..clean_corpus.entities.len()).collect();
+    let api = SearchApi::new(&clean_corpus.entities);
 
     // Campaign targets: the entities with the WORST true quality on the
     // pushed dimension (the ones that would pay for reviews).
-    let mut worst: Vec<usize> = api.clone();
+    let mut worst: Vec<usize> = (0..clean_corpus.entities.len()).collect();
     worst.sort_by(|&a, &b| gains[a].partial_cmp(&gains[b]).unwrap());
     let targets: Vec<usize> = worst.into_iter().take(4).collect();
 
@@ -68,9 +68,10 @@ fn main() {
         "condition", "NDCG@10", "targets@10", "target rank"
     );
 
-    let report = |label: &str, service: &mut SaccsService| {
+    let report = |label: &str, service: &SaccsService| {
         let ranked: Vec<usize> = service
-            .rank_with_tags(&[tag.tag()], &api)
+            .rank_request(&RankRequest::tags(vec![tag.tag()]), &api)
+            .results
             .into_iter()
             .map(|(e, _)| e)
             .collect();
@@ -90,7 +91,7 @@ fn main() {
         ndcg
     };
 
-    let baseline = report("clean corpus", &mut build_service(&clean_corpus, None));
+    let baseline = report("clean corpus", &build_service(&clean_corpus, None));
 
     for n_fake in [10usize, 30, 60] {
         let mut corrupted = clean_corpus.clone();
@@ -108,11 +109,11 @@ fn main() {
 
         let naive = report(
             &format!("+{n_fake} fakes, naive"),
-            &mut build_service(&corrupted, None),
+            &build_service(&corrupted, None),
         );
         let filtered = report(
             &format!("+{n_fake} fakes, FraudFilter"),
-            &mut build_service(&corrupted, Some(&FraudFilter::default())),
+            &build_service(&corrupted, Some(&FraudFilter::default())),
         );
         println!(
             "  -> damage {:.3}, repaired {:.0}%\n",

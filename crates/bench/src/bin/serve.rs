@@ -1,0 +1,333 @@
+//! Serving bench: bitwise-equality sweep, deterministic export, batched
+//! extraction A/B, and the multi-worker QPS headline.
+//!
+//! Phase 1 (equality): every `(workers, batch)` combination in
+//! {1,2,8}×{1,4,16} must reproduce the serial `rank_request` rankings
+//! bit for bit — the server is a throughput layer, never a semantics
+//! layer. Any divergence exits non-zero.
+//!
+//! Phase 2 (export): one width-8 server run writes one JSON line per
+//! request (ranking with score *bits*) plus the server counters to
+//! `SACCS_SERVE_OUT`. The file is a pure function of the build;
+//! `scripts/ci.sh` runs the bin twice and diffs the exports.
+//!
+//! Phase 3 (A/B): width-1 serving with batch=1 vs batch=N over a
+//! pre-filled queue — the micro-batched feature warm-up headline quoted
+//! in EXPERIMENTS.md.
+//!
+//! Phase 4 (QPS): arms `algo1.search_api=delay(..)` — the in-memory
+//! search API stand-in answers instantly, the simulated remote one
+//! doesn't — and measures requests/second at widths 1, 2 and 8. Workers
+//! blocked in the API sleep overlap, so multi-worker throughput scales
+//! even on a single core; delays change timing only, never values.
+//! Without the `fault` feature the schedule is inert and the phase
+//! reports flat QPS.
+//!
+//! `cargo run --release -p saccs-bench --features fault --bin serve`
+//!
+//! Environment: `SACCS_SERVE_OUT` (default `SERVE_report.jsonl`),
+//! `SACCS_SERVE_REQUESTS` (QPS-phase requests per width, default 64),
+//! `SACCS_SERVE_DELAY_MS` (simulated API latency, default 5),
+//! `SACCS_OBS=json` to emit `BENCH_serve.json`.
+
+use saccs_core::{RankRequest, SaccsBuilder, SaccsService, SearchApi};
+use saccs_data::yelp::{YelpConfig, YelpCorpus};
+use saccs_data::Entity;
+use saccs_fault::{arm_guard, Scenario};
+use saccs_serve::{SaccsServer, ServeConfig};
+use saccs_text::{Domain, Lexicon};
+use std::fmt::Write as _;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+const UTTERANCES: [&str; 3] = [
+    "I want a restaurant with delicious food and a nice staff",
+    "somewhere with friendly staff and tasty food",
+    "find me a cozy place with a great atmosphere",
+];
+
+/// Requests in the equality sweep, the export and the A/B phase.
+const EQ_REQUESTS: usize = 12;
+
+/// Distinct utterances for the A/B phase: with no repeats, the
+/// per-replica feature memo cannot hide the per-sentence encoder cost,
+/// so the measurement isolates batched vs per-call encoding.
+const AB_UTTERANCES: [&str; EQ_REQUESTS] = [
+    "I want a restaurant with delicious food and a nice staff",
+    "somewhere with friendly staff and tasty food",
+    "find me a cozy place with a great atmosphere",
+    "a quiet spot with generous portions and fast service",
+    "show me a clean place with a friendly waiter",
+    "I need somewhere cheap with fresh ingredients",
+    "a romantic restaurant with attentive service",
+    "any place with a great view and good coffee",
+    "somewhere lively with authentic dishes",
+    "a family spot with a patient staff and big tables",
+    "find a bakery with warm bread and kind people",
+    "a diner with quick service and hearty meals",
+];
+
+const WIDTHS: [usize; 3] = [1, 2, 8];
+const BATCHES: [usize; 3] = [1, 4, 16];
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn request(i: usize) -> RankRequest {
+    RankRequest::utterance(UTTERANCES[i % UTTERANCES.len()])
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(e, s)| (e, s.to_bits())).collect()
+}
+
+fn build() -> (YelpCorpus, Arc<SaccsService>) {
+    let corpus = YelpCorpus::generate(
+        Lexicon::new(Domain::Restaurants),
+        &YelpConfig {
+            n_entities: 24,
+            n_reviews: 420,
+            seed: 42,
+            ..Default::default()
+        },
+    );
+    let trained = SaccsBuilder::quick().build(&corpus);
+    let service = Arc::new(trained.service);
+    (corpus, service)
+}
+
+fn start_server(
+    service: &Arc<SaccsService>,
+    entities: &[Entity],
+    workers: usize,
+    batch: usize,
+) -> Arc<SaccsServer> {
+    Arc::new(SaccsServer::start(
+        Arc::clone(service),
+        entities.to_vec(),
+        ServeConfig {
+            workers,
+            queue_depth: 256,
+            batch,
+        },
+    ))
+}
+
+/// Submit requests `0..n` from `clients` concurrent threads (request
+/// `i` goes to client `i % clients`); returns the replies in request
+/// order, recording per-request latency into `histogram` if given.
+fn drive(
+    server: &Arc<SaccsServer>,
+    n: usize,
+    clients: usize,
+    histogram: Option<&str>,
+) -> Vec<Vec<(usize, u32)>> {
+    let (tx, rx) = mpsc::channel();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let server = Arc::clone(server);
+            let tx = tx.clone();
+            let histogram = histogram.map(str::to_string);
+            saccs_rt::spawn_worker(&format!("bench-client-{c}"), move || {
+                let mut i = c;
+                while i < n {
+                    let t0 = Instant::now();
+                    let response = server.submit(request(i)).expect("request admitted");
+                    if let Some(name) = &histogram {
+                        saccs_obs::registry()
+                            .histogram(name)
+                            .record(t0.elapsed().as_nanos() as u64);
+                    }
+                    tx.send((i, bits(&response.results))).expect("send reply");
+                    i += clients;
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    drop(tx);
+    let mut replies = vec![Vec::new(); n];
+    for (i, reply) in rx {
+        replies[i] = reply;
+    }
+    replies
+}
+
+fn main() {
+    saccs_bench::obs_init();
+    let out_path = env_or("SACCS_SERVE_OUT", "SERVE_report.jsonl");
+    let qps_requests: usize = env_or("SACCS_SERVE_REQUESTS", "64").parse().unwrap_or(64);
+    let delay_ms: u64 = env_or("SACCS_SERVE_DELAY_MS", "5").parse().unwrap_or(5);
+
+    println!("Serve bench: equality sweep, export, batch A/B, QPS scaling\n");
+    let (corpus, service) = build();
+    let entities = corpus.entities.clone();
+
+    // Phase 1: the bitwise-equality sweep.
+    let reference: Vec<Vec<(usize, u32)>> = {
+        let api = SearchApi::new(&entities);
+        (0..EQ_REQUESTS)
+            .map(|i| bits(&service.rank_request(&request(i), &api).results))
+            .collect()
+    };
+    for workers in WIDTHS {
+        for batch in BATCHES {
+            let server = start_server(&service, &entities, workers, batch);
+            let replies = drive(&server, EQ_REQUESTS, workers * 2, None);
+            for (i, reply) in replies.iter().enumerate() {
+                if reply != &reference[i] {
+                    println!(
+                        "DIVERGENCE: request {i} at workers={workers} batch={batch}\n  \
+                         served {reply:?}\n  serial {:?}",
+                        reference[i]
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
+    println!(
+        "equality: {}x{} (workers x batch) configs, {EQ_REQUESTS} requests each — all bitwise \
+         identical to serial rank_request",
+        WIDTHS.len(),
+        BATCHES.len()
+    );
+
+    // Phase 2: the deterministic export. Counters come from a fresh
+    // server, so they are absolute, not deltas.
+    let mut report = String::new();
+    {
+        let server = start_server(&service, &entities, 8, 4);
+        let replies = drive(&server, EQ_REQUESTS, 8, None);
+        for (i, reply) in replies.iter().enumerate() {
+            let ranking: Vec<String> = reply.iter().map(|(e, b)| format!("[{e},{b}]")).collect();
+            let _ = writeln!(
+                report,
+                "{{\"request\":{i},\"ranking\":[{}]}}",
+                ranking.join(",")
+            );
+        }
+        let stats = server.stats();
+        let _ = writeln!(
+            report,
+            "{{\"counters\":{{\"serve.submitted\":{},\"serve.served\":{},\"serve.shed\":{}}}}}",
+            stats.submitted, stats.served, stats.shed
+        );
+    }
+    match std::fs::write(&out_path, &report) {
+        Ok(()) => println!("wrote {out_path} ({EQ_REQUESTS} requests)"),
+        Err(e) => {
+            println!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Phase 3: batched vs unbatched extraction over a pre-filled queue
+    // (pause → enqueue all → resume), best-of-N wall clock, 12 distinct
+    // utterances. Per-call encoder latency is simulated on both seams —
+    // `embed.features` fires once per cache-missed sentence on the
+    // serial path, `embed.features_batch` once per batch — so the
+    // batched warm-up pays one round trip where the unbatched path pays
+    // twelve. Delays never change values; the replies from both arms
+    // are asserted bitwise identical below.
+    let ab_delay_ms = 2u64;
+    let ab_scenario = Scenario::parse(&format!(
+        "embed.features=delay({ab_delay_ms}ms);embed.features_batch=delay({ab_delay_ms}ms)"
+    ))
+    .expect("static scenario parses");
+    let ab = |batch: usize| -> (f64, Vec<Vec<(usize, u32)>>) {
+        let mut best = f64::INFINITY;
+        let mut replies = Vec::new();
+        for _ in 0..5 {
+            let _faults = arm_guard(&ab_scenario, 1);
+            let server = start_server(&service, &entities, 1, batch);
+            server.pause();
+            let (tx, rx) = mpsc::channel();
+            let handles: Vec<_> = (0..EQ_REQUESTS)
+                .map(|i| {
+                    let server = Arc::clone(&server);
+                    let tx = tx.clone();
+                    saccs_rt::spawn_worker(&format!("bench-ab-{i}"), move || {
+                        let response = server
+                            .submit(RankRequest::utterance(AB_UTTERANCES[i]))
+                            .expect("request admitted");
+                        tx.send((i, bits(&response.results))).expect("send reply");
+                    })
+                })
+                .collect();
+            while server.queue_len() < EQ_REQUESTS {
+                std::thread::yield_now();
+            }
+            let t0 = Instant::now();
+            server.resume();
+            for h in handles {
+                h.join().expect("A/B client");
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            drop(tx);
+            replies = vec![Vec::new(); EQ_REQUESTS];
+            for (i, reply) in rx {
+                replies[i] = reply;
+            }
+        }
+        (best, replies)
+    };
+    let (t_unbatched, unbatched_replies) = ab(1);
+    let (t_batched, batched_replies) = ab(EQ_REQUESTS);
+    if unbatched_replies != batched_replies {
+        println!("DIVERGENCE: batched A/B replies differ from unbatched");
+        std::process::exit(1);
+    }
+    let batched_speedup = t_unbatched / t_batched;
+    println!(
+        "\nbatched extraction A/B (width 1, {EQ_REQUESTS} distinct queued requests, \
+         {ab_delay_ms}ms simulated encoder round trip):\n  \
+         batch=1  {:.2} ms\n  batch={EQ_REQUESTS} {:.2} ms   ({batched_speedup:.2}x)",
+        t_unbatched * 1e3,
+        t_batched * 1e3
+    );
+
+    // Phase 4: QPS scaling under simulated API latency. The scenario
+    // only delays `algo1.search_api`; values are unaffected (phase 1
+    // proved equality with the schedule disarmed, and delay effects
+    // cannot change data). Inert without the `fault` feature.
+    let scenario_text = format!("algo1.search_api=delay({delay_ms}ms)");
+    let scenario = Scenario::parse(&scenario_text).expect("static scenario parses");
+    println!("\nQPS at simulated API latency {delay_ms}ms ({qps_requests} requests per width):");
+    println!("{:<10} {:>10} {:>10}", "workers", "QPS", "speedup");
+    let mut qps = Vec::new();
+    {
+        let _faults = arm_guard(&scenario, 1);
+        for workers in WIDTHS {
+            let server = start_server(&service, &entities, workers, 4);
+            let name = format!("serve.latency.w{workers}");
+            let t0 = Instant::now();
+            let _ = drive(&server, qps_requests, workers * 2, Some(&name));
+            let wall = t0.elapsed().as_secs_f64();
+            qps.push(qps_requests as f64 / wall);
+        }
+    }
+    for (i, workers) in WIDTHS.iter().enumerate() {
+        println!("{workers:<10} {:>10.1} {:>9.2}x", qps[i], qps[i] / qps[0]);
+    }
+    let speedup = qps[2] / qps[0];
+    if cfg!(feature = "fault") && speedup < 2.0 {
+        println!("WARNING: width-8 speedup {speedup:.2}x below the 2x acceptance bar");
+    }
+
+    saccs_bench::obs_finish(
+        "serve",
+        &[
+            ("qps_w1", qps[0]),
+            ("qps_w2", qps[1]),
+            ("qps_w8", qps[2]),
+            ("speedup_w8_over_w1", speedup),
+            ("batched_extraction_speedup", batched_speedup),
+            ("equality_requests", EQ_REQUESTS as f64),
+        ],
+    );
+}

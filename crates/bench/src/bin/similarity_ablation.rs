@@ -10,7 +10,7 @@
 //! `cargo run --release -p saccs-bench --bin similarity_ablation`
 
 use saccs_bench::{ndcg_of_ranking, query_gains, scale, table2_corpus, BenchBert};
-use saccs_core::{EmbeddingSimilarity, SaccsConfig, SaccsService};
+use saccs_core::{EmbeddingSimilarity, RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::{canonical_tags, CrowdSimulator};
 use saccs_index::index::IndexConfig;
@@ -24,7 +24,7 @@ fn main() {
     let corpus = table2_corpus(scale);
     let crowd = CrowdSimulator::default();
     let sets = query_sets(100, 0x5141);
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let api = SearchApi::new(&corpus.entities);
 
     // Collect every entity's gold review tags once.
     let evidence = saccs_bench::gold_evidence(&corpus);
@@ -67,7 +67,7 @@ fn main() {
         ("conceptual (paper)", None),
         ("embedding cosine", Some(embedding)),
     ] {
-        let mut service = build(custom);
+        let service = build(custom);
         let mut values = Vec::new();
         for (_, queries) in &sets {
             let mut total = 0.0;
@@ -75,7 +75,8 @@ fn main() {
                 let gains = query_gains(q, &crowd, &corpus);
                 let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
                 let ranked: Vec<usize> = service
-                    .rank_with_tags(&tags, &api)
+                    .rank_request(&RankRequest::tags(tags), &api)
+                    .results
                     .into_iter()
                     .map(|(e, _)| e)
                     .collect();

@@ -14,7 +14,7 @@
 //! 100 per level).
 
 use saccs_bench::{ndcg_of_ranking, query_gains, scale, table2_corpus};
-use saccs_core::SaccsBuilder;
+use saccs_core::{RankRequest, SaccsBuilder, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::CrowdSimulator;
 use saccs_index::DegreeFormula;
@@ -102,7 +102,7 @@ fn main() {
         ("SACCS-18 (Eq1 lit.)".into(), Vec::new()),
     ];
 
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let api = SearchApi::new(&corpus.entities);
     for (row_idx, n_tags) in [(3usize, 6usize), (4, 12), (5, 18)] {
         eprintln!("Evaluating SACCS with {n_tags} index tags...");
         saccs.reindex_canonical(n_tags);
@@ -113,7 +113,8 @@ fn main() {
                 let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
                 let ranked: Vec<usize> = saccs
                     .service
-                    .rank_with_tags(&tags, &api)
+                    .rank_request(&RankRequest::tags(tags), &api)
+                    .results
                     .into_iter()
                     .map(|(e, _)| e)
                     .collect();
@@ -136,7 +137,8 @@ fn main() {
             let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
             let ranked: Vec<usize> = saccs
                 .service
-                .rank_with_tags(&tags, &api)
+                .rank_request(&RankRequest::tags(tags), &api)
+                .results
                 .into_iter()
                 .map(|(e, _)| e)
                 .collect();
@@ -193,7 +195,8 @@ fn main() {
             let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
             let ranked: Vec<usize> = saccs
                 .service
-                .rank_with_tags(&tags, &api)
+                .rank_request(&RankRequest::tags(tags), &api)
+                .results
                 .into_iter()
                 .map(|(e, _)| e)
                 .collect();
@@ -218,14 +221,13 @@ fn main() {
     // (search_api → extract → probe → aggregate → pad) over the Short
     // queries so the exported snapshot carries per-stage latency for all
     // five stages. Skipped entirely on the zero-cost path; the scored
-    // tables above come from `rank_with_tags` and are unaffected.
+    // tables above come from tag-input requests and are unaffected.
     if saccs_obs::enabled() {
-        use saccs_core::{SearchApi, Slots};
-        let api_backend = SearchApi::new(&corpus.entities);
-        let slots = Slots::default();
         let (_, short_queries) = &sets[0];
         for q in short_queries {
-            let _ = saccs.service.rank(&q.utterance(), &api_backend, &slots);
+            let _ = saccs
+                .service
+                .rank_unguarded(&RankRequest::utterance(q.utterance()), &api);
         }
     }
     saccs_bench::obs_finish(

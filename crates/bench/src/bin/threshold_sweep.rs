@@ -6,7 +6,7 @@
 //! `cargo run --release -p saccs-bench --bin threshold_sweep`
 
 use saccs_bench::{gold_index, mean_ndcg_by_level, scale, table2_corpus};
-use saccs_core::{SaccsConfig, SaccsService};
+use saccs_core::{RankRequest, SaccsConfig, SaccsService, SearchApi};
 use saccs_data::queries::query_sets;
 use saccs_data::{CrowdSimulator, Difficulty};
 use saccs_index::index::IndexConfig;
@@ -25,7 +25,7 @@ fn main() {
         .iter()
         .find(|(d, _)| *d == Difficulty::Short)
         .expect("short set");
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let api = SearchApi::new(&corpus.entities);
 
     let thetas = [0.30f32, 0.40, 0.45, 0.55, 0.70, 0.85];
     print!("{:>14}", "θ_index \\ θ_f");
@@ -46,12 +46,13 @@ fn main() {
                 },
                 18,
             );
-            let mut service = SaccsService::index_only(index, SaccsConfig::default());
+            let service = SaccsService::index_only(index, SaccsConfig::default());
             let short_set = [(Difficulty::Short, queries.clone())];
             let values = mean_ndcg_by_level(&short_set, &corpus, &crowd, |q, _| {
                 let tags: Vec<SubjectiveTag> = q.tags.iter().map(|t| t.tag()).collect();
                 service
-                    .rank_with_tags(&tags, &api)
+                    .rank_request(&RankRequest::tags(tags), &api)
+                    .results
                     .into_iter()
                     .map(|(e, _)| e)
                     .collect()

@@ -1,0 +1,317 @@
+//! Validating builders for the service-level configs.
+//!
+//! The plain structs ([`SaccsConfig`], [`ResilienceConfig`]) stay
+//! public-field for tests and ablation benches, but their underlying
+//! layers *silently clamp* nonsense (`Backoff::jitter` clamps to
+//! `[0, factor-1]`, `BreakerConfig::sanitized` floors zeros to 1), so a
+//! typo'd config serves wrong rather than failing loudly. These
+//! builders are the loud path: every constraint is checked and a
+//! violated one comes back as a typed [`ConfigError`] naming the field,
+//! instead of being rounded to something legal.
+
+use crate::resilient::{ResilienceConfig, RetryPolicy};
+use crate::service::{Aggregation, SaccsConfig};
+use saccs_fault::{Backoff, BreakerConfig};
+use std::fmt;
+use std::time::Duration;
+
+/// A rejected configuration value, naming the field and the rule it
+/// broke.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `top_k` must be at least 1 — a 0-result ranking is degenerate.
+    ZeroTopK,
+    /// `max_attempts` must be at least 1 (1 means "no retries").
+    ZeroAttempts,
+    /// A deadline of zero expires before the first stage can run; use
+    /// `None` to disable deadline checks instead.
+    ZeroDeadline,
+    /// The backoff base must be positive, and `max` must not undercut
+    /// it (a cap below the base inverts the schedule).
+    InvalidBackoffRange { base: Duration, max: Duration },
+    /// Jitter must lie in `[0, factor - 1)`: at `factor - 1` and above,
+    /// a jittered delay can reach the *next* attempt's nominal delay
+    /// and the schedule stops being monotone.
+    JitterOutOfBand { jitter: f64, factor: f64 },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroTopK => write!(f, "top_k must be at least 1"),
+            ConfigError::ZeroAttempts => write!(f, "max_attempts must be at least 1"),
+            ConfigError::ZeroDeadline => {
+                write!(f, "deadline must be positive (use None to disable)")
+            }
+            ConfigError::InvalidBackoffRange { base, max } => write!(
+                f,
+                "backoff base must be positive and max >= base (got base {base:?}, max {max:?})"
+            ),
+            ConfigError::JitterOutOfBand { jitter, factor } => write!(
+                f,
+                "jitter {jitter} out of band [0, factor - 1) for factor {factor}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validating builder for [`SaccsConfig`].
+///
+/// ```
+/// use saccs_core::{Aggregation, SaccsConfigBuilder};
+/// let cfg = SaccsConfigBuilder::new()
+///     .aggregation(Aggregation::Mean)
+///     .top_k(5)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(cfg.top_k, 5);
+/// assert!(SaccsConfigBuilder::new().top_k(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SaccsConfigBuilder {
+    config: SaccsConfig,
+}
+
+impl Default for SaccsConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SaccsConfigBuilder {
+    /// Start from [`SaccsConfig::default`].
+    pub fn new() -> Self {
+        SaccsConfigBuilder {
+            config: SaccsConfig::default(),
+        }
+    }
+
+    pub fn aggregation(mut self, aggregation: Aggregation) -> Self {
+        self.config.aggregation = aggregation;
+        self
+    }
+
+    pub fn top_k(mut self, top_k: usize) -> Self {
+        self.config.top_k = top_k;
+        self
+    }
+
+    pub fn pad_partial_matches(mut self, pad: bool) -> Self {
+        self.config.pad_partial_matches = pad;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<SaccsConfig, ConfigError> {
+        if self.config.top_k == 0 {
+            return Err(ConfigError::ZeroTopK);
+        }
+        Ok(self.config)
+    }
+}
+
+/// Validating builder for [`ResilienceConfig`].
+///
+/// Takes the backoff schedule as raw numbers and validates them
+/// *before* constructing the [`Backoff`] (whose own setters clamp
+/// silently).
+///
+/// ```
+/// use saccs_core::ResilienceConfigBuilder;
+/// use std::time::Duration;
+/// let rc = ResilienceConfigBuilder::new()
+///     .max_attempts(4)
+///     .backoff(Duration::from_millis(2), Duration::from_millis(80))
+///     .jitter(0.5)
+///     .deadline(Duration::from_millis(250))
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(rc.retry.max_attempts, 4);
+/// assert!(ResilienceConfigBuilder::new().jitter(1.0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResilienceConfigBuilder {
+    max_attempts: u32,
+    base: Duration,
+    max: Duration,
+    factor: f64,
+    jitter: f64,
+    seed: u64,
+    breaker: BreakerConfig,
+    deadline: Option<Duration>,
+}
+
+impl Default for ResilienceConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ResilienceConfigBuilder {
+    /// Start from the [`ResilienceConfig::default`] schedule
+    /// (3 attempts, 1ms→50ms doubling backoff with 0.5 jitter, no
+    /// deadline).
+    pub fn new() -> Self {
+        ResilienceConfigBuilder {
+            max_attempts: 3,
+            base: Duration::from_millis(1),
+            max: Duration::from_millis(50),
+            factor: 2.0,
+            jitter: 0.5,
+            seed: 0,
+            breaker: BreakerConfig::default(),
+            deadline: None,
+        }
+    }
+
+    /// Total attempts per logical call (1 = no retries).
+    pub fn max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts;
+        self
+    }
+
+    /// Backoff schedule bounds: first delay and cap.
+    pub fn backoff(mut self, base: Duration, max: Duration) -> Self {
+        self.base = base;
+        self.max = max;
+        self
+    }
+
+    /// Per-attempt growth factor.
+    pub fn factor(mut self, factor: f64) -> Self {
+        self.factor = factor;
+        self
+    }
+
+    /// Jitter fraction; must lie in `[0, factor - 1)`.
+    pub fn jitter(mut self, jitter: f64) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Seed for the deterministic jitter stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Per-stage circuit-breaker thresholds.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Per-request wall-clock budget.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<ResilienceConfig, ConfigError> {
+        if self.max_attempts == 0 {
+            return Err(ConfigError::ZeroAttempts);
+        }
+        if self.base.is_zero() || self.max < self.base {
+            return Err(ConfigError::InvalidBackoffRange {
+                base: self.base,
+                max: self.max,
+            });
+        }
+        if !(0.0..self.factor - 1.0).contains(&self.jitter) && self.jitter != 0.0 {
+            return Err(ConfigError::JitterOutOfBand {
+                jitter: self.jitter,
+                factor: self.factor,
+            });
+        }
+        if self.deadline.is_some_and(|d| d.is_zero()) {
+            return Err(ConfigError::ZeroDeadline);
+        }
+        Ok(ResilienceConfig {
+            retry: RetryPolicy {
+                max_attempts: self.max_attempts,
+                backoff: Backoff::new(self.base, self.max)
+                    .factor(self.factor)
+                    .jitter(self.jitter)
+                    .seed(self.seed),
+            },
+            breaker: self.breaker,
+            deadline: self.deadline,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saccs_builder_accepts_valid_and_rejects_zero_top_k() {
+        let cfg = SaccsConfigBuilder::new()
+            .top_k(3)
+            .pad_partial_matches(false)
+            .build()
+            .expect("valid");
+        assert_eq!(cfg.top_k, 3);
+        assert!(!cfg.pad_partial_matches);
+        assert_eq!(
+            SaccsConfigBuilder::new().top_k(0).build(),
+            Err(ConfigError::ZeroTopK)
+        );
+    }
+
+    #[test]
+    fn resilience_builder_default_schedule_matches_struct_default() {
+        let built = ResilienceConfigBuilder::new().build().expect("valid");
+        assert_eq!(built, ResilienceConfig::default());
+    }
+
+    #[test]
+    fn resilience_builder_rejects_each_bad_field() {
+        assert_eq!(
+            ResilienceConfigBuilder::new().max_attempts(0).build(),
+            Err(ConfigError::ZeroAttempts)
+        );
+        assert_eq!(
+            ResilienceConfigBuilder::new()
+                .deadline(Duration::ZERO)
+                .build(),
+            Err(ConfigError::ZeroDeadline)
+        );
+        assert!(matches!(
+            ResilienceConfigBuilder::new()
+                .backoff(Duration::from_millis(10), Duration::from_millis(2))
+                .build(),
+            Err(ConfigError::InvalidBackoffRange { .. })
+        ));
+        assert!(matches!(
+            ResilienceConfigBuilder::new()
+                .backoff(Duration::ZERO, Duration::from_millis(2))
+                .build(),
+            Err(ConfigError::InvalidBackoffRange { .. })
+        ));
+        // factor 2.0 → jitter must be < 1.0; exactly 1.0 is out of band
+        // (this is precisely the value `Backoff::jitter` would clamp
+        // silently).
+        assert!(matches!(
+            ResilienceConfigBuilder::new().jitter(1.0).build(),
+            Err(ConfigError::JitterOutOfBand { .. })
+        ));
+        assert!(matches!(
+            ResilienceConfigBuilder::new().jitter(-0.1).build(),
+            Err(ConfigError::JitterOutOfBand { .. })
+        ));
+    }
+
+    #[test]
+    fn resilience_builder_jitter_zero_is_legal_even_with_factor_one() {
+        let rc = ResilienceConfigBuilder::new()
+            .factor(1.0)
+            .jitter(0.0)
+            .build()
+            .expect("flat schedule with no jitter is valid");
+        assert_eq!(rc.retry.max_attempts, 3);
+    }
+}

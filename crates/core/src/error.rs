@@ -12,9 +12,13 @@ use std::fmt;
 use std::time::Duration;
 
 /// The failable stages of Algorithm 1 (the aggregate/pad stages are
-/// pure in-memory compute and cannot fail).
+/// pure in-memory compute and cannot fail), plus the serving front
+/// end's admission gate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Stage {
+    /// The serving front end's bounded admission queue (`saccs-serve`);
+    /// requests shed here never reach Algorithm 1 at all.
+    Admission,
     /// The objective `search_api` call.
     SearchApi,
     /// Neural subjective-tag extraction.
@@ -27,6 +31,7 @@ impl Stage {
     /// Stable lowercase name, matching the failpoint site suffix.
     pub fn label(self) -> &'static str {
         match self {
+            Stage::Admission => "admission",
             Stage::SearchApi => "search_api",
             Stage::Extract => "extract",
             Stage::Probe => "probe",
@@ -58,6 +63,12 @@ pub enum SaccsError {
     /// The stage's component is absent (e.g. an `index_only` service
     /// has no extractor).
     Unavailable { stage: Stage },
+    /// The request needs the neural extractor but the service was built
+    /// [`crate::service::SaccsService::index_only`]. Unlike
+    /// [`SaccsError::Unavailable`] this is a *caller* error — the request
+    /// shape cannot be served by this service configuration, ever — so it
+    /// gets its own variant instead of masquerading as an outage.
+    NoExtractor,
 }
 
 impl SaccsError {
@@ -77,6 +88,7 @@ impl SaccsError {
             | SaccsError::RetriesExhausted { stage, .. }
             | SaccsError::DeadlineExceeded { stage, .. }
             | SaccsError::Unavailable { stage } => *stage,
+            SaccsError::NoExtractor => Stage::Extract,
         }
     }
 }
@@ -103,6 +115,9 @@ impl fmt::Display for SaccsError {
             ),
             SaccsError::Unavailable { stage } => {
                 write!(f, "stage `{stage}` has no backing component")
+            }
+            SaccsError::NoExtractor => {
+                write!(f, "service was built index-only and has no extractor")
             }
         }
     }

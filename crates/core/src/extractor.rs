@@ -185,6 +185,11 @@ impl TagExtractor {
         &self.pairing
     }
 
+    /// The lexicon used for boundary repair, if one was attached.
+    pub fn repair_lexicon(&self) -> Option<&Lexicon> {
+        self.repair_lexicon.as_ref()
+    }
+
     /// Extract subjective tags from one sentence's tokens.
     pub fn extract_from_tokens(&self, tokens: &[String]) -> Vec<SubjectiveTag> {
         if tokens.is_empty() {
@@ -241,15 +246,7 @@ impl TagExtractor {
     /// sentence-split, tokenize, batch the tagger's feature forwards,
     /// then tag and pair per sentence.
     pub fn extract(&self, text: &str) -> Vec<SubjectiveTag> {
-        let sentences: Vec<Vec<String>> = split_sentences(text)
-            .into_iter()
-            .map(|sentence| {
-                tokenize_lower(&sentence)
-                    .into_iter()
-                    .map(|t| t.text)
-                    .collect()
-            })
-            .collect();
+        let sentences = sentence_tokens(text);
         self.warm_features(&sentences);
         let mut out = Vec::new();
         for tokens in &sentences {
@@ -265,6 +262,22 @@ impl TagExtractor {
         saccs_fault::failpoint!("algo1.extract")?;
         Ok(self.extract(text))
     }
+}
+
+/// The exact sentence-splitting + tokenization [`TagExtractor::extract`]
+/// performs on an utterance, exposed so a serving front end can
+/// pre-tokenize *several* queued requests and warm the encoder memo
+/// across all of them in one [`TagExtractor::warm_features`] batch.
+pub fn sentence_tokens(text: &str) -> Vec<Vec<String>> {
+    split_sentences(text)
+        .into_iter()
+        .map(|sentence| {
+            tokenize_lower(&sentence)
+                .into_iter()
+                .map(|t| t.text)
+                .collect()
+        })
+        .collect()
 }
 
 #[cfg(test)]

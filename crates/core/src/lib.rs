@@ -19,6 +19,8 @@
 
 /// One-call construction of a trained service from a corpus.
 pub mod builder;
+/// Validating builders for the service and resilience configs.
+pub mod config;
 /// Multi-turn conversation state over the service.
 pub mod conversation;
 /// Rule-based NLU: intents and slots for the dialog loop.
@@ -33,15 +35,21 @@ pub mod extractor;
 pub mod persist;
 /// Per-user interest profiles accumulated across turns.
 pub mod profile;
+/// The typed rank request/response surface.
+pub mod request;
 /// Retry/breaker/deadline primitives and the degradation report.
 pub mod resilient;
 /// Objective search API stand-in over the entity database.
 pub mod search_api;
 /// Algorithm 1: subjective filtering and ranking.
 pub mod service;
+/// Cross-thread extractor sharing (blueprint + per-thread replicas).
+pub mod shared_extractor;
 
 /// Build a fully trained SACCS stack from a corpus.
 pub use builder::{SaccsBuilder, TrainedSaccs};
+/// Validating config builders and their rejection reasons.
+pub use config::{ConfigError, ResilienceConfigBuilder, SaccsConfigBuilder};
 /// Conversation state machine and per-turn outcomes.
 pub use conversation::{Conversation, TurnEffect};
 /// Rule-based intent/slot analysis of user turns.
@@ -56,6 +64,8 @@ pub use extractor::TagExtractor;
 pub use persist::{load_extractor_weights, save_extractor, PersistError};
 /// A user's accumulated subjective interests.
 pub use profile::UserProfile;
+/// The typed rank request/response surface.
+pub use request::{RankInput, RankRequest, RankResponse, RankResult};
 /// Resilient-serving primitives and the degraded-response report.
 pub use resilient::{
     Degradation, DegradationEvent, DegradeAction, RankOutcome, ResilienceConfig, RetryPolicy,
@@ -64,3 +74,5 @@ pub use resilient::{
 pub use search_api::SearchApi;
 /// The ranking service and its configuration.
 pub use service::{Aggregation, SaccsConfig, SaccsService};
+/// `Send + Sync` extractor blueprint with per-thread replicas.
+pub use shared_extractor::SharedExtractor;

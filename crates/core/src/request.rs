@@ -1,0 +1,140 @@
+//! The typed request/response surface for ranking.
+//!
+//! Historically the service grew five overlapping entry points
+//! (`rank`, `rank_utterance`, `rank_with_tags`,
+//! `rank_with_tags_profiled`, `rank_resilient`), each a different
+//! slice of (utterance-or-tags) × (slots) × (profile) × (resilience).
+//! [`RankRequest`] collapses that grid into one value the canonical
+//! [`crate::service::SaccsService::rank_request`] consumes, which is
+//! also the unit the `saccs-serve` front end queues, sheds, and
+//! micro-batches. The legacy entry points survive as thin deprecated
+//! wrappers.
+
+use crate::dialog::Slots;
+use crate::error::SaccsError;
+use crate::profile::UserProfile;
+use crate::resilient::Degradation;
+use crate::service::SaccsConfig;
+use saccs_text::SubjectiveTag;
+use std::time::Duration;
+
+/// What the caller gives Algorithm 1 to work from: a raw utterance
+/// (tags are extracted by the neural pipeline) or pre-extracted tags
+/// (the extraction stage is skipped entirely — no extractor required,
+/// no extract breaker touched).
+#[derive(Debug, Clone, PartialEq)]
+pub enum RankInput {
+    /// A free-text utterance; subjective tags come from the extractor.
+    Utterance(String),
+    /// Pre-extracted subjective tags; the extract stage is skipped.
+    Tags(Vec<SubjectiveTag>),
+}
+
+/// One ranking request: the input, the objective slot values for the
+/// search API, and the optional per-request knobs.
+#[derive(Debug, Clone)]
+pub struct RankRequest {
+    pub input: RankInput,
+    /// Objective slots forwarded verbatim to the search API.
+    pub slots: Slots,
+    /// Personalization: reweight probe scores by this user's tag
+    /// history, blended with the given boost factor.
+    pub profile: Option<(UserProfile, f32)>,
+    /// Per-request override of the service-level [`SaccsConfig`]
+    /// (`top_k`, aggregation, padding). `None` uses the service's.
+    pub config: Option<SaccsConfig>,
+}
+
+impl RankRequest {
+    /// A request carrying a free-text utterance.
+    pub fn utterance(text: impl Into<String>) -> Self {
+        RankRequest {
+            input: RankInput::Utterance(text.into()),
+            slots: Slots::default(),
+            profile: None,
+            config: None,
+        }
+    }
+
+    /// A request carrying pre-extracted subjective tags.
+    pub fn tags(tags: Vec<SubjectiveTag>) -> Self {
+        RankRequest {
+            input: RankInput::Tags(tags),
+            slots: Slots::default(),
+            profile: None,
+            config: None,
+        }
+    }
+
+    /// Attach objective slots for the search API.
+    pub fn with_slots(mut self, slots: Slots) -> Self {
+        self.slots = slots;
+        self
+    }
+
+    /// Attach a user profile and its boost factor.
+    pub fn with_profile(mut self, profile: UserProfile, boost: f32) -> Self {
+        self.profile = Some((profile, boost));
+        self
+    }
+
+    /// Override the service-level config for this request only.
+    pub fn with_config(mut self, config: SaccsConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+}
+
+/// The outcome of a ranking request: ranked `(item, score)` pairs, the
+/// degradation record of the resilient ladder (empty when everything
+/// ran at full fidelity), and the server-side latency.
+#[derive(Debug, Clone)]
+pub struct RankResponse {
+    /// Ranked `(item_id, score)` pairs, best first.
+    pub results: Vec<(usize, f32)>,
+    /// What the resilient ladder had to give up, if anything.
+    pub degradation: Degradation,
+    /// Wall-clock time from admission (or call) to completion.
+    pub elapsed: Duration,
+}
+
+impl RankResponse {
+    /// True when the request ran at full fidelity.
+    pub fn is_full_fidelity(&self) -> bool {
+        !self.degradation.is_degraded()
+    }
+
+    /// Convenience projection to just the item ids, best first.
+    pub fn item_ids(&self) -> Vec<usize> {
+        self.results.iter().map(|&(id, _)| id).collect()
+    }
+}
+
+/// Errors surfaced to serving callers before Algorithm 1 even runs
+/// (admission shed, index-only services asked for extraction); the
+/// resilient ladder itself degrades instead of erroring.
+pub type RankResult = Result<RankResponse, SaccsError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_style_constructors_compose() {
+        let req = RankRequest::utterance("cheap and cheerful")
+            .with_slots(Slots {
+                cuisine: Some("italian".into()),
+                location: None,
+            })
+            .with_profile(UserProfile::new(), 0.3);
+        assert_eq!(req.input, RankInput::Utterance("cheap and cheerful".into()));
+        assert_eq!(req.slots.cuisine.as_deref(), Some("italian"));
+        let (profile, boost) = req.profile.expect("profile attached");
+        assert!(profile.is_empty());
+        assert!((boost - 0.3).abs() < f32::EPSILON);
+        assert!(req.config.is_none());
+
+        let tagged = RankRequest::tags(vec![SubjectiveTag::new("quiet", "room")]);
+        assert!(matches!(tagged.input, RankInput::Tags(ref t) if t.len() == 1));
+    }
+}

@@ -20,7 +20,9 @@
 //! answer from a degraded one without log archaeology.
 
 use crate::error::{SaccsError, Stage};
-use saccs_fault::{Backoff, BreakerConfig, BreakerState, CircuitBreaker, FaultError};
+use saccs_fault::{
+    Backoff, BreakerConfig, BreakerState, BreakerTransition, FaultError, SharedBreaker,
+};
 use std::time::{Duration, Instant};
 
 /// Per-stage retry policy: how many attempts, spaced how.
@@ -143,30 +145,34 @@ pub struct RankOutcome {
 }
 
 /// One circuit breaker per failable stage, so a dead extractor does not
-/// open the gate in front of a healthy index.
-#[derive(Debug, Clone)]
+/// open the gate in front of a healthy index. The breakers are
+/// [`SharedBreaker`]s — atomic, `&self`-driven — so many serving threads
+/// can share one service instance and one consistent breaker state.
+#[derive(Debug)]
 pub struct StageBreakers {
-    pub search_api: CircuitBreaker,
-    pub extract: CircuitBreaker,
-    pub probe: CircuitBreaker,
+    pub search_api: SharedBreaker,
+    pub extract: SharedBreaker,
+    pub probe: SharedBreaker,
 }
 
 impl StageBreakers {
     /// Fresh (closed) breakers with the given shared config.
     pub fn new(config: BreakerConfig) -> StageBreakers {
         StageBreakers {
-            search_api: CircuitBreaker::new(config),
-            extract: CircuitBreaker::new(config),
-            probe: CircuitBreaker::new(config),
+            search_api: SharedBreaker::new(config),
+            extract: SharedBreaker::new(config),
+            probe: SharedBreaker::new(config),
         }
     }
 
-    /// The breaker guarding `stage`.
-    pub fn for_stage(&mut self, stage: Stage) -> &mut CircuitBreaker {
+    /// The breaker guarding `stage`; `None` for [`Stage::Admission`],
+    /// which is gated by the serving queue depth, not a breaker.
+    pub fn for_stage(&self, stage: Stage) -> Option<&SharedBreaker> {
         match stage {
-            Stage::SearchApi => &mut self.search_api,
-            Stage::Extract => &mut self.extract,
-            Stage::Probe => &mut self.probe,
+            Stage::Admission => None,
+            Stage::SearchApi => Some(&self.search_api),
+            Stage::Extract => Some(&self.extract),
+            Stage::Probe => Some(&self.probe),
         }
     }
 }
@@ -207,11 +213,15 @@ impl DeadlineClock {
 }
 
 /// Count a breaker state transition on the `fault.breaker.*` metrics.
-fn note_transition(before: BreakerState, after: BreakerState) {
-    if before == after {
+/// The transition comes from the breaker operation's own CAS, so under
+/// concurrency each transition is counted exactly once (by the thread
+/// whose operation performed it) — re-reading `breaker.state()` here
+/// would race.
+fn note_transition(transition: BreakerTransition) {
+    if !transition.changed() {
         return;
     }
-    match after {
+    match transition.after {
         BreakerState::Open => saccs_obs::counter!("fault.breaker.opened").inc(),
         BreakerState::HalfOpen => saccs_obs::counter!("fault.breaker.half_open").inc(),
         BreakerState::Closed => saccs_obs::counter!("fault.breaker.closed").inc(),
@@ -223,12 +233,13 @@ fn note_transition(before: BreakerState, after: BreakerState) {
 /// breaker permit spans the whole logical call (retries included) and
 /// is settled by exactly one `on_success`/`on_failure`.
 ///
-/// On the fault-free path this is one closed-breaker check and one `op`
+/// Takes `&SharedBreaker`: concurrent callers share one breaker state.
+/// On the fault-free path this is one closed-breaker CAS and one `op`
 /// call — no sleeps, no counters.
 pub fn call_with_retry<T>(
     stage: Stage,
     policy: &RetryPolicy,
-    breaker: &mut CircuitBreaker,
+    breaker: &SharedBreaker,
     deadline: &DeadlineClock,
     mut op: impl FnMut() -> Result<T, FaultError>,
 ) -> Result<T, SaccsError> {
@@ -236,10 +247,9 @@ pub fn call_with_retry<T>(
         saccs_obs::counter!("fault.deadline.exceeded").inc();
         return Err(deadline.exceeded_at(stage));
     }
-    let before = breaker.state();
-    let allowed = breaker.allow();
     // `allow` can lapse an open window into half-open.
-    note_transition(before, breaker.state());
+    let (allowed, transition) = breaker.allow();
+    note_transition(transition);
     if !allowed {
         saccs_obs::counter!("fault.breaker.rejected").inc();
         return Err(SaccsError::CircuitOpen { stage });
@@ -248,16 +258,12 @@ pub fn call_with_retry<T>(
     loop {
         match op() {
             Ok(v) => {
-                let before = breaker.state();
-                breaker.on_success();
-                note_transition(before, breaker.state());
+                note_transition(breaker.on_success());
                 return Ok(v);
             }
             Err(fault) => {
                 if attempt + 1 >= policy.max_attempts || deadline.expired() {
-                    let before = breaker.state();
-                    breaker.on_failure();
-                    note_transition(before, breaker.state());
+                    note_transition(breaker.on_failure());
                     return Err(SaccsError::RetriesExhausted {
                         stage,
                         attempts: attempt + 1,
@@ -290,10 +296,10 @@ mod tests {
 
     #[test]
     fn transient_failures_are_retried_to_success() {
-        let mut breaker = CircuitBreaker::new(BreakerConfig::default());
+        let breaker = SharedBreaker::new(BreakerConfig::default());
         let clock = DeadlineClock::start(None);
         let mut calls = 0u64;
-        let out = call_with_retry(Stage::Probe, &fast_policy(), &mut breaker, &clock, || {
+        let out = call_with_retry(Stage::Probe, &fast_policy(), &breaker, &clock, || {
             calls += 1;
             if calls < 3 {
                 Err(fault(calls))
@@ -307,24 +313,24 @@ mod tests {
 
     #[test]
     fn exhausted_retries_report_attempts_and_feed_the_breaker() {
-        let mut breaker = CircuitBreaker::new(BreakerConfig {
+        let breaker = SharedBreaker::new(BreakerConfig {
             failure_threshold: 2,
             ..BreakerConfig::default()
         });
         let clock = DeadlineClock::start(None);
-        let run = |breaker: &mut CircuitBreaker| {
+        let run = |breaker: &SharedBreaker| {
             call_with_retry(Stage::Probe, &fast_policy(), breaker, &clock, || {
                 Err::<(), _>(fault(1))
             })
         };
-        match run(&mut breaker) {
+        match run(&breaker) {
             Err(SaccsError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 3),
             other => panic!("expected RetriesExhausted, got {other:?}"),
         }
         assert_eq!(breaker.state(), BreakerState::Closed, "one logical failure");
-        let _ = run(&mut breaker);
+        let _ = run(&breaker);
         assert_eq!(breaker.state(), BreakerState::Open, "second trips it");
-        match run(&mut breaker) {
+        match run(&breaker) {
             Err(SaccsError::CircuitOpen { stage }) => assert_eq!(stage, Stage::Probe),
             other => panic!("expected CircuitOpen, got {other:?}"),
         }
@@ -332,10 +338,10 @@ mod tests {
 
     #[test]
     fn expired_deadline_short_circuits_without_calling_op() {
-        let mut breaker = CircuitBreaker::new(BreakerConfig::default());
+        let breaker = SharedBreaker::new(BreakerConfig::default());
         let clock = DeadlineClock::start(Some(Duration::ZERO));
         let mut called = false;
-        let out = call_with_retry(Stage::Extract, &fast_policy(), &mut breaker, &clock, || {
+        let out = call_with_retry(Stage::Extract, &fast_policy(), &breaker, &clock, || {
             called = true;
             Ok(())
         });
@@ -366,13 +372,19 @@ mod tests {
 
     #[test]
     fn stage_breakers_are_independent() {
-        let mut b = StageBreakers::new(BreakerConfig {
+        let b = StageBreakers::new(BreakerConfig {
             failure_threshold: 1,
             ..BreakerConfig::default()
         });
-        b.for_stage(Stage::Extract).on_failure();
+        b.for_stage(Stage::Extract)
+            .expect("extract has a breaker")
+            .on_failure();
         assert_eq!(b.extract.state(), BreakerState::Open);
         assert_eq!(b.search_api.state(), BreakerState::Closed);
         assert_eq!(b.probe.state(), BreakerState::Closed);
+        assert!(
+            b.for_stage(Stage::Admission).is_none(),
+            "admission is queue-gated, not breaker-gated"
+        );
     }
 }

@@ -14,16 +14,30 @@
 //! arithmetic mean ("we also experimented with … the product or min
 //! operators, but the arithmetic mean works better in practice") — all
 //! three are implemented so the ablation bench can verify that claim.
+//!
+//! # Concurrency
+//!
+//! The whole rank path is `&self`: a single `SaccsService` behind an
+//! `Arc` serves any number of threads. The moving parts that make that
+//! true live elsewhere — the index records probe history behind a
+//! mutex, the stage breakers are lock-free atomics
+//! ([`saccs_fault::SharedBreaker`]), and the (non-`Sync`) neural
+//! extractor is shared as a [`crate::SharedExtractor`] blueprint with
+//! bitwise-identical per-thread replicas. The canonical entry point is
+//! [`SaccsService::rank_request`]; the historical per-shape methods
+//! survive as thin deprecated wrappers over it.
 
 use crate::dialog::Slots;
 use crate::error::{SaccsError, Stage};
 use crate::extractor::TagExtractor;
 use crate::profile::UserProfile;
+use crate::request::{RankInput, RankRequest, RankResponse};
 use crate::resilient::{
     call_with_retry, DeadlineClock, Degradation, DegradeAction, RankOutcome, ResilienceConfig,
     StageBreakers,
 };
 use crate::search_api::SearchApi;
+use crate::shared_extractor::SharedExtractor;
 use saccs_index::SubjectiveIndex;
 use saccs_text::SubjectiveTag;
 use std::collections::HashMap;
@@ -62,8 +76,10 @@ impl Aggregation {
     }
 }
 
-/// Service parameters.
-#[derive(Debug, Clone)]
+/// Service parameters. Prefer [`crate::SaccsConfigBuilder`] for
+/// validated construction; the fields stay public for tests and
+/// ablations.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SaccsConfig {
     pub aggregation: Aggregation,
     /// Number of results to return.
@@ -88,29 +104,32 @@ impl Default for SaccsConfig {
 /// The assembled subjective search service.
 pub struct SaccsService {
     index: SubjectiveIndex,
-    extractor: Option<TagExtractor>,
+    extractor: Option<SharedExtractor>,
     config: SaccsConfig,
     resilience: ResilienceConfig,
     breakers: StageBreakers,
 }
 
 impl SaccsService {
-    /// Build from a populated index and a trained extractor.
+    /// Build from a populated index and a trained extractor. The
+    /// extractor is adopted into a [`SharedExtractor`] so the service
+    /// can be shared across serving threads.
     pub fn new(index: SubjectiveIndex, extractor: TagExtractor, config: SaccsConfig) -> Self {
         let resilience = ResilienceConfig::default();
         let breakers = StageBreakers::new(resilience.breaker);
         SaccsService {
             index,
-            extractor: Some(extractor),
+            extractor: Some(SharedExtractor::adopt(extractor)),
             config,
             resilience,
             breakers,
         }
     }
 
-    /// Build without a neural extractor; only
-    /// [`SaccsService::rank_with_tags`] is available. Useful for index-only
-    /// experiments and tests.
+    /// Build without a neural extractor; utterance-input requests fail
+    /// with [`SaccsError::NoExtractor`] (or degrade to objective-only on
+    /// the resilient path), tags-input requests work normally. Useful
+    /// for index-only experiments and tests.
     pub fn index_only(index: SubjectiveIndex, config: SaccsConfig) -> Self {
         let resilience = ResilienceConfig::default();
         let breakers = StageBreakers::new(resilience.breaker);
@@ -124,7 +143,7 @@ impl SaccsService {
     }
 
     /// Replace the resilience tuning (retries, breakers, deadline) used
-    /// by [`SaccsService::rank_resilient`]. Resets the stage breakers.
+    /// by the resilient rank path. Resets the stage breakers.
     pub fn with_resilience(mut self, resilience: ResilienceConfig) -> Self {
         self.breakers = StageBreakers::new(resilience.breaker);
         self.resilience = resilience;
@@ -150,8 +169,10 @@ impl SaccsService {
         &mut self.index
     }
 
-    /// The trained extractor, if this service has one.
-    pub fn extractor(&self) -> Option<&TagExtractor> {
+    /// The shared extractor blueprint, if this service has one. Serving
+    /// front ends use it to warm per-thread replicas across queued
+    /// requests.
+    pub fn extractor(&self) -> Option<&SharedExtractor> {
         self.extractor.as_ref()
     }
 
@@ -163,150 +184,17 @@ impl SaccsService {
         self.config.aggregation = aggregation;
     }
 
-    /// Algorithm 1 with the utterance's tags already extracted (lines
-    /// 6–12). `api_results` is S_api. Returns `(entity, score)` sorted by
-    /// descending aggregated score, at most `top_k` entries.
-    pub fn rank_with_tags(
-        &mut self,
-        tags: &[SubjectiveTag],
-        api_results: &[usize],
-    ) -> Vec<(usize, f32)> {
-        self.rank_core(tags, api_results, None)
-    }
+    // ------------------------------------------------------------------
+    // Canonical request-shaped API
+    // ------------------------------------------------------------------
 
-    /// Personalized Algorithm 1 (§7 extension): per-tag scores are scaled
-    /// by the user's profile weight before aggregation, so standing
-    /// interests tilt the ranking. `boost` bounds the tilt (0 = no
-    /// personalization; 0.5 = up to +50% weight on favorite dimensions).
-    pub fn rank_with_tags_profiled(
-        &mut self,
-        tags: &[SubjectiveTag],
-        api_results: &[usize],
-        profile: &UserProfile,
-        boost: f32,
-    ) -> Vec<(usize, f32)> {
-        let weights: Vec<f32> = tags
-            .iter()
-            .map(|t| profile.weight(t, self.index.similarity(), boost))
-            .collect();
-        self.rank_core(tags, api_results, Some(&weights))
-    }
-
-    /// Objective passthrough: the API order verbatim with zero scores.
-    fn passthrough(api: &[usize], k: usize) -> Vec<(usize, f32)> {
-        api.iter().take(k).map(|&e| (e, 0.0)).collect()
-    }
-
-    /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
-    /// per-tag weights (the personalization hook).
-    fn rank_core(
-        &mut self,
-        tags: &[SubjectiveTag],
-        api_results: &[usize],
-        weights: Option<&[f32]>,
-    ) -> Vec<(usize, f32)> {
-        if tags.is_empty() {
-            // No subjective signal: return the API order as-is.
-            return Self::passthrough(api_results, self.config.top_k);
-        }
-        // Per-tag score maps (lines 7–10), optionally profile-weighted.
-        let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
-        {
-            let _probe = saccs_obs::span!("algo1.probe");
-            for (i, t) in tags.iter().enumerate() {
-                let w = weights.map_or(1.0, |ws| ws[i]);
-                per_tag.push(
-                    self.index
-                        .probe(t)
-                        .into_iter()
-                        .map(|(e, s)| (e, s * w))
-                        .collect(),
-                );
-            }
-        }
-        self.aggregate_and_pad(api_results, &per_tag)
-    }
-
-    /// Algorithm 1 lines 11–12 over already-probed tag score maps:
-    /// intersect, aggregate, pad, rank. `per_tag` holds one map per
-    /// *successfully probed* tag — the resilient path hands over fewer
-    /// maps than extracted tags when probes were dropped, and the
-    /// full/partial split then applies to the surviving tags only.
-    fn aggregate_and_pad(
-        &self,
-        api_results: &[usize],
-        per_tag: &[HashMap<usize, f32>],
-    ) -> Vec<(usize, f32)> {
-        // Line 11: strict intersection, plus optional partial matches.
-        let mut full: Vec<(usize, f32)> = Vec::new();
-        let mut partial: Vec<(usize, f32, usize)> = Vec::new();
-        {
-            let _aggregate = saccs_obs::span!("algo1.aggregate");
-            for &e in api_results {
-                let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
-                if scores.len() == per_tag.len() {
-                    full.push((e, self.config.aggregation.combine(&scores)));
-                } else if !scores.is_empty() && self.config.pad_partial_matches {
-                    // Partials score as the aggregate of the *present* tags
-                    // discounted by coverage. Under Mean this equals the
-                    // zero-padded mean; under Product/Min it keeps partials
-                    // comparable instead of collapsing them all to zero.
-                    let coverage = scores.len() as f32 / per_tag.len() as f32;
-                    let score = self.config.aggregation.combine(&scores) * coverage;
-                    partial.push((e, score, scores.len()));
-                }
-            }
-        }
-        // Degenerate case: the subjective filters matched nothing at all
-        // (e.g. every extracted tag is below θ_filter similarity to every
-        // index tag). Fall back to the objective API order — SACCS then
-        // behaves exactly like the underlying search service.
-        if full.is_empty() && partial.is_empty() {
-            return Self::passthrough(api_results, self.config.top_k);
-        }
-        let _pad = saccs_obs::span!("algo1.pad");
-        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-        partial.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.total_cmp(&a.1)).then(a.0.cmp(&b.0)));
-        let mut out = full;
-        if out.len() < self.config.top_k {
-            out.extend(partial.into_iter().map(|(e, s, _)| (e, s)));
-        }
-        out.truncate(self.config.top_k);
-        out
-    }
-
-    /// Complete Algorithm 1 from a raw utterance and dialog slots: call
-    /// the objective `search_api`, extract the subjective tags with the
-    /// neural pipeline, then filter, aggregate and rank. This is the
-    /// fully-observable serving entry point: each stage runs under its own
-    /// `saccs-obs` span (`algo1.search_api`, `algo1.extract`,
-    /// `algo1.probe`, `algo1.aggregate`, `algo1.pad`, all nested inside
-    /// `algo1.rank`). Panics if the service was built
-    /// [`SaccsService::index_only`].
-    pub fn rank(
-        &mut self,
-        utterance: &str,
-        api: &SearchApi<'_>,
-        slots: &Slots,
-    ) -> Vec<(usize, f32)> {
-        let _rank = saccs_obs::span!("algo1.rank");
-        let api_results = {
-            let _search = saccs_obs::span!("algo1.search_api");
-            api.search(slots)
-        };
-        let tags = {
-            let _extract = saccs_obs::span!("algo1.extract");
-            self.extract_tags(utterance)
-        };
-        self.rank_core(&tags, &api_results, None)
-    }
-
-    /// Hardened Algorithm 1: [`SaccsService::rank`] with a failure model.
+    /// Hardened Algorithm 1 over a typed request — the canonical entry
+    /// point, and the unit the `saccs-serve` front end queues and sheds.
     ///
     /// Every failable stage (`search_api`, `extract`, per-tag `probe`)
     /// runs under its own circuit breaker and bounded retries with
     /// deterministic backoff, inside a per-request deadline budget
-    /// ([`ResilienceConfig`]). Failures degrade instead of panicking,
+    /// ([`ResilienceConfig`]). Failures degrade instead of erroring,
     /// walking the ladder documented in [`crate::resilient`]:
     ///
     /// * a failing probe drops that tag's filter ([`DegradeAction::DroppedTag`]);
@@ -317,82 +205,105 @@ impl SaccsService {
     /// * an unreachable `search_api` returns empty results
     ///   ([`DegradeAction::Empty`]) — with the reason in the report.
     ///
-    /// With no faults armed (or the `fault` feature off) the output is
-    /// bitwise identical to [`SaccsService::rank`] and the overhead is
+    /// Tags-input requests skip the extraction stage entirely (no
+    /// extractor required, no extract breaker touched). With no faults
+    /// armed (or the `fault` feature off) the results are bitwise
+    /// identical to [`SaccsService::rank_unguarded`] and the overhead is
     /// one closed-breaker check per stage. Every retry, breaker
     /// transition, degradation and deadline miss is counted on the
     /// `fault.*` metrics; `fault.degraded_requests` increments at most
     /// once per request.
-    pub fn rank_resilient(
-        &mut self,
-        utterance: &str,
+    pub fn rank_request(&self, request: &RankRequest, api: &SearchApi<'_>) -> RankResponse {
+        self.rank_request_at(request, api, DeadlineClock::start(self.resilience.deadline))
+    }
+
+    /// [`SaccsService::rank_request`] against an externally-started
+    /// deadline clock. The serving front end starts the clock at
+    /// *admission*, so time spent queued counts against the request's
+    /// budget instead of silently extending it.
+    pub fn rank_request_at(
+        &self,
+        request: &RankRequest,
         api: &SearchApi<'_>,
-        slots: &Slots,
-    ) -> RankOutcome {
+        clock: DeadlineClock,
+    ) -> RankResponse {
         let _rank = saccs_obs::span!("algo1.rank_resilient");
-        let clock = DeadlineClock::start(self.resilience.deadline);
+        let config = request.config.as_ref().unwrap_or(&self.config);
         let mut degradation = Degradation::default();
-        let finish = |results: Vec<(usize, f32)>, degradation: Degradation| {
-            if degradation.is_degraded() {
-                saccs_obs::counter!("fault.degraded_requests").inc();
-            }
-            RankOutcome {
-                results,
-                degradation,
-            }
-        };
+        let finish =
+            |results: Vec<(usize, f32)>, degradation: Degradation, clock: &DeadlineClock| {
+                if degradation.is_degraded() {
+                    saccs_obs::counter!("fault.degraded_requests").inc();
+                }
+                RankResponse {
+                    results,
+                    degradation,
+                    elapsed: clock.elapsed(),
+                }
+            };
 
         // Stage 1: objective search — the floor of the ladder. If it is
         // unreachable there is nothing left to serve.
         let api_results = {
             let _search = saccs_obs::span!("algo1.search_api");
             let retry = &self.resilience.retry;
-            let breaker = &mut self.breakers.search_api;
+            let breaker = &self.breakers.search_api;
             match call_with_retry(Stage::SearchApi, retry, breaker, &clock, || {
-                api.try_search(slots)
+                api.try_search(&request.slots)
             }) {
                 Ok(results) => results,
                 Err(err) => {
                     degradation.record(Stage::SearchApi, err, DegradeAction::Empty);
-                    return finish(Vec::new(), degradation);
+                    return finish(Vec::new(), degradation, &clock);
                 }
             }
         };
 
-        // Stage 2: subjective extraction — objective-only on failure
-        // (an absent extractor degrades identically: `index_only`
-        // services serve objective results instead of panicking).
-        let tags: Vec<SubjectiveTag> = if clock.expired() {
-            saccs_obs::counter!("fault.deadline.exceeded").inc();
-            degradation.record(
-                Stage::Extract,
-                clock.exceeded_at(Stage::Extract),
-                DegradeAction::ObjectiveOnly,
-            );
-            Vec::new()
-        } else {
-            let _extract = saccs_obs::span!("algo1.extract");
-            match self.extractor.as_ref() {
-                None => {
+        // Stage 2: subjective tags. Pre-extracted tags skip the neural
+        // stage entirely; an utterance goes through the extractor —
+        // objective-only on failure (an absent extractor degrades
+        // identically: `index_only` services serve objective results
+        // instead of erroring on the resilient path).
+        let tags: Vec<SubjectiveTag> = match &request.input {
+            RankInput::Tags(tags) => tags.clone(),
+            RankInput::Utterance(utterance) => {
+                if clock.expired() {
+                    saccs_obs::counter!("fault.deadline.exceeded").inc();
                     degradation.record(
                         Stage::Extract,
-                        SaccsError::Unavailable {
-                            stage: Stage::Extract,
-                        },
+                        clock.exceeded_at(Stage::Extract),
                         DegradeAction::ObjectiveOnly,
                     );
                     Vec::new()
-                }
-                Some(extractor) => {
-                    let retry = &self.resilience.retry;
-                    let breaker = &mut self.breakers.extract;
-                    match call_with_retry(Stage::Extract, retry, breaker, &clock, || {
-                        extractor.try_extract(utterance)
-                    }) {
-                        Ok(tags) => tags,
-                        Err(err) => {
-                            degradation.record(Stage::Extract, err, DegradeAction::ObjectiveOnly);
+                } else {
+                    let _extract = saccs_obs::span!("algo1.extract");
+                    match self.extractor.as_ref() {
+                        None => {
+                            degradation.record(
+                                Stage::Extract,
+                                SaccsError::Unavailable {
+                                    stage: Stage::Extract,
+                                },
+                                DegradeAction::ObjectiveOnly,
+                            );
                             Vec::new()
+                        }
+                        Some(shared) => {
+                            let retry = &self.resilience.retry;
+                            let breaker = &self.breakers.extract;
+                            match call_with_retry(Stage::Extract, retry, breaker, &clock, || {
+                                shared.with_replica(|ex| ex.try_extract(utterance))
+                            }) {
+                                Ok(tags) => tags,
+                                Err(err) => {
+                                    degradation.record(
+                                        Stage::Extract,
+                                        err,
+                                        DegradeAction::ObjectiveOnly,
+                                    );
+                                    Vec::new()
+                                }
+                            }
                         }
                     }
                 }
@@ -400,10 +311,20 @@ impl SaccsService {
         };
         if tags.is_empty() {
             return finish(
-                Self::passthrough(&api_results, self.config.top_k),
+                Self::passthrough(&api_results, config.top_k),
                 degradation,
+                &clock,
             );
         }
+
+        // Personalization weights are pure in-memory compute over the
+        // profile — computed up front so the probe loop below stays a
+        // single pass.
+        let weights: Option<Vec<f32>> = request.profile.as_ref().map(|(profile, boost)| {
+            tags.iter()
+                .map(|t| profile.weight(t, self.index.similarity(), *boost))
+                .collect()
+        });
 
         // Stage 3: per-tag probes. Each failing tag is dropped on its
         // own; the deadline is re-checked between tags so a lapsed
@@ -413,9 +334,8 @@ impl SaccsService {
         {
             let _probe = saccs_obs::span!("algo1.probe");
             let retry = &self.resilience.retry;
-            let breaker = &mut self.breakers.probe;
-            let index = &mut self.index;
-            for t in &tags {
+            let breaker = &self.breakers.probe;
+            for (i, t) in tags.iter().enumerate() {
                 if clock.expired() {
                     saccs_obs::counter!("fault.deadline.exceeded").inc();
                     degradation.record(
@@ -425,8 +345,13 @@ impl SaccsService {
                     );
                     break;
                 }
-                match call_with_retry(Stage::Probe, retry, breaker, &clock, || index.try_probe(t)) {
-                    Ok(scores) => per_tag.push(scores.into_iter().collect()),
+                let w = weights.as_ref().map_or(1.0, |ws| ws[i]);
+                match call_with_retry(Stage::Probe, retry, breaker, &clock, || {
+                    self.index.try_probe(t)
+                }) {
+                    Ok(scores) => {
+                        per_tag.push(scores.into_iter().map(|(e, s)| (e, s * w)).collect())
+                    }
                     Err(err) => probe_failures.push(err),
                 }
             }
@@ -443,40 +368,263 @@ impl SaccsService {
         }
         if per_tag.is_empty() {
             return finish(
-                Self::passthrough(&api_results, self.config.top_k),
+                Self::passthrough(&api_results, config.top_k),
                 degradation,
+                &clock,
             );
         }
 
         // Stage 4: pure in-memory aggregation — cannot fail.
-        finish(self.aggregate_and_pad(&api_results, &per_tag), degradation)
+        finish(
+            self.aggregate_and_pad(&api_results, &per_tag, config),
+            degradation,
+            &clock,
+        )
     }
 
-    /// Full Algorithm 1 from a raw utterance: extract tags with the neural
-    /// pipeline, then filter and rank. Panics if the service was built
+    /// Algorithm 1 over a typed request with *no* resilience machinery:
+    /// no retries, no breakers, no deadline — a stage failure is the
+    /// caller's problem. This is the fully-observable baseline the
+    /// resilient path is measured against (each stage runs under its own
+    /// `saccs-obs` span: `algo1.search_api`, `algo1.extract`,
+    /// `algo1.probe`, `algo1.aggregate`, `algo1.pad`, all nested inside
+    /// `algo1.rank`). Utterance input on an extractor-less service is
+    /// [`SaccsError::NoExtractor`].
+    pub fn rank_unguarded(
+        &self,
+        request: &RankRequest,
+        api: &SearchApi<'_>,
+    ) -> Result<RankResponse, SaccsError> {
+        let _rank = saccs_obs::span!("algo1.rank");
+        let clock = DeadlineClock::start(None);
+        let api_results = {
+            let _search = saccs_obs::span!("algo1.search_api");
+            api.search(&request.slots)
+        };
+        let tags: Vec<SubjectiveTag> = match &request.input {
+            RankInput::Tags(tags) => tags.clone(),
+            RankInput::Utterance(utterance) => {
+                let _extract = saccs_obs::span!("algo1.extract");
+                let shared = self.extractor.as_ref().ok_or(SaccsError::NoExtractor)?;
+                shared.with_replica(|ex| ex.extract(utterance))
+            }
+        };
+        let config = request.config.as_ref().unwrap_or(&self.config);
+        let weights: Option<Vec<f32>> = request.profile.as_ref().map(|(profile, boost)| {
+            tags.iter()
+                .map(|t| profile.weight(t, self.index.similarity(), *boost))
+                .collect()
+        });
+        let results = self.rank_core(&tags, &api_results, weights.as_deref(), config);
+        Ok(RankResponse {
+            results,
+            degradation: Degradation::default(),
+            elapsed: clock.elapsed(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Legacy entry points (thin wrappers)
+    // ------------------------------------------------------------------
+
+    /// Algorithm 1 with the utterance's tags already extracted (lines
+    /// 6–12). `api_results` is S_api. Returns `(entity, score)` sorted by
+    /// descending aggregated score, at most `top_k` entries.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `RankRequest::tags(..)` and call `rank_request` (or `rank_unguarded`)"
+    )]
+    pub fn rank_with_tags(
+        &self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+    ) -> Vec<(usize, f32)> {
+        self.rank_core(tags, api_results, None, &self.config)
+    }
+
+    /// Personalized Algorithm 1 (§7 extension): per-tag scores are scaled
+    /// by the user's profile weight before aggregation, so standing
+    /// interests tilt the ranking. `boost` bounds the tilt (0 = no
+    /// personalization; 0.5 = up to +50% weight on favorite dimensions).
+    #[deprecated(
+        since = "0.6.0",
+        note = "attach the profile via `RankRequest::with_profile` and call `rank_request`"
+    )]
+    pub fn rank_with_tags_profiled(
+        &self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+        profile: &UserProfile,
+        boost: f32,
+    ) -> Vec<(usize, f32)> {
+        let weights: Vec<f32> = tags
+            .iter()
+            .map(|t| profile.weight(t, self.index.similarity(), boost))
+            .collect();
+        self.rank_core(tags, api_results, Some(&weights), &self.config)
+    }
+
+    /// Complete Algorithm 1 from a raw utterance and dialog slots:
+    /// [`SaccsService::rank_unguarded`] flattened to the bare ranking.
+    /// `Err(NoExtractor)` if the service was built
     /// [`SaccsService::index_only`].
-    pub fn rank_utterance(&mut self, utterance: &str, api_results: &[usize]) -> Vec<(usize, f32)> {
-        let extractor = self
-            .extractor
-            .as_ref()
-            // lint:allow(no-unwrap-in-lib): documented panic for index_only services
-            .expect("service built without an extractor");
-        let tags = extractor.extract(utterance);
-        self.rank_with_tags(&tags, api_results)
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `RankRequest::utterance(..)` and call `rank_unguarded` (or `rank_request`)"
+    )]
+    pub fn rank(
+        &self,
+        utterance: &str,
+        api: &SearchApi<'_>,
+        slots: &Slots,
+    ) -> Result<Vec<(usize, f32)>, SaccsError> {
+        let request = RankRequest::utterance(utterance).with_slots(slots.clone());
+        Ok(self.rank_unguarded(&request, api)?.results)
+    }
+
+    /// Hardened Algorithm 1 from a raw utterance:
+    /// [`SaccsService::rank_request`] adapted to the legacy
+    /// [`RankOutcome`] shape.
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `RankRequest::utterance(..)` and call `rank_request`"
+    )]
+    pub fn rank_resilient(
+        &self,
+        utterance: &str,
+        api: &SearchApi<'_>,
+        slots: &Slots,
+    ) -> RankOutcome {
+        let request = RankRequest::utterance(utterance).with_slots(slots.clone());
+        let response = self.rank_request(&request, api);
+        RankOutcome {
+            results: response.results,
+            degradation: response.degradation,
+        }
+    }
+
+    /// Full Algorithm 1 from a raw utterance against an explicit
+    /// candidate list: extract tags with the neural pipeline, then
+    /// filter and rank. `Err(NoExtractor)` if the service was built
+    /// [`SaccsService::index_only`].
+    #[deprecated(
+        since = "0.6.0",
+        note = "build a `RankRequest::utterance(..)` and call `rank_request`"
+    )]
+    pub fn rank_utterance(
+        &self,
+        utterance: &str,
+        api_results: &[usize],
+    ) -> Result<Vec<(usize, f32)>, SaccsError> {
+        let tags = self.extract_tags(utterance)?;
+        Ok(self.rank_core(&tags, api_results, None, &self.config))
     }
 
     /// Extract tags from an utterance without ranking (for inspection).
-    pub fn extract_tags(&self, utterance: &str) -> Vec<SubjectiveTag> {
-        self.extractor
-            .as_ref()
-            // lint:allow(no-unwrap-in-lib): documented panic for index_only services
-            .expect("service built without an extractor")
-            .extract(utterance)
+    /// `Err(NoExtractor)` if the service was built
+    /// [`SaccsService::index_only`].
+    pub fn extract_tags(&self, utterance: &str) -> Result<Vec<SubjectiveTag>, SaccsError> {
+        let shared = self.extractor.as_ref().ok_or(SaccsError::NoExtractor)?;
+        Ok(shared.with_replica(|ex| ex.extract(utterance)))
+    }
+
+    // ------------------------------------------------------------------
+    // Shared internals
+    // ------------------------------------------------------------------
+
+    /// Objective passthrough: the API order verbatim with zero scores.
+    fn passthrough(api: &[usize], k: usize) -> Vec<(usize, f32)> {
+        api.iter().take(k).map(|&e| (e, 0.0)).collect()
+    }
+
+    /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
+    /// per-tag weights (the personalization hook). `config` is the
+    /// *effective* config — the service's, or the request's override.
+    fn rank_core(
+        &self,
+        tags: &[SubjectiveTag],
+        api_results: &[usize],
+        weights: Option<&[f32]>,
+        config: &SaccsConfig,
+    ) -> Vec<(usize, f32)> {
+        if tags.is_empty() {
+            // No subjective signal: return the API order as-is.
+            return Self::passthrough(api_results, config.top_k);
+        }
+        // Per-tag score maps (lines 7–10), optionally profile-weighted.
+        let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
+        {
+            let _probe = saccs_obs::span!("algo1.probe");
+            for (i, t) in tags.iter().enumerate() {
+                let w = weights.map_or(1.0, |ws| ws[i]);
+                per_tag.push(
+                    self.index
+                        .probe(t)
+                        .into_iter()
+                        .map(|(e, s)| (e, s * w))
+                        .collect(),
+                );
+            }
+        }
+        self.aggregate_and_pad(api_results, &per_tag, config)
+    }
+
+    /// Algorithm 1 lines 11–12 over already-probed tag score maps:
+    /// intersect, aggregate, pad, rank. `per_tag` holds one map per
+    /// *successfully probed* tag — the resilient path hands over fewer
+    /// maps than extracted tags when probes were dropped, and the
+    /// full/partial split then applies to the surviving tags only.
+    fn aggregate_and_pad(
+        &self,
+        api_results: &[usize],
+        per_tag: &[HashMap<usize, f32>],
+        config: &SaccsConfig,
+    ) -> Vec<(usize, f32)> {
+        // Line 11: strict intersection, plus optional partial matches.
+        let mut full: Vec<(usize, f32)> = Vec::new();
+        let mut partial: Vec<(usize, f32, usize)> = Vec::new();
+        {
+            let _aggregate = saccs_obs::span!("algo1.aggregate");
+            for &e in api_results {
+                let scores: Vec<f32> = per_tag.iter().filter_map(|m| m.get(&e)).copied().collect();
+                if scores.len() == per_tag.len() {
+                    full.push((e, config.aggregation.combine(&scores)));
+                } else if !scores.is_empty() && config.pad_partial_matches {
+                    // Partials score as the aggregate of the *present* tags
+                    // discounted by coverage. Under Mean this equals the
+                    // zero-padded mean; under Product/Min it keeps partials
+                    // comparable instead of collapsing them all to zero.
+                    let coverage = scores.len() as f32 / per_tag.len() as f32;
+                    let score = config.aggregation.combine(&scores) * coverage;
+                    partial.push((e, score, scores.len()));
+                }
+            }
+        }
+        // Degenerate case: the subjective filters matched nothing at all
+        // (e.g. every extracted tag is below θ_filter similarity to every
+        // index tag). Fall back to the objective API order — SACCS then
+        // behaves exactly like the underlying search service.
+        if full.is_empty() && partial.is_empty() {
+            return Self::passthrough(api_results, config.top_k);
+        }
+        let _pad = saccs_obs::span!("algo1.pad");
+        full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        partial.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.total_cmp(&a.1)).then(a.0.cmp(&b.0)));
+        let mut out = full;
+        if out.len() < config.top_k {
+            out.extend(partial.into_iter().map(|(e, s, _)| (e, s)));
+        }
+        out.truncate(config.top_k);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
+    // The legacy wrappers must keep their exact semantics — these tests
+    // exercise ranking behavior *through* them on purpose.
+    #![allow(deprecated)]
+
     use super::*;
     use saccs_index::index::{EntityEvidence, IndexConfig};
     use saccs_text::{ConceptualSimilarity, Domain, Lexicon};
@@ -512,6 +660,16 @@ mod tests {
     }
 
     #[test]
+    fn service_is_send_and_sync() {
+        // The whole point of the `&self` migration: one service behind an
+        // `Arc` must be shareable across serving threads.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SaccsService>();
+        assert_send_sync::<RankRequest>();
+        assert_send_sync::<RankResponse>();
+    }
+
+    #[test]
     fn combine_on_empty_scores_is_zero_for_every_operator() {
         // Regression: Product used to return 1.0 and Min +∞ on an empty
         // slice, which would float garbage to the top of padded rankings.
@@ -522,7 +680,7 @@ mod tests {
 
     #[test]
     fn single_tag_ranks_by_degree() {
-        let mut s = service();
+        let s = service();
         let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[0, 1, 2]);
         let ids: Vec<usize> = ranked.iter().map(|(e, _)| *e).collect();
         assert!(ids.contains(&0) && ids.contains(&1));
@@ -531,7 +689,7 @@ mod tests {
 
     #[test]
     fn intersection_prefers_entities_matching_all_tags() {
-        let mut s = service();
+        let s = service();
         let ranked = s.rank_with_tags(
             &[tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
@@ -544,7 +702,7 @@ mod tests {
 
     #[test]
     fn partial_matches_pad_below_full_matches() {
-        let mut s = service();
+        let s = service();
         let ranked = s.rank_with_tags(
             &[tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
@@ -566,15 +724,78 @@ mod tests {
     }
 
     #[test]
+    fn per_request_config_overrides_service_config() {
+        // The service pads; the request turns padding off and shrinks
+        // top_k. Tags-input requests need no extractor and no live API
+        // entities beyond the candidate gate.
+        let s = service();
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let padded = s.rank_request(
+            &RankRequest::tags(vec![tag("delicious", "food"), tag("nice", "staff")]),
+            &api,
+        );
+        assert_eq!(padded.results.len(), 3);
+        let strict = s.rank_request(
+            &RankRequest::tags(vec![tag("delicious", "food"), tag("nice", "staff")]).with_config(
+                SaccsConfig {
+                    pad_partial_matches: false,
+                    ..SaccsConfig::default()
+                },
+            ),
+            &api,
+        );
+        assert_eq!(strict.results.len(), 1, "{:?}", strict.results);
+        assert!(strict.is_full_fidelity());
+        // The service's own config is untouched by the override.
+        assert!(s.config().pad_partial_matches);
+    }
+
+    #[test]
+    fn tags_input_skips_the_extract_breaker_entirely() {
+        let s = service();
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let before = s.breakers().extract.times_opened();
+        let response = s.rank_request(&RankRequest::tags(vec![tag("delicious", "food")]), &api);
+        assert!(!response.results.is_empty());
+        assert!(response.is_full_fidelity());
+        assert_eq!(s.breakers().extract.times_opened(), before);
+    }
+
+    #[test]
+    fn unguarded_utterance_on_index_only_service_is_no_extractor() {
+        let s = service();
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let err = s
+            .rank_unguarded(&RankRequest::utterance("delicious food"), &api)
+            .expect_err("index_only service cannot extract");
+        assert_eq!(err, SaccsError::NoExtractor);
+        assert_eq!(
+            s.rank("delicious food", &api, &Slots::default()),
+            Err(SaccsError::NoExtractor)
+        );
+        assert_eq!(
+            s.rank_utterance("delicious food", &[0, 1, 2]),
+            Err(SaccsError::NoExtractor)
+        );
+        assert_eq!(
+            s.extract_tags("delicious food"),
+            Err(SaccsError::NoExtractor)
+        );
+    }
+
+    #[test]
     fn api_results_gate_the_candidates() {
-        let mut s = service();
+        let s = service();
         let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[1]);
         assert!(ranked.iter().all(|(e, _)| *e == 1));
     }
 
     #[test]
     fn empty_tags_pass_api_order_through() {
-        let mut s = service();
+        let s = service();
         let ranked = s.rank_with_tags(&[], &[2, 0, 1]);
         assert_eq!(
             ranked.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
@@ -584,7 +805,7 @@ mod tests {
 
     #[test]
     fn unknown_tag_uses_similarity_fallback_and_history() {
-        let mut s = service();
+        let s = service();
         // "scrumptious food" is not an index tag; similar to delicious food.
         let ranked = s.rank_with_tags(&[tag("scrumptious", "food")], &[0, 1, 2]);
         assert!(!ranked.is_empty());
@@ -609,7 +830,7 @@ mod tests {
 
     #[test]
     fn personalization_tilts_toward_standing_interests() {
-        let mut s = service();
+        let s = service();
         // Query mentions both dimensions; entity 1 excels at food, entity
         // 2 at staff. A staff-obsessed profile must pull entity 2 above 1.
         let tags = [tag("delicious", "food"), tag("nice", "staff")];
@@ -628,6 +849,24 @@ mod tests {
         assert_eq!(neutral.len(), 2);
     }
 
+    #[test]
+    fn profiled_wrapper_matches_profiled_request() {
+        // The legacy profiled wrapper and the request-shaped profile
+        // path must agree bitwise (same weights, same core).
+        let s = service();
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        let tags = vec![tag("delicious", "food"), tag("nice", "staff")];
+        let mut profile = crate::profile::UserProfile::new();
+        for _ in 0..8 {
+            profile.observe(&[tag("friendly", "staff")]);
+        }
+        let api_results = api.search(&Slots::default());
+        let legacy = s.rank_with_tags_profiled(&tags, &api_results, &profile, 2.0);
+        let via_request = s.rank_request(&RankRequest::tags(tags).with_profile(profile, 2.0), &api);
+        assert_eq!(legacy, via_request.results);
+    }
+
     fn entities(n: usize) -> Vec<saccs_data::Entity> {
         use rand::rngs::StdRng;
         use rand::SeedableRng;
@@ -640,11 +879,11 @@ mod tests {
 
     #[test]
     fn rank_resilient_without_extractor_is_objective_only() {
-        // `index_only` services have no extractor; `rank` would panic,
-        // the resilient path degrades to the objective order instead.
+        // `index_only` services have no extractor; the unguarded path
+        // errors, the resilient path degrades to the objective order.
         let ents = entities(3);
         let api = SearchApi::new(&ents);
-        let mut s = service();
+        let s = service();
         let out = s.rank_resilient("delicious food", &api, &Slots::default());
         assert_eq!(out.results, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
         assert!(out.degradation.is_degraded());
@@ -659,7 +898,7 @@ mod tests {
     fn rank_resilient_zero_deadline_reports_instead_of_blocking() {
         let ents = entities(3);
         let api = SearchApi::new(&ents);
-        let mut s = service().with_resilience(ResilienceConfig {
+        let s = service().with_resilience(ResilienceConfig {
             deadline: Some(std::time::Duration::ZERO),
             ..ResilienceConfig::default()
         });

@@ -193,11 +193,20 @@ impl MiniBert {
     /// Results are memoized in a bounded FIFO cache keyed by the encoded
     /// id sequence; the cache is cleared whenever the weights change
     /// (training, [`MiniBert::load_bytes`]).
+    ///
+    /// Each cache miss crosses the `embed.features` failpoint, modeling
+    /// one round trip to a remote encoder; [`MiniBert::features_batch`]
+    /// crosses its own seam once per *batch*, which is what batched
+    /// warm-up amortizes. The function cannot fail, so an injected error
+    /// here is counted and ignored — only delays are observable.
     pub fn features(&self, tokens: &[String]) -> Matrix {
         let ids = self.ids(tokens);
         if let Some(hit) = self.feature_cache.borrow().map.get(&ids) {
             saccs_obs::counter!("embed.cache.hit").inc();
             return hit.clone();
+        }
+        if saccs_fault::failpoint!("embed.features").is_err() {
+            saccs_obs::counter!("fault.ignored.features").inc();
         }
         saccs_obs::counter!("embed.cache.miss").inc();
         let full = self.encode_frozen(&ids);

@@ -52,8 +52,12 @@ pub use backoff::Backoff;
 pub use breaker::BreakerConfig;
 /// Which of the three breaker states a breaker is in.
 pub use breaker::BreakerState;
+/// The before/after state pair one breaker operation observed.
+pub use breaker::BreakerTransition;
 /// The closed/open/half-open breaker state machine.
 pub use breaker::CircuitBreaker;
+/// The same state machine behind `&self`: one packed atomic word.
+pub use breaker::SharedBreaker;
 /// One injected fault: site, kind and the call index that fired.
 pub use error::FaultError;
 /// The flavor of infrastructure failure a failpoint injects.

@@ -1,9 +1,11 @@
 //! The inverted index and Equation 1.
 
 use crate::history::UserTagHistory;
+use parking_lot::Mutex;
 use saccs_text::{ConceptualSimilarity, SubjectiveTag, TagSimilarity};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::MutexGuard;
 
 /// One entity mapping under an index tag.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -89,13 +91,18 @@ pub struct SubjectiveIndex {
     /// Optional override for the tag-similarity measure used in degree
     /// computation and probes (e.g. embedding cosine for the footnote-2
     /// ablation). The lexicon-backed [`ConceptualSimilarity`] stays in
-    /// place for dynamic thresholds and profile weighting.
-    custom_similarity: Option<Box<dyn TagSimilarity>>,
+    /// place for dynamic thresholds and profile weighting. `Send + Sync`
+    /// so a service built on this index can be shared across serving
+    /// threads.
+    custom_similarity: Option<Box<dyn TagSimilarity + Send + Sync>>,
     /// Index tag → entity mappings, sorted by descending degree of truth.
     entries: BTreeMap<SubjectiveTag, Vec<IndexEntry>>,
     /// Evidence retained for incremental re-indexing rounds.
     evidence: Vec<EntityEvidence>,
-    history: UserTagHistory,
+    /// The user tag history is the only probe-path state that mutates at
+    /// serving time, so it sits behind its own mutex: probes stay `&self`
+    /// and many serving threads can record unknown tags concurrently.
+    history: Mutex<UserTagHistory>,
 }
 
 /// Serializable snapshot of the index state.
@@ -112,13 +119,16 @@ impl SubjectiveIndex {
             custom_similarity: None,
             entries: BTreeMap::new(),
             evidence: Vec::new(),
-            history: UserTagHistory::new(),
+            history: Mutex::new(UserTagHistory::new()),
         }
     }
 
     /// Replace the similarity measure used for degrees and probes (the
     /// conceptual-vs-cosine ablation hook). Call before `index_tags`.
-    pub fn with_custom_similarity(mut self, similarity: impl TagSimilarity + 'static) -> Self {
+    pub fn with_custom_similarity(
+        mut self,
+        similarity: impl TagSimilarity + Send + Sync + 'static,
+    ) -> Self {
         self.custom_similarity = Some(Box::new(similarity));
         self
     }
@@ -245,7 +255,7 @@ impl SubjectiveIndex {
     /// the index didn't know becomes a first-class index tag. Returns how
     /// many new tags were indexed.
     pub fn reindex_from_history(&mut self) -> usize {
-        let pending = self.history.drain();
+        let pending = self.history.lock().drain();
         let fresh: Vec<SubjectiveTag> = pending
             .into_iter()
             .filter(|t| !self.entries.contains_key(t))
@@ -314,10 +324,13 @@ impl SubjectiveIndex {
     ///   tags as `Σ sim × degree`, and the tag is recorded in the user tag
     ///   history for the next indexing round.
     ///
-    /// Returns `(entity_id, score)` sorted by descending score.
-    pub fn probe(&mut self, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
+    /// Returns `(entity_id, score)` sorted by descending score. Takes
+    /// `&self`: the only mutation is the history record, which goes
+    /// through the history mutex so concurrent serving threads can probe
+    /// one shared index.
+    pub fn probe(&self, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
         if !self.entries.contains_key(tag) {
-            self.history.record(tag.clone());
+            self.history.lock().record(tag.clone());
         }
         self.probe_readonly(tag)
     }
@@ -328,7 +341,7 @@ impl SubjectiveIndex {
     /// the probe, so neither postings nor the user tag history are
     /// touched by a failed call.
     pub fn try_probe(
-        &mut self,
+        &self,
         tag: &SubjectiveTag,
     ) -> Result<Vec<(usize, f32)>, saccs_fault::FaultError> {
         saccs_fault::failpoint!("algo1.probe")?;
@@ -369,9 +382,12 @@ impl SubjectiveIndex {
         out
     }
 
-    /// Pending unknown tags (user tag history).
-    pub fn history(&self) -> &UserTagHistory {
-        &self.history
+    /// Pending unknown tags (user tag history). Returns the guard; the
+    /// `Deref` impl keeps existing `.len()`/`.contains()` call sites
+    /// working, but holding it across another probe blocks that probe's
+    /// history record.
+    pub fn history(&self) -> MutexGuard<'_, UserTagHistory> {
+        self.history.lock()
     }
 
     /// Serialize the posting lists to bytes (serde + JSON-free compact

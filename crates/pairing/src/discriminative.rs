@@ -112,6 +112,20 @@ impl DiscriminativePairer {
         self.l2.forward(&self.l1.forward(&x).relu()).sigmoid()
     }
 
+    /// An untrained same-shaped classifier for the serving-replica path:
+    /// build with the `hidden` width the original was trained with, then
+    /// `load_state` its serialized weights to get a bitwise-identical
+    /// pairer on a fresh (e.g. per-thread) encoder.
+    pub fn replica(bert: Rc<MiniBert>, hidden: usize) -> Self {
+        let mut rng = StdRng::seed_from_u64(0);
+        let dim = 3 * bert.dim() + STRUCT_FEATURES;
+        DiscriminativePairer {
+            bert,
+            l1: Linear::new(dim, hidden, &mut rng),
+            l2: Linear::new(hidden, 1, &mut rng),
+        }
+    }
+
     /// Train on weakly-labeled examples `(example, label)` — labels come
     /// from the generative stage, not ground truth (Figure 6).
     pub fn train(

@@ -74,6 +74,20 @@ fn candidate_grid(aspects: &[Span], opinions: &[Span]) -> Vec<(Span, Span)> {
 }
 
 impl PairingPipeline {
+    /// A serving-only pipeline around an already-trained discriminative
+    /// classifier. [`PairingPipeline::pair_spans`] and
+    /// [`PairingPipeline::classify`] consult only that classifier, so a
+    /// replica pipeline needs no labeling functions and no generative
+    /// model — both are inert placeholders here.
+    pub fn serving(discriminative: DiscriminativePairer, config: PipelineConfig) -> Self {
+        PairingPipeline {
+            lfs: Vec::new(),
+            probabilistic: ProbabilisticModel::uninformative(),
+            discriminative,
+            config,
+        }
+    }
+
     /// Fit the full pipeline: select heads on `dev`, vote over `train`,
     /// aggregate, and train the discriminative model on the weak labels.
     pub fn fit(

@@ -424,6 +424,30 @@ where
         .collect()
 }
 
+/// Spawn a dedicated, long-lived OS thread *outside* the work-stealing
+/// pool, named `saccs-<name>`.
+///
+/// Pool tasks must never block indefinitely (a parked pool worker
+/// starves every other scope), so components that wait on external
+/// events — a serving front end's request-queue workers, most notably —
+/// get their own threads through this function instead. It is the one
+/// sanctioned escape hatch from the `no-spawn-outside-rt` lint: the
+/// thread is still created by `saccs-rt`, keeping thread provenance in
+/// one crate.
+///
+/// Panics if the OS refuses to spawn a thread — callers create a small,
+/// fixed number of workers at startup, where failing loudly beats
+/// serving with a silently missing worker.
+pub fn spawn_worker<F>(name: &str, f: F) -> std::thread::JoinHandle<()>
+where
+    F: FnOnce() + Send + 'static,
+{
+    std::thread::Builder::new()
+        .name(format!("saccs-{name}"))
+        .spawn(f)
+        .unwrap_or_else(|e| panic!("failed to spawn worker thread `saccs-{name}`: {e}"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -36,6 +36,10 @@ pub struct TaggerModel {
     proj: Linear,
     crf: Option<Crf>,
     dropout: Dropout,
+    /// Construction parameters, retained so a same-shaped replica can be
+    /// rebuilt from a serialized state (serving-time model replication).
+    hidden: usize,
+    dropout_p: f32,
 }
 
 impl TaggerModel {
@@ -54,6 +58,8 @@ impl TaggerModel {
                 proj: Linear::new(2 * hidden, IobTag::COUNT, rng),
                 crf: None,
                 dropout: Dropout::new(dropout_p),
+                hidden,
+                dropout_p,
             },
             Architecture::BiLstmCrf => TaggerModel {
                 arch,
@@ -62,12 +68,24 @@ impl TaggerModel {
                 proj: Linear::new(2 * hidden, IobTag::COUNT, rng),
                 crf: Some(Crf::new(rng)),
                 dropout: Dropout::new(dropout_p),
+                hidden,
+                dropout_p,
             },
         }
     }
 
     pub fn architecture(&self) -> Architecture {
         self.arch
+    }
+
+    /// Hidden width this head was constructed with.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Dropout probability this head was constructed with.
+    pub fn dropout_p(&self) -> f32 {
+        self.dropout_p
     }
 
     /// Per-token emission scores (`T×5`).

@@ -404,6 +404,13 @@ impl Tagger {
         }
     }
 
+    /// Assemble a tagger from an encoder and an already-built head —
+    /// the serving-replica path: construct a same-shaped [`TaggerModel`]
+    /// and `load_state` trained weights into it instead of training.
+    pub fn from_parts(bert: Rc<MiniBert>, model: TaggerModel) -> Self {
+        Tagger { bert, model }
+    }
+
     pub fn bert(&self) -> &MiniBert {
         &self.bert
     }

@@ -14,13 +14,15 @@ use crate::scan::SourceFile;
 
 pub(crate) struct NoPanicInService;
 
-/// Files under the no-abort contract: the hardened service layer and
-/// the entire fault-injection crate.
-const SCOPED: [&str; 4] = [
+/// Files under the no-abort contract: the hardened service layer, the
+/// entire fault-injection crate, and the serving front end (a worker
+/// thread that aborts takes every queued request down with it).
+const SCOPED: [&str; 5] = [
     "crates/core/src/service.rs",
     "crates/core/src/resilient.rs",
     "crates/core/src/error.rs",
     "crates/fault/src/",
+    "crates/serve/src/",
 ];
 
 impl Lint for NoPanicInService {
@@ -101,6 +103,7 @@ mod tests {
         assert!(NoPanicInService.applies("crates/core/src/error.rs"));
         assert!(NoPanicInService.applies("crates/fault/src/registry.rs"));
         assert!(NoPanicInService.applies("crates/fault/src/breaker.rs"));
+        assert!(NoPanicInService.applies("crates/serve/src/lib.rs"));
         assert!(!NoPanicInService.applies("crates/core/src/builder.rs"));
         assert!(!NoPanicInService.applies("crates/tagger/src/train.rs"));
         assert!(!NoPanicInService.applies("src/lib.rs"));

@@ -12,7 +12,9 @@
 //! Commands: `:index` (show the tag index), `:profile` (your interests),
 //! `:reindex` (adaptation round), `:quit`.
 
-use saccs::core::{Conversation, Intent, RuleNlu, SaccsBuilder, SearchApi, UserProfile};
+use saccs::core::{
+    Conversation, Intent, RankRequest, RuleNlu, SaccsBuilder, SearchApi, UserProfile,
+};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::text::{ConceptualSimilarity, Domain, Lexicon};
 use std::io::{BufRead, IsTerminal};
@@ -143,7 +145,7 @@ fn main() {
             }
             Intent::Unknown | Intent::SearchRestaurant => {}
         }
-        let turn_tags = saccs.service.extract_tags(&line);
+        let turn_tags = saccs.service.extract_tags(&line).unwrap_or_default();
         let effect = conversation.absorb(&line, slots, turn_tags, &similarity);
         if !effect.added().is_empty() {
             println!(
@@ -192,11 +194,12 @@ fn main() {
                     .join(", ")
             );
         }
-        let ranked = saccs
-            .service
-            .rank_with_tags_profiled(&active, &candidates, &profile, 0.4);
+        let request = RankRequest::tags(active)
+            .with_slots(conversation.slots().clone())
+            .with_profile(profile.clone(), 0.4);
+        let response = saccs.service.rank_request(&request, &api);
         println!("bot> top matches:");
-        for (rank, (entity, score)) in ranked.iter().take(3).enumerate() {
+        for (rank, (entity, score)) in response.results.iter().take(3).enumerate() {
             println!("       {}. {} ({score:.2})", rank + 1, api.name(*entity));
         }
     }

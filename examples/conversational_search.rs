@@ -5,7 +5,7 @@
 //!
 //! Run with: `cargo run --release --example conversational_search`
 
-use saccs::core::{Intent, RuleNlu, SaccsBuilder, SearchApi};
+use saccs::core::{Intent, RankRequest, RuleNlu, SaccsBuilder, SearchApi};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::text::{Domain, Lexicon};
 
@@ -49,8 +49,10 @@ fn main() {
             Intent::SearchRestaurant => {}
         }
         println!("  intent: SearchRestaurant, slots: {slots:?}");
-        let candidates = api.search(&slots);
-        let tags = saccs.service.extract_tags(utterance);
+        let tags = saccs
+            .service
+            .extract_tags(utterance)
+            .expect("quick profile always trains an extractor");
         println!(
             "  subjective tags: [{}]",
             tags.iter()
@@ -58,9 +60,10 @@ fn main() {
                 .collect::<Vec<_>>()
                 .join(", ")
         );
-        let ranked = saccs.service.rank_utterance(utterance, &candidates);
+        let request = RankRequest::utterance(utterance).with_slots(slots);
+        let response = saccs.service.rank_request(&request, &api);
         println!("Bot:  Here is what I found:");
-        for (rank, (entity, score)) in ranked.iter().take(3).enumerate() {
+        for (rank, (entity, score)) in response.results.iter().take(3).enumerate() {
             println!("        {}. {} ({score:.2})", rank + 1, api.name(*entity));
         }
     }

@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --release --example personalized_search`
 
-use saccs::core::{SaccsBuilder, UserProfile};
+use saccs::core::{RankRequest, SaccsBuilder, SearchApi, UserProfile};
 use saccs::data::fraud::{inject_fraud, FraudCampaign};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::index::{FraudFilter, ReviewProfile};
@@ -22,8 +22,8 @@ fn main() {
         },
     );
     println!("Training SACCS (quick profile)...");
-    let mut saccs = SaccsBuilder::quick().build(&corpus);
-    let api: Vec<usize> = (0..corpus.entities.len()).collect();
+    let saccs = SaccsBuilder::quick().build(&corpus);
+    let api = SearchApi::new(&corpus.entities);
 
     // --- 1. User profiles ------------------------------------------------
     println!("\n-- 1. Profile-aware ranking --");
@@ -44,10 +44,17 @@ fn main() {
         SubjectiveTag::new("delicious", "food"),
         SubjectiveTag::new("quiet", "place"),
     ];
-    let neutral = saccs.service.rank_with_tags(&tags, &api);
+    let neutral = saccs
+        .service
+        .rank_request(&RankRequest::tags(tags.clone()), &api)
+        .results;
     let personal = saccs
         .service
-        .rank_with_tags_profiled(&tags, &api, &profile, 0.8);
+        .rank_request(
+            &RankRequest::tags(tags.clone()).with_profile(profile.clone(), 0.8),
+            &api,
+        )
+        .results;
     println!("query: delicious food + quiet place");
     println!(
         "  neutral top 5      : {:?}",

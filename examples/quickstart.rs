@@ -6,7 +6,7 @@
 //! Prints the Table-1 view of the subjective-tag index and the ranked
 //! answer to the paper's §3.2 example utterance.
 
-use saccs::core::SaccsBuilder;
+use saccs::core::{RankRequest, SaccsBuilder, SearchApi};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::text::{Domain, Lexicon};
 
@@ -25,7 +25,7 @@ fn main() {
 
     println!("Training the extraction pipeline and building the index (quick profile)...");
     let t0 = std::time::Instant::now();
-    let mut saccs = SaccsBuilder::quick().build(&corpus);
+    let saccs = SaccsBuilder::quick().build(&corpus);
     println!("  done in {:.1?}\n", t0.elapsed());
 
     // Table-1-style view of a few index tags.
@@ -42,16 +42,24 @@ fn main() {
     let utterance =
         "I want an Italian restaurant in Montreal that serves delicious food and has a nice staff";
     println!("\nUser: \"{utterance}\"");
-    let tags = saccs.service.extract_tags(utterance);
+    let tags = saccs
+        .service
+        .extract_tags(utterance)
+        .expect("quick profile always trains an extractor");
     println!(
         "Extracted subjective tags: {:?}",
         tags.iter().map(|t| t.phrase()).collect::<Vec<_>>()
     );
 
-    let api_results: Vec<usize> = (0..corpus.entities.len()).collect();
-    let ranked = saccs.service.rank_utterance(utterance, &api_results);
-    println!("\nTop results:");
-    for (rank, (entity, score)) in ranked.iter().take(5).enumerate() {
+    let api = SearchApi::new(&corpus.entities);
+    let response = saccs
+        .service
+        .rank_request(&RankRequest::utterance(utterance), &api);
+    println!(
+        "\nTop results (full fidelity: {}):",
+        response.is_full_fidelity()
+    );
+    for (rank, (entity, score)) in response.results.iter().take(5).enumerate() {
         println!(
             "  {}. {} (score {score:.2})",
             rank + 1,

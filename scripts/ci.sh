@@ -13,6 +13,8 @@
 #   6. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
 #   7. perf      SACCS_OBS=json matmul microbench + xtask check-bench
 #   8. chaos     seeded fault suite + double chaos-bin run, exports diffed
+#   9. serve     concurrent-serving suite + double serve-bin run, exports
+#                diffed, BENCH_serve.json validated
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -83,5 +85,23 @@ SACCS_CHAOS_OUT=CHAOS_b.jsonl \
     >/dev/null || fail chaos
 diff CHAOS_a.jsonl CHAOS_b.jsonl || fail chaos
 rm -f CHAOS_a.jsonl CHAOS_b.jsonl
+
+# Serving gate: the concurrent-serving suite (bitwise equality at every
+# width/batch, exact shed accounting, chaos through the server), then
+# the serve bin run twice — its JSON-lines export (rankings as score
+# bits plus the server counters; no timings) must be byte-identical —
+# and the QPS/A-B snapshot validated.
+stage serve "serve suite + double serve run, exports diffed"
+cargo test "${OFFLINE[@]}" -q --features fault --test serve || fail serve
+rm -f SERVE_a.jsonl SERVE_b.jsonl BENCH_serve.json
+SACCS_OBS=json SACCS_SERVE_OUT=SERVE_a.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin serve \
+    || fail serve
+SACCS_SERVE_OUT=SERVE_b.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin serve \
+    >/dev/null || fail serve
+diff SERVE_a.jsonl SERVE_b.jsonl || fail serve
+rm -f SERVE_a.jsonl SERVE_b.jsonl
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_serve.json || fail serve
 
 printf '\n=== CI green: all stages passed ===\n'

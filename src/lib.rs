@@ -9,7 +9,7 @@
 //! Quick start:
 //!
 //! ```no_run
-//! use saccs::core::SaccsBuilder;
+//! use saccs::core::{RankRequest, SaccsBuilder, SearchApi};
 //! use saccs::data::yelp::{YelpConfig, YelpCorpus};
 //! use saccs::text::{Domain, Lexicon};
 //!
@@ -17,12 +17,12 @@
 //!     Lexicon::new(Domain::Restaurants),
 //!     &YelpConfig { n_entities: 20, n_reviews: 200, ..Default::default() },
 //! );
-//! let mut saccs = SaccsBuilder::quick().build(&corpus);
-//! let api: Vec<usize> = (0..corpus.entities.len()).collect();
-//! let ranked = saccs
-//!     .service
-//!     .rank_utterance("I want a restaurant with delicious food and a nice staff", &api);
-//! for (entity, score) in ranked.iter().take(5) {
+//! let saccs = SaccsBuilder::quick().build(&corpus);
+//! let api = SearchApi::new(&corpus.entities);
+//! let request =
+//!     RankRequest::utterance("I want a restaurant with delicious food and a nice staff");
+//! let response = saccs.service.rank_request(&request, &api);
+//! for (entity, score) in response.results.iter().take(5) {
 //!     println!("{} ({score:.2})", corpus.entities[*entity].name);
 //! }
 //! ```
@@ -49,6 +49,10 @@ pub use saccs_obs as obs;
 pub use saccs_pairing as pairing;
 /// Heuristic dependency-ish parsing for the tree pairing heuristic.
 pub use saccs_parse as parse;
+/// Work-stealing pool and the sanctioned dedicated-thread escape hatch.
+pub use saccs_rt as rt;
+/// Multi-worker serving front end: bounded admission, shedding, micro-batching.
+pub use saccs_serve as serve;
 /// Sequence tagger (BiLSTM/MiniBert + CRF) for subjective-tag extraction.
 pub use saccs_tagger as tagger;
 /// Tags, lexicons, tokenization and conceptual similarity.

@@ -18,7 +18,7 @@
 //! asserts on counter *deltas* (the `counter!` macro caches handles, so
 //! `registry().reset()` would detach live call sites).
 
-use saccs::core::{SaccsBuilder, SearchApi, Slots, TrainedSaccs};
+use saccs::core::{RankRequest, SaccsBuilder, SearchApi, Slots, TrainedSaccs};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::text::{Domain, Lexicon};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
@@ -80,20 +80,23 @@ const UTTERANCES: [&str; 3] = [
 #[test]
 fn rank_resilient_is_bitwise_identical_to_rank_without_faults() {
     let _serial = global_lock();
-    let mut trained = saccs();
+    let trained = saccs();
     let api = SearchApi::new(&corpus().entities);
-    let slots = Slots::default();
     for utterance in UTTERANCES {
-        let plain = trained.service.rank(utterance, &api, &slots);
-        let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+        let request = RankRequest::utterance(utterance);
+        let plain = trained
+            .service
+            .rank_unguarded(&request, &api)
+            .expect("extractor present");
+        let hardened = trained.service.rank_request(&request, &api);
         assert!(
-            !outcome.degradation.is_degraded(),
+            hardened.is_full_fidelity(),
             "fault-free run degraded on {utterance:?}: {:?}",
-            outcome.degradation.events
+            hardened.degradation.events
         );
         assert_eq!(
-            bits(&plain),
-            bits(&outcome.results),
+            bits(&plain.results),
+            bits(&hardened.results),
             "hardened path diverged on {utterance:?}"
         );
     }
@@ -107,11 +110,14 @@ fn rank_resilient_is_bitwise_identical_to_rank_without_faults() {
 #[test]
 fn tag_free_rank_passes_api_order_through_without_padding() {
     let _serial = global_lock();
-    let mut trained = saccs();
+    let trained = saccs();
     let api = SearchApi::new(&corpus().entities);
-    let slots = Slots::default();
     assert!(
-        trained.service.extract_tags("").is_empty(),
+        trained
+            .service
+            .extract_tags("")
+            .expect("extractor present")
+            .is_empty(),
         "empty utterance extracted tags"
     );
 
@@ -119,12 +125,15 @@ fn tag_free_rank_passes_api_order_through_without_padding() {
     saccs::obs::install(collector);
     let pad_before = saccs::obs::registry().histogram("algo1.pad").count();
     let rank_before = saccs::obs::registry().histogram("algo1.rank").count();
-    let ranked = trained.service.rank("", &api, &slots);
+    let ranked = trained
+        .service
+        .rank_unguarded(&RankRequest::utterance(""), &api)
+        .expect("extractor present");
     saccs::obs::uninstall();
 
     let top_k = trained.service.config().top_k;
     assert_eq!(
-        bits(&ranked),
+        bits(&ranked.results),
         bits(&objective_order(&api, top_k)),
         "tag-free rank is not the objective passthrough"
     );
@@ -154,9 +163,8 @@ mod armed {
     #[test]
     fn permanent_probe_fault_degrades_every_request_to_objective_only() {
         let _serial = global_lock();
-        let mut trained = saccs();
+        let trained = saccs();
         let api = SearchApi::new(&corpus().entities);
-        let slots = Slots::default();
         let expected = objective_order(&api, trained.service.config().top_k);
 
         const SEED: u64 = 7;
@@ -172,7 +180,9 @@ mod armed {
             .take(REQUESTS as usize)
             .enumerate()
         {
-            let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+            let outcome = trained
+                .service
+                .rank_request(&RankRequest::utterance(*utterance), &api);
             assert_eq!(
                 bits(&outcome.results),
                 bits(&expected),
@@ -205,12 +215,11 @@ mod armed {
     #[test]
     fn retries_absorb_transient_probe_faults_bitwise() {
         let _serial = global_lock();
-        let mut trained = saccs();
+        let trained = saccs();
         let api = SearchApi::new(&corpus().entities);
-        let slots = Slots::default();
-        let utterance = UTTERANCES[0];
-        let reference = trained.service.rank_resilient(utterance, &api, &slots);
-        assert!(!reference.degradation.is_degraded());
+        let request = RankRequest::utterance(UTTERANCES[0]);
+        let reference = trained.service.rank_request(&request, &api);
+        assert!(reference.is_full_fidelity());
 
         const SEED: u64 = 11;
         // Probe calls 1 and 2 fail; the default policy retries up to 3
@@ -220,10 +229,10 @@ mod armed {
         let retries_before = counter("fault.retry.attempts");
         let outcome = {
             let _faults = arm_guard(&scenario, SEED);
-            trained.service.rank_resilient(utterance, &api, &slots)
+            trained.service.rank_request(&request, &api)
         };
         assert!(
-            !outcome.degradation.is_degraded(),
+            outcome.is_full_fidelity(),
             "absorbed faults must not degrade: {:?}",
             outcome.degradation.events
         );
@@ -245,15 +254,18 @@ mod armed {
     fn deadline_mid_probe_returns_partial_results() {
         let _serial = global_lock();
         let trained = saccs();
-        let mut service = trained.service.with_resilience(ResilienceConfig {
+        let service = trained.service.with_resilience(ResilienceConfig {
             deadline: Some(Duration::from_millis(250)),
             ..ResilienceConfig::default()
         });
         let api = SearchApi::new(&corpus().entities);
-        let slots = Slots::default();
         let utterance = UTTERANCES[0];
         assert!(
-            service.extract_tags(utterance).len() >= 2,
+            service
+                .extract_tags(utterance)
+                .expect("extractor present")
+                .len()
+                >= 2,
             "test needs a multi-tag utterance to truncate"
         );
 
@@ -266,7 +278,7 @@ mod armed {
         let exceeded_before = counter("fault.deadline.exceeded");
         let outcome = {
             let _faults = arm_guard(&scenario, SEED);
-            service.rank_resilient(utterance, &api, &slots)
+            service.rank_request(&RankRequest::utterance(utterance), &api)
         };
         assert!(
             !outcome.results.is_empty(),
@@ -308,16 +320,17 @@ mod armed {
         println!("chaos replay: seed={SEED} scenario={scenario}");
 
         let run = |seed: u64| -> Vec<(Vec<(usize, u32)>, Vec<String>)> {
-            let mut trained = saccs();
+            let trained = saccs();
             let api = SearchApi::new(&corpus().entities);
-            let slots = Slots::default();
             let _faults = arm_guard(&scenario, seed);
             UTTERANCES
                 .iter()
                 .cycle()
                 .take(6)
                 .map(|utterance| {
-                    let outcome = trained.service.rank_resilient(utterance, &api, &slots);
+                    let outcome = trained
+                        .service
+                        .rank_request(&RankRequest::utterance(*utterance), &api);
                     let events: Vec<String> = outcome
                         .degradation
                         .events

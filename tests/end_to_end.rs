@@ -6,7 +6,7 @@
 //! ordered consistently with the latent ground truth, and the dynamic
 //! adaptation loop works.
 
-use saccs::core::{SaccsBuilder, TrainedSaccs};
+use saccs::core::{RankRequest, SaccsBuilder, SearchApi, TrainedSaccs};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::data::{canonical_tags, CrowdSimulator};
 use saccs::eval::ndcg::ndcg;
@@ -59,11 +59,15 @@ fn ranking_tracks_latent_quality_under_rate_weighting() {
     // The match-count variant must track latent quality.
     let mut builder = SaccsBuilder::quick();
     builder.index.degree_formula = saccs::index::DegreeFormula::MentionRate;
-    let mut trained = builder.build(corpus());
-    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let trained = builder.build(corpus());
+    let api = SearchApi::new(&corpus().entities);
     let ranked = trained
         .service
-        .rank_with_tags(&[SubjectiveTag::new("delicious", "food")], &api);
+        .rank_request(
+            &RankRequest::tags(vec![SubjectiveTag::new("delicious", "food")]),
+            &api,
+        )
+        .results;
     assert!(ranked.len() >= 5, "too few results: {ranked:?}");
     // Mean latent quality of the top third must beat the bottom third.
     let q = |e: usize| corpus().entities[e].quality_of("food", "delicious");
@@ -82,10 +86,11 @@ fn ranking_tracks_latent_quality_under_rate_weighting() {
 
 #[test]
 fn saccs_beats_random_ordering_on_crowd_ndcg() {
-    let mut trained = saccs();
+    let trained = saccs();
     let crowd = CrowdSimulator::default();
     let tags = canonical_tags();
-    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let api = SearchApi::new(&corpus().entities);
+    let all: Vec<usize> = (0..corpus().entities.len()).collect();
     let mut saccs_total = 0.0;
     let mut random_total = 0.0;
     let mut n = 0;
@@ -93,12 +98,15 @@ fn saccs_beats_random_ordering_on_crowd_ndcg() {
         let gains: Vec<f32> = (0..corpus().entities.len())
             .map(|e| crowd.sat(tag, corpus(), e))
             .collect();
-        let ranked = trained.service.rank_with_tags(&[tag.tag()], &api);
+        let ranked = trained
+            .service
+            .rank_request(&RankRequest::tags(vec![tag.tag()]), &api)
+            .results;
         let ranked_gains: Vec<f32> = ranked.iter().map(|&(e, _)| gains[e]).collect();
         saccs_total += ndcg(&ranked_gains, &gains, 10);
         // "Random" = identity order (entities are i.i.d., so id order is
         // an unbiased random permutation w.r.t. quality).
-        let id_gains: Vec<f32> = api.iter().map(|&e| gains[e]).collect();
+        let id_gains: Vec<f32> = all.iter().map(|&e| gains[e]).collect();
         random_total += ndcg(&id_gains[..10.min(id_gains.len())], &gains, 10);
         n += 1;
     }
@@ -112,10 +120,13 @@ fn saccs_beats_random_ordering_on_crowd_ndcg() {
 
 #[test]
 fn utterance_flow_extracts_and_ranks() {
-    let mut trained = saccs();
-    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let trained = saccs();
+    let api = SearchApi::new(&corpus().entities);
     let utterance = "I want a restaurant with delicious food and a nice staff";
-    let tags = trained.service.extract_tags(utterance);
+    let tags = trained
+        .service
+        .extract_tags(utterance)
+        .expect("extractor present");
     assert!(
         !tags.is_empty(),
         "no tags extracted from a clearly subjective utterance"
@@ -126,9 +137,12 @@ fn utterance_flow_extracts_and_ranks() {
             .any(|t| t.aspect.contains("food") || t.aspect.contains("staff")),
         "implausible extraction: {tags:?}"
     );
-    let ranked = trained.service.rank_utterance(utterance, &api);
-    assert!(!ranked.is_empty());
-    for w in ranked.windows(2) {
+    let response = trained
+        .service
+        .rank_request(&RankRequest::utterance(utterance), &api);
+    assert!(response.is_full_fidelity());
+    assert!(!response.results.is_empty());
+    for w in response.results.windows(2) {
         assert!(w[0].1 >= w[1].1, "ranking not sorted");
     }
 }
@@ -136,19 +150,22 @@ fn utterance_flow_extracts_and_ranks() {
 #[test]
 fn dynamic_adaptation_round_trips() {
     let mut trained = saccs();
-    let api: Vec<usize> = (0..corpus().entities.len()).collect();
+    let api = SearchApi::new(&corpus().entities);
     let unknown = SubjectiveTag::new("scrumptious", "lasagna");
     assert!(trained.service.index().lookup(&unknown).is_none());
     let before = trained
         .service
-        .rank_with_tags(std::slice::from_ref(&unknown), &api);
+        .rank_request(&RankRequest::tags(vec![unknown.clone()]), &api)
+        .results;
     assert!(!before.is_empty(), "similarity fallback returned nothing");
     assert_eq!(trained.service.index().history().len(), 1);
     let added = trained.service.index_mut().reindex_from_history();
     assert_eq!(added, 1);
     assert!(trained.service.index().lookup(&unknown).is_some());
     // After indexing, the tag answers directly (no new history entry).
-    let _ = trained.service.rank_with_tags(&[unknown], &api);
+    let _ = trained
+        .service
+        .rank_request(&RankRequest::tags(vec![unknown]), &api);
     assert!(trained.service.index().history().is_empty());
 }
 

@@ -2,7 +2,7 @@
 //! tree.
 //!
 //! Builds a quick-profile service, installs the in-memory collector, and
-//! drives one full `SaccsService::rank` call (utterance → search API →
+//! drives one full `SaccsService::rank_unguarded` call (utterance → search API →
 //! extraction → index probe → aggregation → padding), asserting the
 //! collector records every stage with the right nesting — names and
 //! structure, not timings, which are machine-dependent.
@@ -10,7 +10,7 @@
 //! The exporter slot is process-global, so this file keeps exactly one
 //! `#[test]`; Cargo gives each integration-test file its own process.
 
-use saccs::core::{SaccsBuilder, SearchApi, Slots};
+use saccs::core::{RankRequest, SaccsBuilder, SearchApi};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::obs::{InMemoryCollector, SpanEvent};
 use saccs::text::{Domain, Lexicon};
@@ -30,20 +30,24 @@ fn rank_call_produces_the_five_stage_span_tree() {
     // Build BEFORE installing the exporter: training emits its own spans
     // (tagger.train, pairing.fit, ...) and the assertion below wants the
     // tree of one rank call only.
-    let mut trained = SaccsBuilder::quick().build(&corpus);
+    let trained = SaccsBuilder::quick().build(&corpus);
     assert!(!saccs::obs::enabled(), "exporter leaked in from elsewhere");
 
     let collector = Arc::new(InMemoryCollector::new());
     saccs::obs::install(collector.clone());
     let api = SearchApi::new(&corpus.entities);
-    let slots = Slots::default();
-    let ranked = trained.service.rank(
-        "I want a restaurant with delicious food and a nice staff",
-        &api,
-        &slots,
-    );
+    let ranked = trained
+        .service
+        .rank_unguarded(
+            &RankRequest::utterance("I want a restaurant with delicious food and a nice staff"),
+            &api,
+        )
+        .expect("extractor present");
     saccs::obs::uninstall();
-    assert!(!ranked.is_empty(), "rank returned nothing to observe");
+    assert!(
+        !ranked.results.is_empty(),
+        "rank returned nothing to observe"
+    );
 
     // Stage names and nesting: the five Algorithm-1 stages as direct
     // children of the root span, in execution order.

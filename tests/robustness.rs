@@ -1,7 +1,7 @@
 //! Integration tests for the §7 extensions: fake-review robustness,
 //! user-profile personalization, and model persistence.
 
-use saccs::core::{SaccsConfig, SaccsService, UserProfile};
+use saccs::core::{RankRequest, SaccsConfig, SaccsService, SearchApi, UserProfile};
 use saccs::data::fraud::{inject_fraud, FraudCampaign};
 use saccs::data::yelp::{YelpConfig, YelpCorpus};
 use saccs::index::index::IndexConfig;
@@ -81,7 +81,7 @@ fn fraud_filter_limits_ranking_damage() {
     );
     let tag = SubjectiveTag::new("delicious", "food");
     let rank_of = |index: &mut SubjectiveIndex| {
-        let mut service = SaccsService::index_only(
+        let service = SaccsService::index_only(
             std::mem::replace(
                 index,
                 SubjectiveIndex::new(
@@ -94,8 +94,10 @@ fn fraud_filter_limits_ranking_damage() {
                 ..Default::default()
             },
         );
-        let api: Vec<usize> = (0..clean.entities.len()).collect();
-        let ranked = service.rank_with_tags(std::slice::from_ref(&tag), &api);
+        let api = SearchApi::new(&clean.entities);
+        let ranked = service
+            .rank_request(&RankRequest::tags(vec![tag.clone()]), &api)
+            .results;
         ranked.iter().position(|&(e, _)| e == target)
     };
     let naive_rank = rank_of(&mut build_index(&corrupted, None));
@@ -134,13 +136,20 @@ fn fraud_filter_barely_touches_clean_corpora() {
 #[test]
 fn profiled_ranking_reduces_to_plain_ranking_at_zero_boost() {
     let c = corpus();
-    let mut service = SaccsService::index_only(build_index(&c, None), SaccsConfig::default());
-    let api: Vec<usize> = (0..c.entities.len()).collect();
+    let service = SaccsService::index_only(build_index(&c, None), SaccsConfig::default());
+    let api = SearchApi::new(&c.entities);
     let tags = vec![SubjectiveTag::new("delicious", "food")];
     let mut profile = UserProfile::new();
     profile.observe(&[SubjectiveTag::new("quiet", "place")]);
-    let plain = service.rank_with_tags(&tags, &api);
-    let profiled = service.rank_with_tags_profiled(&tags, &api, &profile, 0.0);
+    let plain = service
+        .rank_request(&RankRequest::tags(tags.clone()), &api)
+        .results;
+    let profiled = service
+        .rank_request(
+            &RankRequest::tags(tags.clone()).with_profile(profile.clone(), 0.0),
+            &api,
+        )
+        .results;
     let plain_ids: Vec<usize> = plain.iter().map(|&(e, _)| e).collect();
     let profiled_ids: Vec<usize> = profiled.iter().map(|&(e, _)| e).collect();
     assert_eq!(plain_ids, profiled_ids);
