@@ -44,7 +44,7 @@ impl Default for RetryPolicy {
 }
 
 /// Tuning for [`crate::service::SaccsService::rank_resilient`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResilienceConfig {
     /// Retry policy shared by all stages.
     pub retry: RetryPolicy,
@@ -52,16 +52,6 @@ pub struct ResilienceConfig {
     pub breaker: BreakerConfig,
     /// Per-request wall-clock budget; `None` disables deadline checks.
     pub deadline: Option<Duration>,
-}
-
-impl Default for ResilienceConfig {
-    fn default() -> Self {
-        ResilienceConfig {
-            retry: RetryPolicy::default(),
-            breaker: BreakerConfig::default(),
-            deadline: None,
-        }
-    }
 }
 
 /// What the service gave up when a stage failed.

@@ -684,6 +684,6 @@ mod tests {
             }
             assert_eq!(serial.state(), shared.state(), "state at step {step}");
         }
-        assert_eq!(serial.times_opened() as u64, shared.times_opened());
+        assert_eq!(serial.times_opened(), shared.times_opened());
     }
 }

@@ -125,10 +125,7 @@ impl SubjectiveIndex {
 
     /// Replace the similarity measure used for degrees and probes (the
     /// conceptual-vs-cosine ablation hook). Call before `index_tags`.
-    pub fn with_custom_similarity(
-        mut self,
-        similarity: impl TagSimilarity + Send + Sync + 'static,
-    ) -> Self {
+    pub fn with_custom_similarity(mut self, similarity: impl TagSimilarity + 'static) -> Self {
         self.custom_similarity = Some(Box::new(similarity));
         self
     }

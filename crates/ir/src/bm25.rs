@@ -2,7 +2,7 @@
 
 use saccs_text::lexicon::Lexicon;
 use saccs_text::token::words_lower;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// BM25 parameters (standard defaults).
 #[derive(Debug, Clone)]
@@ -48,7 +48,9 @@ impl Bm25Index {
         let mut doc_len = vec![0u32; n_docs];
         for (id, texts) in docs {
             assert!(id < n_docs, "entity id {id} out of range {n_docs}");
-            let mut tf: HashMap<String, u32> = HashMap::new();
+            // BTreeMap so posting construction iterates in term order —
+            // keeps the index build bit-stable (audit: nondet-iteration).
+            let mut tf: BTreeMap<String, u32> = BTreeMap::new();
             for text in texts {
                 for w in words_lower(text) {
                     *tf.entry(w).or_insert(0) += 1;

@@ -243,11 +243,7 @@ fn get_or_insert<T: Default>(map: &RwLock<BTreeMap<String, Arc<T>>>, name: &str)
     if let Some(found) = map.read().get(name) {
         return Arc::clone(found);
     }
-    Arc::clone(
-        map.write()
-            .entry(name.to_string())
-            .or_insert_with(Arc::default),
-    )
+    Arc::clone(map.write().entry(name.to_string()).or_default())
 }
 
 impl Registry {

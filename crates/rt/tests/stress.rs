@@ -28,7 +28,7 @@ fn nested_scopes_on_worker_threads() {
             for _ in 0..16 {
                 let total = &total;
                 outer.spawn(move || {
-                    let mut inner_parts = vec![0usize; 8];
+                    let mut inner_parts = [0usize; 8];
                     saccs_rt::scope(|inner| {
                         for (i, p) in inner_parts.iter_mut().enumerate() {
                             inner.spawn(move || *p = i + 1);

@@ -37,9 +37,13 @@ pub fn jaccard<'a>(
     a: impl IntoIterator<Item = &'a str>,
     b: impl IntoIterator<Item = &'a str>,
 ) -> f32 {
-    use std::collections::HashSet;
-    let sa: HashSet<&str> = a.into_iter().collect();
-    let sb: HashSet<&str> = b.into_iter().collect();
+    // BTreeSet so the set algebra below iterates in token order — the
+    // counts are order-free, but keeping the walk ordered means a future
+    // change that *consumes* the elements stays deterministic (audit:
+    // nondet-iteration).
+    use std::collections::BTreeSet;
+    let sa: BTreeSet<&str> = a.into_iter().collect();
+    let sb: BTreeSet<&str> = b.into_iter().collect();
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }

@@ -4,7 +4,7 @@
 //! A [`Vocab`] maps token strings to dense ids, reserving the conventional
 //! special tokens at fixed positions so model code can rely on them.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Id of the padding token. Always 0.
 pub const PAD: usize = 0;
@@ -30,7 +30,10 @@ impl Vocab {
     /// the result is deterministic: specials first, then tokens sorted by
     /// (descending frequency, lexicographic).
     pub fn build<'a, I: IntoIterator<Item = &'a str>>(tokens: I, min_freq: usize) -> Self {
-        let mut freq: HashMap<&str, usize> = HashMap::new();
+        // BTreeMap so the pre-sort walk below is already ordered — ties
+        // in the (freq, lexicographic) sort never depend on hash order
+        // (audit: nondet-iteration).
+        let mut freq: BTreeMap<&str, usize> = BTreeMap::new();
         for t in tokens {
             *freq.entry(t).or_insert(0) += 1;
         }

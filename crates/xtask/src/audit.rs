@@ -1,0 +1,329 @@
+//! `xtask audit`: the determinism & concurrency hazard report.
+//!
+//! Runs every pass in [`crate::lints::audit_passes`] (the eight `check`
+//! lints plus the five determinism/concurrency analyses) over the
+//! workspace, honouring the same inline waivers and allowlist as
+//! `check`, and gates the result on the committed ratchet baseline
+//! (`crates/xtask/audit_baseline.txt`): per-pass counts may only go
+//! *down*. `--json PATH` additionally writes a machine-readable report
+//! — fully deterministic (sorted file walk, fixed pass order, no
+//! timestamps), so CI runs the audit twice and byte-diffs the two
+//! reports to prove it. `--update-baseline` rewrites the baseline to
+//! the current counts after a deliberate tightening (or a reviewed,
+//! waived regression).
+
+use crate::lints::{audit_passes, snippet_hash, Violation};
+use crate::scan::SourceFile;
+use crate::Disposition;
+use std::path::Path;
+use std::process::ExitCode;
+
+const BASELINE_REL: &str = "crates/xtask/audit_baseline.txt";
+
+struct PassReport {
+    id: &'static str,
+    violations: Vec<(Violation, String)>,
+    waived: usize,
+    allowlisted: usize,
+    baseline: usize,
+}
+
+pub(crate) fn run(args: &[String]) -> ExitCode {
+    let mut json_out: Option<String> = None;
+    let mut update_baseline = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => match it.next() {
+                Some(p) => json_out = Some(p.clone()),
+                None => {
+                    eprintln!("xtask audit: --json requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--update-baseline" => update_baseline = true,
+            other => {
+                eprintln!("xtask audit: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = crate::workspace_root();
+    let allowlist = crate::load_allowlist(&root);
+    let passes = audit_passes();
+    let baseline = load_baseline(&root);
+    let mut reports: Vec<PassReport> = passes
+        .iter()
+        .map(|p| PassReport {
+            id: p.id(),
+            violations: Vec::new(),
+            waived: 0,
+            allowlisted: 0,
+            baseline: baseline
+                .iter()
+                .find(|(id, _)| id == p.id())
+                .map_or(0, |&(_, n)| n),
+        })
+        .collect();
+
+    let mut used_entries = vec![false; allowlist.len()];
+    let mut files_scanned = 0usize;
+    for rel in crate::workspace_sources(&root) {
+        let file = match SourceFile::read(&root, &rel) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("xtask audit: cannot read {rel}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        files_scanned += 1;
+        for (pi, pass) in passes.iter().enumerate() {
+            if !pass.applies(&rel) {
+                continue;
+            }
+            for v in pass.run(&file) {
+                match crate::classify(&file, &v, &allowlist, &mut used_entries) {
+                    Disposition::Waived => reports[pi].waived += 1,
+                    Disposition::Allowlisted => reports[pi].allowlisted += 1,
+                    Disposition::Report => {
+                        let hash = snippet_hash(&file.lines[v.line - 1].raw);
+                        reports[pi].violations.push((v, hash));
+                    }
+                }
+            }
+        }
+    }
+
+    let mut regressed = false;
+    let mut tightenable = false;
+    for r in &reports {
+        let n = r.violations.len();
+        println!(
+            "audit {}: {} violation(s) (baseline {}, {} waived, {} allowlisted)",
+            r.id, n, r.baseline, r.waived, r.allowlisted
+        );
+        for (v, _) in &r.violations {
+            println!("  {}:{}: {}", v.path, v.line, v.message);
+        }
+        if n > r.baseline {
+            regressed = true;
+            eprintln!(
+                "xtask audit: {} regressed: {} violation(s) > baseline {}",
+                r.id, n, r.baseline
+            );
+        } else if n < r.baseline {
+            tightenable = true;
+        }
+    }
+    println!(
+        "xtask audit: {} files, {} pass(es), {} violation(s) total",
+        files_scanned,
+        reports.len(),
+        reports.iter().map(|r| r.violations.len()).sum::<usize>()
+    );
+
+    if update_baseline {
+        let text = render_baseline(&reports);
+        if let Err(e) = std::fs::write(root.join(BASELINE_REL), text) {
+            eprintln!("xtask audit: cannot write {BASELINE_REL}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("xtask audit: baseline updated ({BASELINE_REL})");
+    } else if tightenable && !regressed {
+        println!(
+            "xtask audit: counts dropped below the baseline — tighten the \
+             ratchet with `cargo run -p xtask -- audit --update-baseline`"
+        );
+    }
+
+    if let Some(path) = json_out {
+        let json = render_json(files_scanned, &reports);
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("xtask audit: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("xtask audit: report written to {path}");
+    }
+
+    if regressed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Parse `audit_baseline.txt`: `<pass-id> <count>` per line, blank lines
+/// and `#` comments ignored. A missing file is an all-zero baseline.
+fn load_baseline(root: &Path) -> Vec<(String, usize)> {
+    let text = std::fs::read_to_string(root.join(BASELINE_REL)).unwrap_or_default();
+    parse_baseline(&text)
+}
+
+fn parse_baseline(text: &str) -> Vec<(String, usize)> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .filter_map(|l| {
+            let mut it = l.split_whitespace();
+            let id = it.next()?.to_string();
+            let n = it.next()?.parse().ok()?;
+            Some((id, n))
+        })
+        .collect()
+}
+
+fn render_baseline(reports: &[PassReport]) -> String {
+    let mut out = String::from(
+        "# xtask audit ratchet baseline: `<pass-id> <count>` per line.\n\
+         # Counts may only go down. Regenerate after a deliberate tightening\n\
+         # with `cargo run -p xtask -- audit --update-baseline`.\n",
+    );
+    for r in reports {
+        out.push_str(&format!("{} {}\n", r.id, r.violations.len()));
+    }
+    out
+}
+
+/// Render the machine-readable report. Key order and formatting are
+/// fixed so two runs over the same tree are byte-identical.
+fn render_json(files: usize, reports: &[PassReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": 1,\n");
+    out.push_str("  \"tool\": \"audit\",\n");
+    out.push_str(&format!("  \"files\": {files},\n"));
+    out.push_str("  \"passes\": {\n");
+    for (i, r) in reports.iter().enumerate() {
+        out.push_str(&format!("    \"{}\": {{\n", r.id));
+        out.push_str(&format!("      \"count\": {},\n", r.violations.len()));
+        out.push_str(&format!("      \"baseline\": {},\n", r.baseline));
+        out.push_str(&format!("      \"waived\": {},\n", r.waived));
+        out.push_str(&format!("      \"allowlisted\": {},\n", r.allowlisted));
+        out.push_str("      \"violations\": [");
+        for (j, (v, hash)) in r.violations.iter().enumerate() {
+            out.push_str(if j == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "        {{ \"path\": \"{}\", \"line\": {}, \"hash\": \"{}\", \"message\": \"{}\" }}",
+                esc(&v.path),
+                v.line,
+                hash,
+                esc(&v.message)
+            ));
+        }
+        if !r.violations.is_empty() {
+            out.push_str("\n      ");
+        }
+        out.push_str("]\n");
+        out.push_str(if i + 1 == reports.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_report(id: &'static str, msgs: &[(&str, usize, &str)], baseline: usize) -> PassReport {
+        PassReport {
+            id,
+            violations: msgs
+                .iter()
+                .map(|&(path, line, msg)| {
+                    (
+                        Violation {
+                            lint: id,
+                            path: path.into(),
+                            line,
+                            message: msg.into(),
+                        },
+                        snippet_hash("let x = y.unwrap();"),
+                    )
+                })
+                .collect(),
+            waived: 0,
+            allowlisted: 0,
+            baseline,
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips() {
+        let reports = vec![
+            fake_report("nondet-iteration", &[("a.rs", 3, "m")], 1),
+            fake_report("wallclock-in-core", &[], 0),
+        ];
+        let text = render_baseline(&reports);
+        let parsed = parse_baseline(&text);
+        assert_eq!(
+            parsed,
+            vec![
+                ("nondet-iteration".to_string(), 1),
+                ("wallclock-in-core".to_string(), 0)
+            ]
+        );
+    }
+
+    #[test]
+    fn baseline_parser_skips_comments_and_garbage() {
+        let parsed = parse_baseline("# header\n\nno-unwrap-in-lib 2\nbad-line\nx notanumber\n");
+        assert_eq!(parsed, vec![("no-unwrap-in-lib".to_string(), 2)]);
+    }
+
+    #[test]
+    fn json_report_is_valid_and_deterministic() {
+        let reports = vec![
+            fake_report(
+                "nondet-iteration",
+                &[("crates/ir/src/bm25.rs", 55, "iteration over `tf`")],
+                1,
+            ),
+            fake_report("env-read-in-lib", &[], 0),
+        ];
+        let a = render_json(12, &reports);
+        let b = render_json(12, &reports);
+        assert_eq!(a, b, "same inputs must render byte-identically");
+        assert!(
+            crate::auditjson::validate(&a).is_empty(),
+            "render/validate disagree: {:?}",
+            crate::auditjson::validate(&a)
+        );
+    }
+
+    #[test]
+    fn json_escaping_survives_quotes_and_newlines() {
+        let reports = vec![fake_report(
+            "no-print-in-lib",
+            &[("a.rs", 1, "message with \"quotes\" and\nnewline")],
+            1,
+        )];
+        let json = render_json(1, &reports);
+        assert!(
+            crate::auditjson::validate(&json).is_empty(),
+            "unexpected: {:?}",
+            crate::auditjson::validate(&json)
+        );
+    }
+}

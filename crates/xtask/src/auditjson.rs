@@ -1,0 +1,161 @@
+//! Validator for `xtask audit --json` reports (`xtask check-audit`).
+//!
+//! CI writes the audit report twice and byte-diffs the copies to prove
+//! the analyzer is deterministic; this validator then checks the report
+//! is structurally sound — same recursive-descent parser as the bench
+//! snapshot checker (`benchjson`), no serde. It verifies the top-level
+//! shape, every pass body, every violation record, and the internal
+//! consistency `count == violations.len()`.
+
+use crate::benchjson::{Parser, Value};
+
+/// Validate one audit report; returns the list of problems (empty =
+/// valid).
+pub(crate) fn validate(text: &str) -> Vec<String> {
+    let root = match Parser::new(text).document() {
+        Ok(v) => v,
+        Err(e) => return vec![format!("not valid JSON: {e}")],
+    };
+    let mut problems = Vec::new();
+    if !matches!(root, Value::Object(_)) {
+        return vec!["top level is not a JSON object".into()];
+    }
+    match root.get("schema") {
+        Some(Value::Number(_)) => {}
+        other => problems.push(schema_problem("schema", "number", other)),
+    }
+    match root.get("tool") {
+        Some(Value::String(s)) if s == "audit" => {}
+        Some(Value::String(s)) => problems.push(format!("`tool` is `{s}`, expected `audit`")),
+        other => problems.push(schema_problem("tool", "string", other)),
+    }
+    match root.get("files") {
+        Some(Value::Number(n)) if *n >= 1.0 => {}
+        Some(Value::Number(_)) => problems.push("`files` must be >= 1".into()),
+        other => problems.push(schema_problem("files", "number", other)),
+    }
+    match root.get("passes") {
+        Some(Value::Object(passes)) => {
+            if passes.is_empty() {
+                problems.push("`passes` is empty".into());
+            }
+            for (id, body) in passes {
+                check_pass(id, body, &mut problems);
+            }
+        }
+        other => problems.push(schema_problem("passes", "object", other)),
+    }
+    problems
+}
+
+fn check_pass(id: &str, body: &Value, problems: &mut Vec<String>) {
+    for key in ["count", "baseline", "waived", "allowlisted"] {
+        if !matches!(body.get(key), Some(Value::Number(_))) {
+            problems.push(format!("pass `{id}` missing numeric `{key}`"));
+        }
+    }
+    let Some(Value::Array(violations)) = body.get("violations") else {
+        problems.push(format!("pass `{id}` missing `violations` array"));
+        return;
+    };
+    if let Some(Value::Number(count)) = body.get("count") {
+        if *count as usize != violations.len() {
+            problems.push(format!(
+                "pass `{id}`: count {} != {} recorded violation(s)",
+                count,
+                violations.len()
+            ));
+        }
+    }
+    for (i, v) in violations.iter().enumerate() {
+        if !matches!(v.get("path"), Some(Value::String(s)) if !s.is_empty()) {
+            problems.push(format!("pass `{id}` violation {i}: bad `path`"));
+        }
+        if !matches!(v.get("line"), Some(Value::Number(n)) if *n >= 1.0) {
+            problems.push(format!("pass `{id}` violation {i}: bad `line`"));
+        }
+        match v.get("hash") {
+            Some(Value::String(h)) if h.len() == 16 && h.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            }
+            _ => problems.push(format!("pass `{id}` violation {i}: bad `hash`")),
+        }
+        if !matches!(v.get("message"), Some(Value::String(s)) if !s.is_empty()) {
+            problems.push(format!("pass `{id}` violation {i}: bad `message`"));
+        }
+    }
+}
+
+fn schema_problem(key: &str, want: &str, got: Option<&Value>) -> String {
+    match got {
+        None => format!("missing required key `{key}`"),
+        Some(_) => format!("`{key}` is not a {want}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"{
+  "schema": 1,
+  "tool": "audit",
+  "files": 40,
+  "passes": {
+    "no-unwrap-in-lib": {
+      "count": 1,
+      "baseline": 1,
+      "waived": 0,
+      "allowlisted": 2,
+      "violations": [
+        { "path": "crates/ir/src/bm25.rs", "line": 55,
+          "hash": "0123456789abcdef", "message": "iteration over `tf`" }
+      ]
+    },
+    "wallclock-in-core": {
+      "count": 0, "baseline": 0, "waived": 0, "allowlisted": 0,
+      "violations": []
+    }
+  }
+}"#;
+
+    #[test]
+    fn accepts_a_well_formed_report() {
+        assert_eq!(validate(GOOD), Vec::<String>::new());
+    }
+
+    #[test]
+    fn rejects_syntax_errors_wrong_tool_and_empty_passes() {
+        assert!(validate("{")[0].contains("not valid JSON"));
+        let wrong_tool = GOOD.replace("\"audit\"", "\"lint\"");
+        assert!(validate(&wrong_tool).iter().any(|p| p.contains("`tool`")));
+        let problems = validate(r#"{ "schema": 1, "tool": "audit", "files": 1, "passes": {} }"#);
+        assert!(problems.iter().any(|p| p.contains("`passes` is empty")));
+    }
+
+    #[test]
+    fn rejects_count_violation_mismatch_and_bad_records() {
+        let mismatch = GOOD.replace("\"count\": 1", "\"count\": 3");
+        assert!(
+            validate(&mismatch)
+                .iter()
+                .any(|p| p.contains("count 3 != 1")),
+            "unexpected: {:?}",
+            validate(&mismatch)
+        );
+        let bad_hash = GOOD.replace("0123456789abcdef", "zz");
+        assert!(validate(&bad_hash).iter().any(|p| p.contains("bad `hash`")));
+        let bad_line = GOOD.replace("\"line\": 55", "\"line\": 0");
+        assert!(validate(&bad_line).iter().any(|p| p.contains("bad `line`")));
+    }
+
+    #[test]
+    fn rejects_missing_sections() {
+        let problems = validate(r#"{ "schema": 1 }"#);
+        for key in ["tool", "files", "passes"] {
+            assert!(
+                problems.iter().any(|p| p.contains(key)),
+                "no report for {key}: {problems:?}"
+            );
+        }
+    }
+}

@@ -21,7 +21,7 @@ pub(crate) enum Value {
 }
 
 impl Value {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+    pub(crate) fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
         match self {
             Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -85,13 +85,15 @@ fn type_name(v: &Value) -> &'static str {
     }
 }
 
-struct Parser<'a> {
+/// Minimal JSON parser, shared with the audit-report validator
+/// (`auditjson`).
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Parser<'a> {
+    pub(crate) fn new(text: &'a str) -> Parser<'a> {
         Parser {
             bytes: text.as_bytes(),
             pos: 0,
@@ -99,7 +101,7 @@ impl<'a> Parser<'a> {
     }
 
     /// Parse exactly one value followed by optional whitespace and EOF.
-    fn document(&mut self) -> Result<Value, String> {
+    pub(crate) fn document(&mut self) -> Result<Value, String> {
         let v = self.value()?;
         self.skip_ws();
         if self.pos != self.bytes.len() {

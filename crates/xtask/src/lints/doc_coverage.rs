@@ -8,9 +8,13 @@
 //! contract.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{is_ident, is_punct, SourceFile};
 
 pub(crate) struct DocCoverage;
+
+const ITEM_KINDS: [&str; 9] = [
+    "use", "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
+];
 
 impl Lint for DocCoverage {
     fn id(&self) -> &'static str {
@@ -23,18 +27,26 @@ impl Lint for DocCoverage {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test || line.depth != 0 {
+        let t = &file.tokens;
+        for i in 0..t.len() {
+            if t[i].in_test || t[i].depth != 0 || !is_ident(&t[i], "pub") {
                 continue;
             }
-            let Some(item) = public_item(&line.code) else {
+            let Some(next) = t.get(i + 1) else {
                 continue;
             };
-            if !has_doc_above(file, i) {
+            // `pub(crate)` / `pub(super)` are not the external contract.
+            if is_punct(next, '(') {
+                continue;
+            }
+            let Some(item) = ITEM_KINDS.iter().find(|k| is_ident(next, k)) else {
+                continue;
+            };
+            if !has_doc_above(file, t[i].line) {
                 out.push(Violation::new(
                     self.id(),
                     file,
-                    i,
+                    t[i].line,
                     format!("public `{item}` re-exported from the crate root has no doc comment"),
                 ));
             }
@@ -43,26 +55,8 @@ impl Lint for DocCoverage {
     }
 }
 
-const ITEM_KINDS: [&str; 9] = [
-    "use", "fn", "struct", "enum", "trait", "mod", "const", "static", "type",
-];
-
-/// The item kind if this line declares a top-level `pub` item.
-fn public_item(code: &str) -> Option<&'static str> {
-    let t = code.trim_start();
-    let rest = t.strip_prefix("pub ")?;
-    // `pub(crate)` etc. are not part of the external contract.
-    let rest = rest.trim_start();
-    ITEM_KINDS
-        .iter()
-        .find(|k| {
-            rest.strip_prefix(**k)
-                .is_some_and(|r| r.starts_with([' ', '<', '(']))
-        })
-        .copied()
-}
-
-/// A `///` or `#[doc` line directly above, skipping other attributes.
+/// A `///` or `#[doc` line directly above line `idx`, skipping other
+/// attributes (which sit between docs and the item).
 fn has_doc_above(file: &SourceFile, idx: usize) -> bool {
     let mut i = idx;
     while i > 0 {
@@ -71,7 +65,6 @@ fn has_doc_above(file: &SourceFile, idx: usize) -> bool {
         if t.starts_with("///") || t.starts_with("#[doc") {
             return true;
         }
-        // Attributes (possibly multi-line) sit between docs and the item.
         if t.starts_with("#[") || t.starts_with(']') || t.ends_with(']') && t.starts_with('#') {
             continue;
         }
@@ -114,6 +107,12 @@ mod tests {
              \x20   pub fn inner() {}\n\
              }\n",
         );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn quiet_on_pub_mentioned_in_strings() {
+        let v = run_on("//! Docs.\n/// S.\npub const S: &str = \"pub mod fake;\";\n");
         assert!(v.is_empty(), "unexpected: {v:?}");
     }
 

@@ -6,10 +6,10 @@
 //! fix is to accumulate in f64 (cast once at the end) or use compensated
 //! (Kahan) summation. The pass flags explicit f32 reductions:
 //! `.sum::<f32>()`, `fold(0.0f32, ...)`, and `+=` onto a declared-f32
-//! accumulator.
+//! accumulator (tracked per scope on the token stream).
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{is_ident, is_punct, seq, SourceFile, TokenKind};
 
 pub(crate) struct FloatAccum;
 
@@ -24,65 +24,64 @@ impl Lint for FloatAccum {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        // f32 accumulators declared as `let mut NAME: f32 = ...`.
+        // f32 accumulators declared `let mut NAME: f32 = ...`, with the
+        // brace depth they were bound at (scope exit forgets them).
         let mut accs: Vec<(String, usize)> = Vec::new();
+        let t = &file.tokens;
 
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        for i in 0..t.len() {
+            if t[i].in_test {
                 continue;
             }
-            accs.retain(|(_, d)| *d <= line.depth);
-            let code = line.code.as_str();
+            accs.retain(|(_, d)| *d <= t[i].depth);
 
-            if code.contains(".sum::<f32>()") {
+            if seq(t, i, &[".", "sum", "::", "<", "f32", ">", "(", ")"]).is_some() {
                 out.push(Violation::new(
                     self.id(),
                     file,
-                    i,
+                    t[i].line,
                     "f32 summation in a metrics path: accumulate in f64 \
                      (`.map(f64::from).sum::<f64>()`) or use Kahan summation"
                         .into(),
                 ));
             }
-            if code.contains("fold(0.0f32") || code.contains("fold(0f32") {
+            if seq(t, i, &["fold", "("]).is_some()
+                && t.get(i + 2).is_some_and(|n| {
+                    n.kind == TokenKind::Num && (n.text == "0.0f32" || n.text == "0f32")
+                })
+            {
                 out.push(Violation::new(
                     self.id(),
                     file,
-                    i,
+                    t[i].line,
                     "f32 fold accumulator in a metrics path: fold into f64 instead".into(),
                 ));
             }
-            if let Some(name) = f32_accumulator(code) {
-                accs.push((name, line.depth));
+            if seq(t, i, &["let", "mut", "*", ":", "f32"]).is_some() {
+                accs.push((t[i + 2].text.clone(), t[i].depth));
             }
-            for (name, _) in &accs {
-                if code.trim_start().starts_with(&format!("{name} +=")) {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        i,
-                        format!(
-                            "`{name}` accumulates in f32: declare the accumulator \
-                             as f64 and cast once at the end"
-                        ),
-                    ));
-                }
+            // `NAME += ...` onto a tracked accumulator (not a field
+            // access `x.NAME +=`).
+            if t[i].kind == TokenKind::Ident
+                && accs.iter().any(|(n, _)| is_ident(&t[i], n))
+                && t.get(i + 1).is_some_and(|n| is_punct(n, '+'))
+                && t.get(i + 2).is_some_and(|n| is_punct(n, '='))
+                && (i == 0 || !is_punct(&t[i - 1], '.'))
+            {
+                out.push(Violation::new(
+                    self.id(),
+                    file,
+                    t[i].line,
+                    format!(
+                        "`{}` accumulates in f32: declare the accumulator \
+                         as f64 and cast once at the end",
+                        t[i].text
+                    ),
+                ));
             }
         }
         out
     }
-}
-
-/// `let mut NAME: f32 = ...` — the accumulator name.
-fn f32_accumulator(code: &str) -> Option<String> {
-    let t = code.trim_start();
-    let rest = t.strip_prefix("let mut ")?;
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    let after = rest[name.len()..].trim_start();
-    (after.starts_with(": f32") && !name.is_empty()).then_some(name)
 }
 
 #[cfg(test)]
@@ -124,6 +123,30 @@ mod tests {
              \x20   fn t() { let _ = [1.0f32].iter().sum::<f32>(); }\n\
              }\n",
         );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn accumulators_are_forgotten_at_scope_exit() {
+        // A fresh `acc` in a later fn is not the f32 accumulator from the
+        // earlier one.
+        let v = run_on(
+            "fn f(xs: &[f32]) {\n\
+             \x20   let mut acc: f32 = 0.0;\n\
+             \x20   acc += xs[0];\n\
+             }\n\
+             fn g() {\n\
+             \x20   let mut acc: f64 = 0.0;\n\
+             \x20   acc += 1.0;\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "unexpected: {v:?}");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn quiet_on_sum_f32_inside_a_string() {
+        let v = run_on("pub fn f() -> &'static str { \".sum::<f32>()\" }\n");
         assert!(v.is_empty(), "unexpected: {v:?}");
     }
 

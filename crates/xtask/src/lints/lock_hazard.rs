@@ -3,15 +3,16 @@
 //! Acquiring a second `Mutex`/`RwLock` while a let-bound guard is live is
 //! the deadlock shape `index::shared` is built to avoid: two threads
 //! taking the same pair of locks in opposite orders stall forever, and
-//! even a consistent order deserves an explicit comment. The pass tracks
-//! `let g = <expr>.lock()/.read()/.write();` bindings per scope, honours
-//! explicit `drop(g)`, and flags any later acquisition (bound or
-//! temporary) while a guard is still live.
+//! even a consistent order deserves an explicit comment. The pass walks
+//! statements on the token stream (so rustfmt-split chains need no
+//! joining), tracks `let g = <expr>.lock()/.read()/.write();` bindings
+//! per scope, honours explicit `drop(g)`, and flags any later
+//! acquisition (bound or temporary) while a guard is still live.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{is_ident, is_punct, SourceFile, Token, TokenKind};
 
-const ACQUIRE: [&str; 3] = [".lock()", ".read()", ".write()"];
+const ACQUIRE: [&str; 3] = ["lock", "read", "write"];
 
 pub(crate) struct LockHazard;
 
@@ -33,101 +34,90 @@ impl Lint for LockHazard {
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
         let mut guards: Vec<Guard> = Vec::new();
-        // Multi-line statements (rustfmt splits long chains) are joined
-        // so `.lock()` on a continuation line is still seen.
-        let mut stmt = String::new();
-        let mut stmt_start = 0usize;
+        let t = &file.tokens;
+        // Statements are token runs separated by `;` / `{` / `}`.
+        let mut s = 0usize;
 
-        for (i, line) in file.lines.iter().enumerate() {
-            // Scope exit drops guards bound deeper than the current line.
-            guards.retain(|g| g.depth <= line.depth);
-
-            if stmt.is_empty() {
-                stmt_start = i;
-            }
-            stmt.push_str(line.code.trim());
-            stmt.push(' ');
-
-            let complete = {
-                let t = line.code.trim_end();
-                t.ends_with(';') || t.ends_with('{') || t.ends_with('}')
-            };
-            if !complete {
+        for i in 0..=t.len() {
+            let sep = i == t.len()
+                || (t[i].kind == TokenKind::Punct && matches!(t[i].text.as_str(), ";" | "{" | "}"));
+            if !sep {
                 continue;
             }
-            let text = std::mem::take(&mut stmt);
+            if s < i {
+                // Scope exit drops guards bound deeper than this statement.
+                guards.retain(|g| g.depth <= t[s].depth);
 
-            for name in drop_calls(&text) {
-                guards.retain(|g| g.name != name);
-            }
+                for j in s..i.saturating_sub(3) {
+                    if is_ident(&t[j], "drop")
+                        && is_punct(&t[j + 1], '(')
+                        && t[j + 2].kind == TokenKind::Ident
+                        && is_punct(&t[j + 3], ')')
+                    {
+                        guards.retain(|g| g.name != t[j + 2].text);
+                    }
+                }
 
-            let acquires = ACQUIRE.iter().any(|p| text.contains(p));
-            if acquires {
-                if let Some(held) = guards.last() {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        stmt_start,
-                        format!(
-                            "lock acquired while guard `{}` (line {}) is still held: \
-                             drop it first or document the lock order with a waiver",
-                            held.name,
-                            held.line + 1
-                        ),
-                    ));
-                }
-                // A statement *ending* in an acquisition binds a guard;
-                // mid-statement acquisitions are temporaries that die at
-                // the `;` (e.g. `take(&mut *m.lock());`).
-                if let Some(name) = bound_guard(&text) {
-                    guards.push(Guard {
-                        name,
-                        depth: file.lines[stmt_start].depth,
-                        line: stmt_start,
-                    });
+                if (s..i).any(|j| acquire_at(t, j)) {
+                    if let Some(held) = guards.last() {
+                        out.push(Violation::new(
+                            self.id(),
+                            file,
+                            t[s].line,
+                            format!(
+                                "lock acquired while guard `{}` (line {}) is still held: \
+                                 drop it first or document the lock order with a waiver",
+                                held.name,
+                                held.line + 1
+                            ),
+                        ));
+                    }
+                    // A statement *ending* in an acquisition binds a guard;
+                    // mid-statement acquisitions are temporaries that die
+                    // at the `;` (e.g. `take(&mut *m.lock());`).
+                    if let Some(name) = bound_guard(t, s, i) {
+                        guards.push(Guard {
+                            name,
+                            depth: t[s].depth,
+                            line: t[s].line,
+                        });
+                    }
                 }
             }
+            s = i + 1;
         }
         out
     }
 }
 
-/// `let [mut] NAME = <expr>.lock();` — the guard name, if this statement
-/// let-binds an acquisition as its final call.
-fn bound_guard(stmt: &str) -> Option<String> {
-    let t = stmt.trim();
-    let rest = t.strip_prefix("let ")?;
-    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
-    let name: String = rest
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    if name.is_empty() {
-        return None;
-    }
-    let end = t.trim_end().trim_end_matches(';').trim_end();
-    ACQUIRE
-        .iter()
-        .any(|p| end.ends_with(p) || end.ends_with(&format!("{p}?")))
-        .then_some(name)
+/// `.lock()` / `.read()` / `.write()` starting at token `j`.
+fn acquire_at(t: &[Token], j: usize) -> bool {
+    j + 3 < t.len()
+        && is_punct(&t[j], '.')
+        && ACQUIRE.iter().any(|a| is_ident(&t[j + 1], a))
+        && is_punct(&t[j + 2], '(')
+        && is_punct(&t[j + 3], ')')
 }
 
-/// Names passed to `drop(...)` in this statement.
-fn drop_calls(stmt: &str) -> Vec<String> {
-    let mut out = Vec::new();
-    let mut rest = stmt;
-    while let Some(pos) = rest.find("drop(") {
-        let after = &rest[pos + 5..];
-        let name: String = after
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        if !name.is_empty() && after[name.len()..].starts_with(')') {
-            out.push(name);
-        }
-        rest = after;
+/// `let [mut] NAME = ...<acquire>[?]` over tokens `t[s..e]` — the guard
+/// name, if this statement let-binds an acquisition as its final call.
+fn bound_guard(t: &[Token], s: usize, e: usize) -> Option<String> {
+    if !is_ident(&t[s], "let") {
+        return None;
     }
-    out
+    let mut j = s + 1;
+    if j < e && is_ident(&t[j], "mut") {
+        j += 1;
+    }
+    if j >= e || t[j].kind != TokenKind::Ident {
+        return None;
+    }
+    let name = t[j].text.clone();
+    let mut end = e;
+    if end > s && is_punct(&t[end - 1], '?') {
+        end -= 1;
+    }
+    (end >= s + 4 && acquire_at(t, end - 4)).then_some(name)
 }
 
 #[cfg(test)]
@@ -149,6 +139,7 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].line, 3);
         assert!(v[0].message.contains("`guard`"));
+        assert!(v[0].message.contains("(line 2)"));
     }
 
     #[test]
@@ -197,5 +188,17 @@ mod tests {
         );
         assert_eq!(v.len(), 1, "unexpected: {v:?}");
         assert_eq!(v[0].line, 5);
+    }
+
+    #[test]
+    fn quiet_on_lock_calls_in_strings_and_comments() {
+        let v = run_on(
+            "fn f(&self) {\n\
+             \x20   let guard = self.inner.read();\n\
+             \x20   // then self.pending.lock().push(1);\n\
+             \x20   log(\"would .lock() here\");\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
     }
 }

@@ -1,11 +1,13 @@
-//! Lint registry, violations, inline waivers and the committed allowlist.
+//! Pass registry, violations, inline waivers and the committed allowlist.
 //!
 //! A violation survives to the report only if it is neither waived inline
 //! (`// lint:allow(<id>): reason` on the offending line or on the comment
 //! line directly above) nor matched by an entry in
 //! `crates/xtask/allowlist.txt`.
 
+pub(crate) mod blocking_worker;
 pub(crate) mod doc_coverage;
+pub(crate) mod env_read;
 pub(crate) mod float_accum;
 pub(crate) mod hot_assert;
 pub(crate) mod lock_hazard;
@@ -13,10 +15,13 @@ pub(crate) mod no_panic;
 pub(crate) mod no_print;
 pub(crate) mod no_spawn;
 pub(crate) mod no_unwrap;
+pub(crate) mod nondet_iter;
+pub(crate) mod unordered_reduction;
+pub(crate) mod wallclock;
 
 use crate::scan::SourceFile;
 
-/// One finding from one lint pass.
+/// One finding from one pass.
 #[derive(Debug, Clone, PartialEq)]
 pub(crate) struct Violation {
     pub(crate) lint: &'static str,
@@ -42,7 +47,7 @@ impl Violation {
     }
 }
 
-/// A lint pass over one file.
+/// A lint/audit pass over one file.
 pub(crate) trait Lint {
     fn id(&self) -> &'static str;
     /// Whether this pass cares about `path` (workspace-relative).
@@ -50,7 +55,8 @@ pub(crate) trait Lint {
     fn run(&self, file: &SourceFile) -> Vec<Violation>;
 }
 
-/// Every lint the driver knows, in report order.
+/// The eight `xtask check` lints, in report order. `check` enforces zero
+/// unwaived violations for these.
 pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
     vec![
         Box::new(no_unwrap::NoUnwrapInLib),
@@ -62,6 +68,19 @@ pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
         Box::new(no_spawn::NoSpawnOutsideRt),
         Box::new(doc_coverage::DocCoverage),
     ]
+}
+
+/// Every `xtask audit` pass: the eight lints plus the five determinism/
+/// concurrency analyses, in report order. `audit` gates their counts on
+/// the committed ratchet baseline.
+pub(crate) fn audit_passes() -> Vec<Box<dyn Lint>> {
+    let mut passes = all_lints();
+    passes.push(Box::new(nondet_iter::NondetIteration));
+    passes.push(Box::new(unordered_reduction::UnorderedReduction));
+    passes.push(Box::new(wallclock::WallclockInCore));
+    passes.push(Box::new(env_read::EnvReadInLib));
+    passes.push(Box::new(blocking_worker::BlockingInWorker));
+    passes
 }
 
 /// Lint ids waived for line `idx` (0-based) by `lint:allow` comments on
@@ -93,7 +112,24 @@ fn parse_waiver(raw: &str) -> Vec<String> {
         .collect()
 }
 
-/// One committed allowlist entry: `lint-id path substring...`.
+/// FNV-1a 64-bit hash of the *trimmed* line, as 16 hex digits. Trimming
+/// makes the hash survive re-indentation; any other edit to the waived
+/// line invalidates the entry on purpose (the waiver was reviewed against
+/// that exact code).
+pub(crate) fn snippet_hash(raw_line: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in raw_line.trim().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One committed allowlist entry: `lint-id path-suffix needle`, where the
+/// needle is either a substring of the offending line or
+/// `hash:<16-hex>` — the [`snippet_hash`] of the offending line. Both
+/// forms are line-number-insensitive: edits elsewhere in the file never
+/// invalidate the waiver.
 #[derive(Debug)]
 pub(crate) struct AllowEntry {
     pub(crate) lint: String,
@@ -117,12 +153,14 @@ pub(crate) fn parse_allowlist(text: &str) -> Vec<AllowEntry> {
 }
 
 /// Whether `entry` excuses `v` (given the offending line's raw text).
-/// Substring matching instead of line numbers keeps entries stable under
-/// unrelated edits.
 pub(crate) fn entry_matches(entry: &AllowEntry, v: &Violation, raw_line: &str) -> bool {
-    entry.lint == v.lint
-        && v.path.ends_with(&entry.path)
-        && (entry.needle.is_empty() || raw_line.contains(&entry.needle))
+    if entry.lint != v.lint || !v.path.ends_with(&entry.path) {
+        return false;
+    }
+    if let Some(want) = entry.needle.strip_prefix("hash:") {
+        return snippet_hash(raw_line) == want;
+    }
+    entry.needle.is_empty() || raw_line.contains(&entry.needle)
 }
 
 #[cfg(test)]
@@ -166,5 +204,41 @@ mod tests {
         ));
         assert!(!entry_matches(&entries[0], &v, "other.unwrap();"));
         assert!(!entry_matches(&entries[1], &v, "anything"));
+    }
+
+    #[test]
+    fn hash_entries_match_the_exact_snippet_reindented() {
+        let line = "    let n = header.len().unwrap();";
+        let h = snippet_hash(line);
+        let entries = parse_allowlist(&format!(
+            "no-unwrap-in-lib crates/core/src/persist.rs hash:{h}\n"
+        ));
+        let v = Violation {
+            lint: "no-unwrap-in-lib",
+            path: "crates/core/src/persist.rs".into(),
+            line: 10,
+            message: String::new(),
+        };
+        // Same snippet, different indentation: still matches.
+        assert!(entry_matches(&entries[0], &v, line));
+        assert!(entry_matches(
+            &entries[0],
+            &v,
+            "\t\tlet n = header.len().unwrap();"
+        ));
+        // Any code change invalidates the waiver.
+        assert!(!entry_matches(
+            &entries[0],
+            &v,
+            "let n = header.len().unwrap(); // changed"
+        ));
+    }
+
+    #[test]
+    fn snippet_hash_is_stable_and_hex() {
+        let h = snippet_hash("  x.unwrap();  ");
+        assert_eq!(h, snippet_hash("x.unwrap();"), "trim-insensitive");
+        assert_eq!(h.len(), 16);
+        assert!(h.bytes().all(|b| b.is_ascii_hexdigit()));
     }
 }

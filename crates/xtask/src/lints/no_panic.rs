@@ -10,7 +10,7 @@
 //! unreachable arms can carry an inline `lint:allow` with the invariant.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{seq, SourceFile};
 
 pub(crate) struct NoPanicInService;
 
@@ -25,6 +25,8 @@ const SCOPED: [&str; 5] = [
     "crates/serve/src/",
 ];
 
+const MACROS: [&str; 3] = ["panic", "unreachable", "todo"];
+
 impl Lint for NoPanicInService {
     fn id(&self) -> &'static str {
         "no-panic-in-service"
@@ -36,24 +38,25 @@ impl Lint for NoPanicInService {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        let t = &file.tokens;
+        let mut last_line = usize::MAX;
+        for i in 0..t.len() {
+            if t[i].in_test || t[i].line == last_line {
                 continue;
             }
-            for pat in ["panic!", "unreachable!", "todo!"] {
-                if line.code.contains(pat) {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        i,
-                        format!(
-                            "`{pat}` in the resilient serving layer: map the failure \
-                             to a SaccsError / degradation rung instead of aborting"
-                        ),
-                    ));
-                    break;
-                }
-            }
+            let Some(name) = MACROS.iter().find(|m| seq(t, i, &[m, "!"]).is_some()) else {
+                continue;
+            };
+            last_line = t[i].line;
+            out.push(Violation::new(
+                self.id(),
+                file,
+                t[i].line,
+                format!(
+                    "`{name}!` in the resilient serving layer: map the failure \
+                     to a SaccsError / degradation rung instead of aborting"
+                ),
+            ));
         }
         out
     }
@@ -93,6 +96,14 @@ mod tests {
              \x20   fn t() { panic!(\"test assertions may abort\"); }\n\
              }\n",
         );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn quiet_on_panic_in_a_string_argument() {
+        // A format string *mentioning* panic! must not fire even though
+        // the line also contains real code.
+        let v = run_on("pub fn f(e: u8) -> String { format!(\"would panic! on {e}\") }\n");
         assert!(v.is_empty(), "unexpected: {v:?}");
     }
 

@@ -10,7 +10,9 @@
 //! is exempt — printed tables *are* its product.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{seq, SourceFile};
+
+const MACROS: [&str; 4] = ["println", "eprintln", "print", "eprint"];
 
 pub(crate) struct NoPrintInLib;
 
@@ -28,27 +30,25 @@ impl Lint for NoPrintInLib {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        let t = &file.tokens;
+        let mut last_line = usize::MAX;
+        for i in 0..t.len() {
+            if t[i].in_test || t[i].line == last_line {
                 continue;
             }
-            // Longest name first: each shorter macro name is a substring
-            // of an earlier one, and a line is reported once, under the
-            // most specific match.
-            for pat in ["eprintln!", "println!", "eprint!", "print!"] {
-                if line.code.contains(pat) {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        i,
-                        format!(
-                            "`{pat}` in library code: record through saccs-obs or \
-                             write through an injected io::Write handle"
-                        ),
-                    ));
-                    break;
-                }
-            }
+            let Some(name) = MACROS.iter().find(|m| seq(t, i, &[m, "!"]).is_some()) else {
+                continue;
+            };
+            last_line = t[i].line;
+            out.push(Violation::new(
+                self.id(),
+                file,
+                t[i].line,
+                format!(
+                    "`{name}!` in library code: record through saccs-obs or \
+                     write through an injected io::Write handle"
+                ),
+            ));
         }
         out
     }
@@ -97,6 +97,14 @@ mod tests {
              \x20   fn t() { println!(\"test output is fine\"); }\n\
              }\n",
         );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn quiet_on_idents_that_merely_contain_a_macro_name() {
+        // `reprint!` / `println_to!` are different identifiers at token
+        // level — the old substring scan would have fired on both.
+        let v = run_on("pub fn f() { reprint!(\"x\"); println_to!(sink, \"y\"); }\n");
         assert!(v.is_empty(), "unexpected: {v:?}");
     }
 

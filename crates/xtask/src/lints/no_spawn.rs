@@ -10,7 +10,19 @@
 //! are tests and the `xtask` driver.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{seq, SourceFile};
+
+const PATTERNS: [(&[&str], &str); 3] = [
+    (&["thread", "::", "spawn", "("], "thread::spawn("),
+    (
+        &["thread", "::", "Builder", "::", "new", "("],
+        "thread::Builder::new(",
+    ),
+    (
+        &["crossbeam", "::", "thread", "::", "scope", "("],
+        "crossbeam::thread::scope(",
+    ),
+];
 
 pub(crate) struct NoSpawnOutsideRt;
 
@@ -28,29 +40,26 @@ impl Lint for NoSpawnOutsideRt {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        let t = &file.tokens;
+        let mut last_line = usize::MAX;
+        for i in 0..t.len() {
+            if t[i].in_test || t[i].line == last_line {
                 continue;
             }
-            for pat in [
-                "thread::spawn(",
-                "thread::Builder::new(",
-                "crossbeam::thread::scope(",
-            ] {
-                if line.code.contains(pat) {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        i,
-                        format!(
-                            "`{}` in library code: fan out through the saccs-rt \
-                             pool (scope/join/parallel_for_chunks/parallel_map)",
-                            &pat[..pat.len() - 1]
-                        ),
-                    ));
-                    break;
-                }
-            }
+            let Some((_, name)) = PATTERNS.iter().find(|(p, _)| seq(t, i, p).is_some()) else {
+                continue;
+            };
+            last_line = t[i].line;
+            out.push(Violation::new(
+                self.id(),
+                file,
+                t[i].line,
+                format!(
+                    "`{}` in library code: fan out through the saccs-rt \
+                     pool (scope/join/parallel_for_chunks/parallel_map)",
+                    &name[..name.len() - 1]
+                ),
+            ));
         }
         out
     }
@@ -89,6 +98,16 @@ mod tests {
              \x20       std::thread::spawn(|| {});\n\
              \x20   }\n\
              }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn quiet_on_spawn_mentioned_in_docs_or_strings() {
+        let v = run_on(
+            "crates/index/src/index.rs",
+            "/// Never call thread::spawn( here.\n\
+             fn build(&self) { log(\"thread::spawn(bad)\"); }\n",
         );
         assert!(v.is_empty(), "unexpected: {v:?}");
     }

@@ -4,10 +4,11 @@
 //! crates (`core`, `index`, `nn`, `tagger`, `pairing`) turn recoverable
 //! conditions into aborts of a serving process. Library code should
 //! return `Result` (or prove the invariant and waive the site with a
-//! reason). Test code may unwrap freely.
+//! reason). Test code may unwrap freely. Matching is token-level: the
+//! words inside string literals or comments can never fire.
 
 use super::{Lint, Violation};
-use crate::scan::SourceFile;
+use crate::scan::{seq, SourceFile};
 
 const CRATES: [&str; 7] = [
     "crates/core/src/",
@@ -32,23 +33,27 @@ impl Lint for NoUnwrapInLib {
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
         let mut out = Vec::new();
-        for (i, line) in file.lines.iter().enumerate() {
-            if line.in_test {
+        let t = &file.tokens;
+        for i in 0..t.len() {
+            if t[i].in_test {
                 continue;
             }
-            for pat in [".unwrap()", ".expect("] {
-                if line.code.contains(pat) {
-                    out.push(Violation::new(
-                        self.id(),
-                        file,
-                        i,
-                        format!(
-                            "`{pat}` in library code: return Result, or waive with a \
-                             reason if the invariant is proven"
-                        ),
-                    ));
-                }
-            }
+            let pat = if seq(t, i, &[".", "unwrap", "(", ")"]).is_some() {
+                ".unwrap()"
+            } else if seq(t, i, &[".", "expect", "("]).is_some() {
+                ".expect("
+            } else {
+                continue;
+            };
+            out.push(Violation::new(
+                self.id(),
+                file,
+                t[i].line,
+                format!(
+                    "`{pat}` in library code: return Result, or waive with a \
+                     reason if the invariant is proven"
+                ),
+            ));
         }
         out
     }
@@ -87,6 +92,32 @@ mod tests {
              }\n",
         );
         assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn quiet_on_unwrap_inside_doc_and_raw_strings() {
+        let v = run_on(
+            "/// Call `.unwrap()` only in tests.\n\
+             pub fn f() -> &'static str { r#\"json \".unwrap()\" body\"# }\n\
+             /* block comment: x.expect(\"nope\") */\n\
+             pub fn g() {}\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn fires_on_unwrap_split_across_lines() {
+        // rustfmt can break a long chain before `.unwrap()`; the token
+        // stream sees it regardless of line layout.
+        let v = run_on(
+            "pub fn f(x: Option<u8>) -> u8 {\n\
+             \x20   x\n\
+             \x20       .unwrap\n\
+             \x20       ()\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 1, "unexpected: {v:?}");
+        assert_eq!(v[0].line, 3, "reported at the `.unwrap` line");
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! `wallclock-in-core`: direct wall-clock reads outside the time seams.
+//!
+//! Deadline behaviour must be testable without sleeping: that is why
+//! `core::resilient` owns `DeadlineClock` (the injectable time seam) and
+//! `saccs-obs` owns span timing. A bare `Instant::now()` /
+//! `SystemTime::now()` anywhere else in library code hard-wires real
+//! time into logic, making timeout paths untestable and replays
+//! nondeterministic. Route time through `DeadlineClock` or an obs span;
+//! the bench harness (whose product *is* wall-clock numbers) and the
+//! seams themselves are exempt.
+
+use super::{Lint, Violation};
+use crate::scan::{seq, SourceFile};
+
+pub(crate) struct WallclockInCore;
+
+/// The sanctioned clock owners.
+const EXEMPT: [&str; 3] = [
+    "crates/obs/src/",
+    "crates/bench/",
+    "crates/core/src/resilient.rs",
+];
+
+const CLOCKS: [&str; 2] = ["Instant", "SystemTime"];
+
+impl Lint for WallclockInCore {
+    fn id(&self) -> &'static str {
+        "wallclock-in-core"
+    }
+
+    fn applies(&self, path: &str) -> bool {
+        if EXEMPT.iter().any(|e| path.starts_with(e)) || path.starts_with("crates/xtask/") {
+            return false;
+        }
+        path.starts_with("src/") || (path.starts_with("crates/") && path.contains("/src/"))
+    }
+
+    fn run(&self, file: &SourceFile) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let t = &file.tokens;
+        for i in 0..t.len() {
+            if t[i].in_test {
+                continue;
+            }
+            let Some(clock) = CLOCKS
+                .iter()
+                .find(|c| seq(t, i, &[c, "::", "now", "("]).is_some())
+            else {
+                continue;
+            };
+            out.push(Violation::new(
+                self.id(),
+                file,
+                t[i].line,
+                format!(
+                    "`{clock}::now()` outside the time seams: take time from \
+                     DeadlineClock (core::resilient) or an obs span so deadline \
+                     logic stays testable"
+                ),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(src: &str) -> Vec<Violation> {
+        WallclockInCore.run(&SourceFile::parse("crates/core/src/service.rs", src))
+    }
+
+    #[test]
+    fn fires_on_bare_clock_reads_in_lib_code() {
+        let v = run_on(
+            "fn f() {\n\
+             \x20   let t0 = Instant::now();\n\
+             \x20   let wall = std::time::SystemTime::now();\n\
+             \x20   use_both(t0, wall);\n\
+             }\n",
+        );
+        assert_eq!(v.len(), 2, "unexpected: {v:?}");
+        assert!(v[0].message.contains("Instant::now()"));
+        assert!(v[1].message.contains("SystemTime::now()"));
+    }
+
+    #[test]
+    fn quiet_in_tests_strings_and_on_seam_usage() {
+        let v = run_on(
+            "/// Uses Instant::now( internally — via the clock seam.\n\
+             fn f(clock: &DeadlineClock) -> Deadline {\n\
+             \x20   clock.deadline_in(BUDGET) // not Instant::now()\n\
+             }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+             \x20   fn t() { let _ = Instant::now(); }\n\
+             }\n",
+        );
+        assert!(v.is_empty(), "unexpected: {v:?}");
+    }
+
+    #[test]
+    fn seam_owners_and_bench_are_exempt() {
+        assert!(!WallclockInCore.applies("crates/obs/src/span.rs"));
+        assert!(!WallclockInCore.applies("crates/core/src/resilient.rs"));
+        assert!(!WallclockInCore.applies("crates/bench/src/bin/table2.rs"));
+        assert!(WallclockInCore.applies("crates/core/src/service.rs"));
+        assert!(WallclockInCore.applies("crates/serve/src/lib.rs"));
+        assert!(WallclockInCore.applies("crates/rt/src/lib.rs"));
+    }
+}

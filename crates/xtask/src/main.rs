@@ -1,19 +1,24 @@
-//! Workspace lint driver: `cargo run -p xtask -- check`.
+//! Workspace lint & audit driver: `cargo run -p xtask -- check | audit`.
 //!
-//! Runs the repo-specific correctness passes (see `lints/`) over every
-//! `.rs` file in `crates/*/src` and the root `src/`, honouring inline
-//! `// lint:allow(<id>): reason` waivers and the committed
-//! `crates/xtask/allowlist.txt`. Exits non-zero if any un-waived
-//! violation remains. `cargo clippy` handles general Rust style; this
-//! driver enforces the rules specific to a serving-path search stack —
-//! panic density, lock discipline, float accumulation, hot-loop asserts
-//! and API doc coverage.
+//! `check` runs the repo-specific correctness passes (see `lints/`)
+//! over every `.rs` file in `crates/*/src` and the root `src/`,
+//! honouring inline `// lint:allow(<id>): reason` waivers and the
+//! committed `crates/xtask/allowlist.txt`, and exits non-zero if any
+//! un-waived violation remains. `audit` additionally runs the
+//! determinism/concurrency analyses and gates their counts on the
+//! ratcheted baseline (`crates/xtask/audit_baseline.txt`); see
+//! `audit.rs`. Both match on a real token stream (see `scan.rs`), so
+//! patterns inside strings and comments can never fire. `cargo clippy`
+//! handles general Rust style; this driver enforces the rules specific
+//! to a deterministic serving-path search stack.
 
+mod audit;
+mod auditjson;
 mod benchjson;
 mod lints;
 mod scan;
 
-use lints::{all_lints, entry_matches, parse_allowlist, waivers_for, Violation};
+use lints::{all_lints, audit_passes, entry_matches, parse_allowlist, waivers_for, Violation};
 use scan::{rust_files, SourceFile};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -22,6 +27,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => check(),
+        Some("audit") => audit::run(&args[1..]),
         Some("check-bench") => match args.get(1) {
             Some(path) => check_bench(path),
             None => {
@@ -29,16 +35,51 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("check-audit") => match args.get(1) {
+            Some(path) => check_audit(path),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- check-audit AUDIT.json");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!("usage: cargo run -p xtask -- check");
+            eprintln!("       cargo run -p xtask -- audit [--json PATH] [--update-baseline]");
             eprintln!("       cargo run -p xtask -- check-bench BENCH_<bin>.json");
+            eprintln!("       cargo run -p xtask -- check-audit AUDIT.json");
             eprintln!();
-            eprintln!("lints:");
+            eprintln!("check lints:");
             for lint in all_lints() {
                 eprintln!("  {}", lint.id());
             }
+            eprintln!("extra audit passes:");
+            for pass in audit_passes().iter().skip(all_lints().len()) {
+                eprintln!("  {}", pass.id());
+            }
             ExitCode::from(2)
         }
+    }
+}
+
+/// Validate one audit report written by `xtask audit --json` (syntax,
+/// required sections, per-violation shape, count consistency).
+fn check_audit(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-audit: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = auditjson::validate(&text);
+    if problems.is_empty() {
+        println!("xtask check-audit: {path} ok");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("xtask check-audit: {path}: {p}");
+        }
+        ExitCode::FAILURE
     }
 }
 
@@ -64,12 +105,16 @@ fn check_bench(path: &str) -> ExitCode {
     }
 }
 
+/// Parse the committed allowlist (missing file = empty).
+fn load_allowlist(root: &Path) -> Vec<lints::AllowEntry> {
+    std::fs::read_to_string(root.join("crates/xtask/allowlist.txt"))
+        .map(|t| parse_allowlist(&t))
+        .unwrap_or_default()
+}
+
 fn check() -> ExitCode {
     let root = workspace_root();
-    let allowlist_path = root.join("crates/xtask/allowlist.txt");
-    let allowlist = std::fs::read_to_string(&allowlist_path)
-        .map(|t| parse_allowlist(&t))
-        .unwrap_or_default();
+    let allowlist = load_allowlist(&root);
 
     let lints = all_lints();
     let mut files_scanned = 0usize;
@@ -103,8 +148,10 @@ fn check() -> ExitCode {
         }
     }
 
+    // Entries for audit-only passes are matched by `audit`, not here.
+    let check_ids: Vec<&str> = lints.iter().map(|l| l.id()).collect();
     for (entry, used) in allowlist.iter().zip(&used_entries) {
-        if !used {
+        if !used && check_ids.iter().any(|id| *id == entry.lint) {
             eprintln!(
                 "xtask: warning: stale allowlist entry `{} {} {}`",
                 entry.lint, entry.path, entry.needle

@@ -7,13 +7,15 @@
 # Stages:
 #   1. fmt       cargo fmt --check        (skipped if rustfmt is absent)
 #   2. lint      cargo run -p xtask -- check
-#   3. build     cargo build --workspace --release
-#   4. test      cargo test -q --workspace
-#   5. sanitize  cargo test -q --features saccs-nn/sanitize
-#   6. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
-#   7. perf      SACCS_OBS=json matmul microbench + xtask check-bench
-#   8. chaos     seeded fault suite + double chaos-bin run, exports diffed
-#   9. serve     concurrent-serving suite + double serve-bin run, exports
+#   3. audit     xtask audit --json twice, reports byte-diffed, gated on
+#                the ratchet baseline, report validated by check-audit
+#   4. build     cargo build --workspace --release
+#   5. test      cargo test -q --workspace
+#   6. sanitize  cargo test -q --features saccs-nn/sanitize
+#   7. bench-obs SACCS_OBS=json table3 + xtask check-bench on the snapshot
+#   8. perf      SACCS_OBS=json matmul microbench + xtask check-bench
+#   9. chaos     seeded fault suite + double chaos-bin run, exports diffed
+#  10. serve     concurrent-serving suite + double serve-bin run, exports
 #                diffed, BENCH_serve.json validated
 
 set -euo pipefail
@@ -42,6 +44,18 @@ fi
 
 stage lint "cargo run -p xtask -- check"
 cargo run "${OFFLINE[@]}" -q -p xtask -- check || fail lint
+
+# Determinism & concurrency hazard audit: all 13 passes gated on the
+# ratcheted baseline (per-pass counts may only go down), run twice with
+# the JSON report byte-diffed — the analyzer itself must be as
+# deterministic as the code it audits — and the report schema validated.
+stage audit "xtask audit --json x2, reports diffed + validated"
+rm -f AUDIT_a.json AUDIT_b.json
+cargo run "${OFFLINE[@]}" -q -p xtask -- audit --json AUDIT_a.json || fail audit
+cargo run "${OFFLINE[@]}" -q -p xtask -- audit --json AUDIT_b.json >/dev/null || fail audit
+diff AUDIT_a.json AUDIT_b.json || fail audit
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-audit AUDIT_a.json || fail audit
+rm -f AUDIT_a.json AUDIT_b.json
 
 stage build "cargo build --workspace --release"
 cargo build "${OFFLINE[@]}" --workspace --release || fail build

@@ -48,7 +48,7 @@ mod tests {
     #[test]
     fn scope_joins_all_workers_and_allows_borrows() {
         let counter = AtomicUsize::new(0);
-        let data = vec![1usize, 2, 3, 4];
+        let data = [1usize, 2, 3, 4];
         super::thread::scope(|scope| {
             for chunk in data.chunks(2) {
                 let counter = &counter;

@@ -571,7 +571,7 @@ mod tests {
             pair in (0u64..10, prop::bool::ANY),
             xs in prop::collection::vec(0usize..3, 0..6),
         ) {
-            prop_assert!(n >= 1 && n < 5);
+            prop_assert!((1..5).contains(&n));
             prop_assert!((-2.0..2.0).contains(&f));
             prop_assert!(pair.0 < 10);
             prop_assert!(xs.len() < 6);
