@@ -43,6 +43,10 @@ pub struct RankRequest {
     /// Per-request override of the service-level [`SaccsConfig`]
     /// (`top_k`, aggregation, padding). `None` uses the service's.
     pub config: Option<SaccsConfig>,
+    /// Caller-assigned trace id for request-scoped tracing. `None` lets
+    /// the serving layer derive one deterministically from the request
+    /// content ([`trace_key`](Self::trace_key)) — never from wallclock.
+    pub trace_id: Option<u64>,
 }
 
 impl RankRequest {
@@ -53,6 +57,7 @@ impl RankRequest {
             slots: Slots::default(),
             profile: None,
             config: None,
+            trace_id: None,
         }
     }
 
@@ -63,6 +68,7 @@ impl RankRequest {
             slots: Slots::default(),
             profile: None,
             config: None,
+            trace_id: None,
         }
     }
 
@@ -83,6 +89,46 @@ impl RankRequest {
         self.config = Some(config);
         self
     }
+
+    /// Assign an explicit trace id (tests and benches use the request
+    /// index so flight-recorder reports are byte-deterministic).
+    pub fn with_trace_id(mut self, id: u64) -> Self {
+        self.trace_id = Some(id);
+        self
+    }
+
+    /// Deterministic trace id for this request: the assigned
+    /// [`trace_id`](Self::trace_id) if any, otherwise an FNV-1a hash of
+    /// the input content and slots. Identical requests get identical
+    /// ids; wallclock is never involved.
+    pub fn trace_key(&self) -> u64 {
+        if let Some(id) = self.trace_id {
+            return id;
+        }
+        let mut h = 0u64;
+        match &self.input {
+            RankInput::Utterance(text) => {
+                h = saccs_obs::trace::hash_bytes(h, b"u:");
+                h = saccs_obs::trace::hash_bytes(h, text.as_bytes());
+            }
+            RankInput::Tags(tags) => {
+                h = saccs_obs::trace::hash_bytes(h, b"t:");
+                for tag in tags {
+                    h = saccs_obs::trace::hash_bytes(h, tag.opinion.as_bytes());
+                    h = saccs_obs::trace::hash_bytes(h, b"/");
+                    h = saccs_obs::trace::hash_bytes(h, tag.aspect.as_bytes());
+                    h = saccs_obs::trace::hash_bytes(h, b";");
+                }
+            }
+        }
+        for slot in [&self.slots.cuisine, &self.slots.location] {
+            h = saccs_obs::trace::hash_bytes(h, b"|");
+            if let Some(v) = slot {
+                h = saccs_obs::trace::hash_bytes(h, v.as_bytes());
+            }
+        }
+        h
+    }
 }
 
 /// The outcome of a ranking request: ranked `(item, score)` pairs, the
@@ -96,6 +142,9 @@ pub struct RankResponse {
     pub degradation: Degradation,
     /// Wall-clock time from admission (or call) to completion.
     pub elapsed: Duration,
+    /// Per-stage wall-time summary, present when the request ran under
+    /// an active trace context (e.g. the serve flight recorder).
+    pub timings: Option<saccs_obs::trace::StageTimings>,
 }
 
 impl RankResponse {
@@ -136,5 +185,28 @@ mod tests {
 
         let tagged = RankRequest::tags(vec![SubjectiveTag::new("quiet", "room")]);
         assert!(matches!(tagged.input, RankInput::Tags(ref t) if t.len() == 1));
+    }
+
+    #[test]
+    fn trace_keys_are_deterministic_and_content_sensitive() {
+        let a = RankRequest::utterance("cheap tasty ramen");
+        let b = RankRequest::utterance("cheap tasty ramen");
+        assert_eq!(a.trace_key(), b.trace_key(), "same content, same key");
+        assert_ne!(
+            a.trace_key(),
+            RankRequest::utterance("cheap tasty sushi").trace_key()
+        );
+        assert_eq!(a.clone().with_trace_id(7).trace_key(), 7);
+        let slotted = a.clone().with_slots(Slots {
+            cuisine: Some("thai".into()),
+            location: None,
+        });
+        assert_ne!(slotted.trace_key(), a.trace_key(), "slots feed the key");
+        let tags = RankRequest::tags(vec![SubjectiveTag::new("quiet", "room")]);
+        assert_eq!(
+            tags.trace_key(),
+            RankRequest::tags(vec![SubjectiveTag::new("quiet", "room")]).trace_key()
+        );
+        assert_ne!(tags.trace_key(), a.trace_key());
     }
 }

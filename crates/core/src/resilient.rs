@@ -115,6 +115,10 @@ impl Degradation {
     }
 
     pub(crate) fn record(&mut self, stage: Stage, error: SaccsError, action: DegradeAction) {
+        saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Degraded {
+            stage: stage.label(),
+            action: action.label(),
+        });
         self.events.push(DegradationEvent {
             stage,
             error,
@@ -202,20 +206,34 @@ impl DeadlineClock {
     }
 }
 
-/// Count a breaker state transition on the `fault.breaker.*` metrics.
-/// The transition comes from the breaker operation's own CAS, so under
-/// concurrency each transition is counted exactly once (by the thread
-/// whose operation performed it) — re-reading `breaker.state()` here
-/// would race.
-fn note_transition(transition: BreakerTransition) {
+/// Count a breaker state transition on the `fault.breaker.*` metrics
+/// and emit it into the owning request's trace, tagged with the stage
+/// whose breaker moved. The transition comes from the breaker
+/// operation's own CAS, so under concurrency each transition is counted
+/// exactly once (by the thread whose operation performed it) —
+/// re-reading `breaker.state()` here would race.
+fn note_transition(stage: Stage, transition: BreakerTransition) {
     if !transition.changed() {
         return;
     }
-    match transition.after {
-        BreakerState::Open => saccs_obs::counter!("fault.breaker.opened").inc(),
-        BreakerState::HalfOpen => saccs_obs::counter!("fault.breaker.half_open").inc(),
-        BreakerState::Closed => saccs_obs::counter!("fault.breaker.closed").inc(),
-    }
+    let to = match transition.after {
+        BreakerState::Open => {
+            saccs_obs::counter!("fault.breaker.opened").inc();
+            "open"
+        }
+        BreakerState::HalfOpen => {
+            saccs_obs::counter!("fault.breaker.half_open").inc();
+            "half_open"
+        }
+        BreakerState::Closed => {
+            saccs_obs::counter!("fault.breaker.closed").inc();
+            "closed"
+        }
+    };
+    saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Breaker {
+        stage: stage.label(),
+        to,
+    });
 }
 
 /// Run `op` for `stage` under the full protection stack: breaker gate,
@@ -235,11 +253,14 @@ pub fn call_with_retry<T>(
 ) -> Result<T, SaccsError> {
     if deadline.expired() {
         saccs_obs::counter!("fault.deadline.exceeded").inc();
+        saccs_obs::trace::record(saccs_obs::trace::TraceEvent::DeadlineExhausted {
+            stage: stage.label(),
+        });
         return Err(deadline.exceeded_at(stage));
     }
     // `allow` can lapse an open window into half-open.
     let (allowed, transition) = breaker.allow();
-    note_transition(transition);
+    note_transition(stage, transition);
     if !allowed {
         saccs_obs::counter!("fault.breaker.rejected").inc();
         return Err(SaccsError::CircuitOpen { stage });
@@ -248,12 +269,12 @@ pub fn call_with_retry<T>(
     loop {
         match op() {
             Ok(v) => {
-                note_transition(breaker.on_success());
+                note_transition(stage, breaker.on_success());
                 return Ok(v);
             }
             Err(fault) => {
                 if attempt + 1 >= policy.max_attempts || deadline.expired() {
-                    note_transition(breaker.on_failure());
+                    note_transition(stage, breaker.on_failure());
                     return Err(SaccsError::RetriesExhausted {
                         stage,
                         attempts: attempt + 1,
@@ -261,6 +282,10 @@ pub fn call_with_retry<T>(
                     });
                 }
                 saccs_obs::counter!("fault.retry.attempts").inc();
+                saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Retry {
+                    stage: stage.label(),
+                    attempt: attempt + 1,
+                });
                 std::thread::sleep(policy.backoff.delay(attempt));
                 attempt += 1;
             }

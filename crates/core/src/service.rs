@@ -239,6 +239,7 @@ impl SaccsService {
                     results,
                     degradation,
                     elapsed: clock.elapsed(),
+                    timings: saccs_obs::trace::current_stage_timings(),
                 }
             };
 
@@ -269,6 +270,9 @@ impl SaccsService {
             RankInput::Utterance(utterance) => {
                 if clock.expired() {
                     saccs_obs::counter!("fault.deadline.exceeded").inc();
+                    saccs_obs::trace::record(saccs_obs::trace::TraceEvent::DeadlineExhausted {
+                        stage: Stage::Extract.label(),
+                    });
                     degradation.record(
                         Stage::Extract,
                         clock.exceeded_at(Stage::Extract),
@@ -338,6 +342,9 @@ impl SaccsService {
             for (i, t) in tags.iter().enumerate() {
                 if clock.expired() {
                     saccs_obs::counter!("fault.deadline.exceeded").inc();
+                    saccs_obs::trace::record(saccs_obs::trace::TraceEvent::DeadlineExhausted {
+                        stage: Stage::Probe.label(),
+                    });
                     degradation.record(
                         Stage::Probe,
                         clock.exceeded_at(Stage::Probe),
@@ -420,6 +427,7 @@ impl SaccsService {
             results,
             degradation: Degradation::default(),
             elapsed: clock.elapsed(),
+            timings: saccs_obs::trace::current_stage_timings(),
         })
     }
 
@@ -600,6 +608,9 @@ impl SaccsService {
                 }
             }
         }
+        // The pad span covers the degenerate fallback too: a request's
+        // trace always carries all five stages, whatever the data did.
+        let _pad = saccs_obs::span!("algo1.pad");
         // Degenerate case: the subjective filters matched nothing at all
         // (e.g. every extracted tag is below θ_filter similarity to every
         // index tag). Fall back to the objective API order — SACCS then
@@ -607,7 +618,6 @@ impl SaccsService {
         if full.is_empty() && partial.is_empty() {
             return Self::passthrough(api_results, config.top_k);
         }
-        let _pad = saccs_obs::span!("algo1.pad");
         full.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         partial.sort_by(|a, b| b.2.cmp(&a.2).then(b.1.total_cmp(&a.1)).then(a.0.cmp(&b.0)));
         let mut out = full;

@@ -354,6 +354,7 @@ impl SubjectiveIndex {
             // informative than silence.
             if !postings.is_empty() {
                 saccs_obs::counter!("index.probe.exact").inc();
+                saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Probe { exact: true });
                 return postings
                     .iter()
                     .map(|e| (e.entity_id, e.degree_of_truth))
@@ -364,6 +365,7 @@ impl SubjectiveIndex {
         // empty), so scan every index tag. The exact/fallback counter
         // ratio is the index miss rate under real query traffic.
         saccs_obs::counter!("index.probe.fallback").inc();
+        saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Probe { exact: false });
         let theta = self.theta_filter_for(tag);
         let mut scores: BTreeMap<usize, f32> = BTreeMap::new();
         for (index_tag, postings) in &self.entries {

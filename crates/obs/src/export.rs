@@ -1,16 +1,19 @@
-//! Pluggable exporters and the global enable switch.
+//! Pluggable exporters and the global observability gate.
 //!
-//! At most one [`Exporter`] is installed process-wide. The switch is a
-//! single relaxed [`AtomicBool`] checked by every span enter and by
+//! At most one [`Exporter`] is installed process-wide. The gate is a
+//! single relaxed [`AtomicU64`] packing two facts: bit 0 says an
+//! exporter is installed, and every [`TRACE_UNIT`] above it counts one
+//! live [`TraceContext`](crate::trace::TraceContext). Span enters and
 //! call sites that want to skip expensive measurement (gradient norms,
-//! per-candidate stats): with nothing installed, [`enabled`] is one
-//! atomic load and everything downstream is skipped. Installation is
-//! expected at process start (bench bins read `SACCS_OBS`) or inside a
-//! single test; exporters themselves must be `Send + Sync`.
+//! per-candidate stats) consult the word with one relaxed load: zero
+//! means nothing in the process can observe the event, so everything
+//! downstream is skipped. Installation is expected at process start
+//! (bench bins read `SACCS_OBS`) or inside a single test; exporters
+//! themselves must be `Send + Sync`.
 
 use parking_lot::{Mutex, RwLock};
 use std::io::Write;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Receives span lifecycle callbacks from instrumented code.
@@ -27,11 +30,23 @@ pub trait Exporter: Send + Sync {
     fn flush(&self) {}
 }
 
-static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Bit 0 of [`GATE`]: an exporter is installed.
+pub(crate) const EXPORTER_BIT: u64 = 1;
+/// One live `TraceContext` in [`GATE`] (the count lives above bit 0).
+pub(crate) const TRACE_UNIT: u64 = 2;
+
+static GATE: AtomicU64 = AtomicU64::new(0);
 
 fn slot() -> &'static RwLock<Option<Arc<dyn Exporter>>> {
     static SLOT: OnceLock<RwLock<Option<Arc<dyn Exporter>>>> = OnceLock::new();
     SLOT.get_or_init(|| RwLock::new(None))
+}
+
+/// The raw gate word: zero exactly when no exporter is installed and no
+/// trace context is alive anywhere in the process.
+#[inline]
+pub(crate) fn gate_load() -> u64 {
+    GATE.load(Ordering::Relaxed)
 }
 
 /// Whether an exporter is currently installed. The disabled-path cost of
@@ -39,20 +54,38 @@ fn slot() -> &'static RwLock<Option<Arc<dyn Exporter>>> {
 /// relaxed load.
 #[inline]
 pub fn enabled() -> bool {
-    ENABLED.load(Ordering::Relaxed)
+    gate_load() & EXPORTER_BIT != 0
+}
+
+/// Whether any `TraceContext` is alive in the process. One relaxed load;
+/// typed trace events short-circuit on this before touching the
+/// thread-local current-context slot.
+#[inline]
+pub(crate) fn tracing_possible() -> bool {
+    gate_load() >= TRACE_UNIT
+}
+
+/// A `TraceContext` came alive (called from its constructor).
+pub(crate) fn gate_trace_inc() {
+    GATE.fetch_add(TRACE_UNIT, Ordering::AcqRel);
+}
+
+/// A `TraceContext` was dropped.
+pub(crate) fn gate_trace_dec() {
+    GATE.fetch_sub(TRACE_UNIT, Ordering::AcqRel);
 }
 
 /// Install `exporter` as the process-wide sink (replacing any previous
-/// one) and flip the enable switch on.
+/// one) and flip the exporter bit on.
 pub fn install(exporter: Arc<dyn Exporter>) {
     *slot().write() = Some(exporter);
-    ENABLED.store(true, Ordering::Release);
+    GATE.fetch_or(EXPORTER_BIT, Ordering::Release);
 }
 
 /// Flush and remove the installed exporter; spans go back to the inert
-/// fast path.
+/// fast path (live trace contexts, if any, keep their own gate units).
 pub fn uninstall() {
-    ENABLED.store(false, Ordering::Release);
+    GATE.fetch_and(!EXPORTER_BIT, Ordering::Release);
     let previous = slot().write().take();
     if let Some(e) = previous {
         e.flush();
@@ -223,6 +256,47 @@ mod tests {
             lines[1],
             "{\"ev\":\"exit\",\"span\":\"stage.\\\"a\\\"\",\"depth\":0,\"ns\":1500}"
         );
+    }
+
+    #[test]
+    fn json_lines_survive_eight_writer_threads_untorn() {
+        // 8 threads hammer one JsonLines sink; every output line must be
+        // exactly one well-formed event object (no torn or interleaved
+        // writes) and nothing may be lost. The sink serializes each event
+        // under its mutex with a single `writeln!`, which this pins.
+        const THREADS: usize = 8;
+        const PER_THREAD: usize = 500;
+        let sink = std::sync::Arc::new(JsonLines::new(Vec::new()));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let sink = std::sync::Arc::clone(&sink);
+                s.spawn(move || {
+                    let name: &'static str = ["t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7"][t];
+                    for i in 0..PER_THREAD {
+                        sink.span_enter(name, t);
+                        sink.span_exit(name, t, i as u64);
+                    }
+                });
+            }
+        });
+        let sink = std::sync::Arc::into_inner(sink).expect("all writer threads joined");
+        let text = String::from_utf8(sink.out.into_inner()).expect("utf8 output");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), THREADS * PER_THREAD * 2);
+        let mut enters = 0usize;
+        for line in lines {
+            assert!(
+                line.starts_with("{\"ev\":\"enter\",\"span\":\"t")
+                    || line.starts_with("{\"ev\":\"exit\",\"span\":\"t"),
+                "torn line: {line:?}"
+            );
+            assert!(line.ends_with('}'), "torn line: {line:?}");
+            assert_eq!(line.matches("{\"ev\":").count(), 1, "interleaved: {line:?}");
+            if line.contains("\"enter\"") {
+                enters += 1;
+            }
+        }
+        assert_eq!(enters, THREADS * PER_THREAD);
     }
 
     #[test]

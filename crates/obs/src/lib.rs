@@ -18,21 +18,35 @@
 //!    in-memory collector for tests ([`InMemoryCollector`]). Bench bins
 //!    select one via the `SACCS_OBS` env var and dump the registry as
 //!    `BENCH_<bin>.json` through [`json::bench_snapshot`].
+//! 4. **Request traces** ([`trace`]): a per-request
+//!    [`TraceContext`](trace::TraceContext) with a deterministic u64 id
+//!    and a bounded buffer of typed [`TraceEvent`](trace::TraceEvent)s
+//!    (stage enter/exit, probe hit-vs-fallback, retry/breaker/deadline/
+//!    degradation, admission/shed, queue wait). Contexts are installed
+//!    per thread, propagated across `saccs-rt` spawn seams, and folded
+//!    into a deterministic [`ObsReport`](report::ObsReport) by the
+//!    `saccs-serve` flight recorder.
 //!
-//! **Zero-cost guarantee**: with no exporter installed, a `span!` is one
-//! relaxed atomic load returning an inert guard — no clock read, no
-//! allocation, no lock — and [`enabled`]-gated measurement is skipped
-//! entirely, so default builds pay only stray counter increments.
+//! **Zero-cost guarantee**: with no exporter installed *and no live
+//! trace context*, a `span!` or trace-event record is one relaxed
+//! atomic load (a single packed gate word) returning inert — no clock
+//! read, no allocation, no lock — and [`enabled`]-gated measurement is
+//! skipped entirely, so default builds pay only stray counter
+//! increments.
 
-/// Exporter trait, global install/enable switch, and the three built-in
-/// exporters.
+/// Exporter trait, the packed observability gate, and the three
+/// built-in exporters.
 pub mod export;
 /// Minimal JSON serialization for `BENCH_<bin>.json` snapshots.
 pub mod json;
 /// Counters, gauges, log-bucketed histograms and the global registry.
 pub mod metrics;
+/// Flight-recorder report schema and deterministic JSON rendering.
+pub mod report;
 /// Span guards, thread-local depth and the `span!` macro.
 pub mod span;
+/// Request-scoped trace contexts and typed trace events.
+pub mod trace;
 
 /// Whether an exporter is installed (the gate for expensive metrics).
 pub use export::enabled;
@@ -62,5 +76,13 @@ pub use metrics::Gauge;
 pub use metrics::Histogram;
 /// Point-in-time histogram readout (count/sum/min/max/p50/p95/p99).
 pub use metrics::HistogramSnapshot;
+/// Deterministic flight-recorder report.
+pub use report::ObsReport;
+/// One completed request trace inside an [`ObsReport`].
+pub use report::TraceRecord;
 /// RAII span guard returned by [`span!`].
 pub use span::SpanGuard;
+/// Per-request trace context (deterministic id + bounded event buffer).
+pub use trace::TraceContext;
+/// Typed per-request trace event.
+pub use trace::TraceEvent;

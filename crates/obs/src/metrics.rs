@@ -61,6 +61,30 @@ impl Gauge {
         self.0.store(v.to_bits(), Ordering::Relaxed);
     }
 
+    /// Atomically add `d` (CAS loop on the f64 bits) — safe for live
+    /// up/down gauges (queue depth, in-flight requests) written from
+    /// many threads, unlike a read-modify-write around [`set`](Self::set).
+    #[inline]
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Atomically subtract `d` (see [`add`](Self::add)).
+    #[inline]
+    pub fn sub(&self, d: f64) {
+        self.add(-d);
+    }
+
     /// Current value.
     pub fn get(&self) -> f64 {
         f64::from_bits(self.0.load(Ordering::Relaxed))
@@ -315,6 +339,22 @@ macro_rules! counter {
     }};
 }
 
+/// A cached gauge handle: resolves the registry entry once per call
+/// site, then costs one atomic op per update.
+///
+/// ```
+/// saccs_obs::gauge!("serve.queue.depth").add(1.0);
+/// saccs_obs::gauge!("serve.queue.depth").sub(1.0);
+/// ```
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static SITE: ::std::sync::OnceLock<::std::sync::Arc<$crate::metrics::Gauge>> =
+            ::std::sync::OnceLock::new();
+        SITE.get_or_init(|| $crate::metrics::registry().gauge($name))
+    }};
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -330,6 +370,52 @@ mod tests {
         assert_eq!(g.get(), 0.0);
         g.set(-2.5);
         assert_eq!(g.get(), -2.5);
+    }
+
+    #[test]
+    fn gauge_add_sub_balance_under_8_thread_stress() {
+        // Live up/down gauge: 8 threads each add then sub the same
+        // amounts; the CAS loop must lose no update, landing back on the
+        // initial value exactly (every delta is a small integer, so the
+        // f64 arithmetic is exact and order-independent).
+        let g = Gauge::new();
+        g.set(5.0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let g = &g;
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        g.add(1.0);
+                        g.sub(1.0);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 5.0);
+        g.add(2.5);
+        g.sub(1.0);
+        assert_eq!(g.get(), 6.5);
+    }
+
+    #[test]
+    fn saturating_values_land_in_the_top_bucket() {
+        // Samples at and near u64::MAX (the span layer clamps overflowing
+        // durations to u64::MAX) must stay representable: they land in
+        // the final bucket, keep exact count/min/max, and quantiles stay
+        // clamped to the observed range instead of overflowing.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX - 1);
+        h.record(bucket_lower_bound(BUCKET_COUNT - 1));
+        assert_eq!(bucket_of(u64::MAX), BUCKET_COUNT - 1);
+        assert_eq!(h.bucket_counts()[BUCKET_COUNT - 1], 3);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, u64::MAX);
+        assert_eq!(s.min, bucket_lower_bound(BUCKET_COUNT - 1));
+        assert!(s.p50 >= s.min && s.p99 <= s.max);
+        // Sum wraps are the caller's concern; count/buckets must not.
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), 3);
     }
 
     #[test]
@@ -491,6 +577,45 @@ mod tests {
             right.merge_from(&bc); // a ⊕
             prop_assert_eq!(left.bucket_counts(), right.bucket_counts());
             prop_assert_eq!(left.snapshot(), right.snapshot());
+        }
+
+        /// a ⊕ b == b ⊕ a: identical buckets and identical
+        /// `HistogramSnapshot` (count/sum/min/max and every quantile).
+        #[test]
+        fn prop_merge_commutative(
+            a in proptest::collection::vec(0u64..1_000_000, 0..50),
+            b in proptest::collection::vec(0u64..1_000_000, 0..50),
+        ) {
+            let (ha, hb) = (from_values(&a), from_values(&b));
+            let ab = Histogram::new();
+            ab.merge_from(&ha);
+            ab.merge_from(&hb);
+            let ba = Histogram::new();
+            ba.merge_from(&hb);
+            ba.merge_from(&ha);
+            prop_assert_eq!(ab.bucket_counts(), ba.bucket_counts());
+            prop_assert_eq!(ab.snapshot(), ba.snapshot());
+            prop_assert_eq!(
+                (ab.quantile(0.5), ab.quantile(0.95), ab.quantile(0.99)),
+                (ba.quantile(0.5), ba.quantile(0.95), ba.quantile(0.99))
+            );
+        }
+
+        /// Merging equals recording the concatenated sample set directly
+        /// (same buckets ⇒ same quantiles), for any split of the samples.
+        #[test]
+        fn prop_merge_matches_direct_recording(
+            a in proptest::collection::vec(0u64..1_000_000, 0..50),
+            b in proptest::collection::vec(0u64..1_000_000, 0..50),
+        ) {
+            let merged = Histogram::new();
+            merged.merge_from(&from_values(&a));
+            merged.merge_from(&from_values(&b));
+            let mut all = a.clone();
+            all.extend_from_slice(&b);
+            let direct = from_values(&all);
+            prop_assert_eq!(merged.bucket_counts(), direct.bucket_counts());
+            prop_assert_eq!(merged.snapshot(), direct.snapshot());
         }
     }
 }

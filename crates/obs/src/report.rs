@@ -1,0 +1,319 @@
+//! The flight-recorder report: aggregated per-stage latency breakdown,
+//! typed event counts and exemplar traces, rendered as deterministic
+//! JSON through [`crate::json`].
+//!
+//! An [`ObsReport`] is built from completed [`TraceRecord`]s (the serve
+//! flight recorder's ring) and rendered in two forms: **full** keeps
+//! every nanosecond payload; **normalized** strips all timing payloads
+//! and the latency-selected exemplar bodies, leaving only fields that
+//! are a deterministic function of the request stream — so two
+//! identical seeded runs render byte-identical normalized reports
+//! (byte-diffed in CI and validated by `xtask check-report`).
+//!
+//! Report ordering is deterministic throughout: traces sort by trace
+//! id, aggregates live in `BTreeMap`s, exemplars sort by (latency desc,
+//! id asc). Byte-identical normalized output additionally requires the
+//! caller to assign **unique** trace ids (the serve path derives them
+//! from request content or takes them from `RankRequest::trace_id`).
+
+use crate::json::{escape, number};
+use crate::trace::TraceEvent;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One completed request trace, as captured by a flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Deterministic trace id (request-derived or caller-assigned).
+    pub id: u64,
+    /// End-to-end service time (admission to reply), nanoseconds.
+    pub total_ns: u64,
+    /// Time spent queued before a worker adopted the request.
+    pub queue_ns: u64,
+    /// Whether the request completed degraded.
+    pub degraded: bool,
+    /// Events discarded after the per-request buffer filled.
+    pub dropped: u64,
+    /// The buffered typed events, in record order.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Aggregated wall time for one stage across all recorded traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageStat {
+    /// Number of `StageExit` events folded in.
+    pub count: u64,
+    /// Summed stage nanoseconds.
+    pub sum_ns: u64,
+    /// Largest single stage duration.
+    pub max_ns: u64,
+}
+
+impl StageStat {
+    fn fold(&mut self, nanos: u64) {
+        self.count += 1;
+        self.sum_ns += nanos;
+        self.max_ns = self.max_ns.max(nanos);
+    }
+}
+
+/// Pseudo-stage name under which queue wait is aggregated in
+/// [`ObsReport::stages`], keeping it separate from service-time stages.
+pub const QUEUE_STAGE: &str = "serve.queue_wait";
+
+/// Deterministic flight-recorder report (see module docs).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsReport {
+    /// Completed requests captured in the ring.
+    pub requests: u64,
+    /// Requests shed at admission over the report's lifetime.
+    pub shed: u64,
+    /// Per-stage latency breakdown (plus [`QUEUE_STAGE`]), by name.
+    pub stages: BTreeMap<String, StageStat>,
+    /// Normal-form event label → occurrence count across all traces.
+    pub events: BTreeMap<String, u64>,
+    /// All captured traces, sorted by trace id.
+    pub traces: Vec<TraceRecord>,
+    /// Slowest traces, sorted by (total latency desc, id asc).
+    pub exemplars: Vec<TraceRecord>,
+}
+
+impl ObsReport {
+    /// Aggregate `records` (any order) into a report, keeping the
+    /// `exemplars_k` slowest traces as exemplars. `shed` is the number
+    /// of requests refused at admission (they never produce a trace).
+    pub fn from_traces(mut records: Vec<TraceRecord>, shed: u64, exemplars_k: usize) -> ObsReport {
+        records.sort_by_key(|r| r.id);
+        let mut stages: BTreeMap<String, StageStat> = BTreeMap::new();
+        let mut events: BTreeMap<String, u64> = BTreeMap::new();
+        for record in &records {
+            stages
+                .entry(QUEUE_STAGE.to_string())
+                .or_default()
+                .fold(record.queue_ns);
+            for event in &record.events {
+                if let TraceEvent::StageExit { name, nanos } = event {
+                    stages.entry((*name).to_string()).or_default().fold(*nanos);
+                }
+                *events.entry(event.normal()).or_default() += 1;
+            }
+        }
+        let mut exemplars = records.clone();
+        exemplars.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.id.cmp(&b.id)));
+        exemplars.truncate(exemplars_k);
+        ObsReport {
+            requests: records.len() as u64,
+            shed,
+            stages,
+            events,
+            traces: records,
+            exemplars,
+        }
+    }
+
+    /// Render as a JSON document. `normalized` strips every nanosecond
+    /// payload and replaces the exemplar bodies with their count, making
+    /// the output byte-identical across identical seeded runs.
+    pub fn render(&self, normalized: bool) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": 1,\n");
+        out.push_str("  \"kind\": \"obs-report\",\n");
+        let _ = writeln!(out, "  \"normalized\": {normalized},");
+        let _ = writeln!(out, "  \"requests\": {},", self.requests);
+        let _ = writeln!(out, "  \"shed\": {},", self.shed);
+
+        out.push_str("  \"stages\": {");
+        let mut first = true;
+        for (name, stat) in &self.stages {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            if normalized {
+                let _ = write!(
+                    out,
+                    "    \"{}\": {{\"count\": {}}}",
+                    escape(name),
+                    stat.count
+                );
+            } else {
+                let mean = if stat.count == 0 {
+                    0.0
+                } else {
+                    stat.sum_ns as f64 / stat.count as f64
+                };
+                let _ = write!(
+                    out,
+                    "    \"{}\": {{\"count\": {}, \"sum_ns\": {}, \"max_ns\": {}, \"mean_ns\": {}}}",
+                    escape(name),
+                    stat.count,
+                    stat.sum_ns,
+                    stat.max_ns,
+                    number(mean)
+                );
+            }
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"events\": {");
+        let mut first = true;
+        for (label, count) in &self.events {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            let _ = write!(out, "    \"{}\": {count}", escape(label));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+
+        out.push_str("  \"traces\": [");
+        let mut first = true;
+        for record in &self.traces {
+            out.push_str(if first { "\n" } else { ",\n" });
+            first = false;
+            out.push_str("    ");
+            render_trace(&mut out, record, normalized);
+        }
+        out.push_str(if first { "],\n" } else { "\n  ],\n" });
+
+        if normalized {
+            let _ = writeln!(out, "  \"exemplars\": {}", self.exemplars.len());
+        } else {
+            out.push_str("  \"exemplars\": [");
+            let mut first = true;
+            for record in &self.exemplars {
+                out.push_str(if first { "\n" } else { ",\n" });
+                first = false;
+                out.push_str("    ");
+                render_trace(&mut out, record, normalized);
+            }
+            out.push_str(if first { "]\n" } else { "\n  ]\n" });
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn render_trace(out: &mut String, record: &TraceRecord, normalized: bool) {
+    let _ = write!(out, "{{\"id\": {}", record.id);
+    if !normalized {
+        let _ = write!(
+            out,
+            ", \"total_ns\": {}, \"queue_ns\": {}",
+            record.total_ns, record.queue_ns
+        );
+    }
+    let _ = write!(
+        out,
+        ", \"degraded\": {}, \"dropped\": {}, \"events\": [",
+        record.degraded, record.dropped
+    );
+    for (i, event) in record.events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let form = if normalized {
+            event.normal()
+        } else {
+            event.full()
+        };
+        let _ = write!(out, "\"{}\"", escape(&form));
+    }
+    out.push_str("]}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(id: u64, total: u64, queue: u64, degraded: bool) -> TraceRecord {
+        TraceRecord {
+            id,
+            total_ns: total,
+            queue_ns: queue,
+            degraded,
+            dropped: 0,
+            events: vec![
+                TraceEvent::Admitted,
+                TraceEvent::QueueWait { nanos: queue },
+                TraceEvent::StageEnter {
+                    name: "algo1.probe",
+                },
+                TraceEvent::StageExit {
+                    name: "algo1.probe",
+                    nanos: total / 2,
+                },
+                TraceEvent::Probe { exact: !degraded },
+            ],
+        }
+    }
+
+    #[test]
+    fn aggregates_sort_and_select_exemplars_deterministically() {
+        let report = ObsReport::from_traces(
+            vec![
+                record(2, 100, 10, false),
+                record(0, 300, 30, true),
+                record(1, 200, 20, false),
+            ],
+            1,
+            2,
+        );
+        assert_eq!(report.requests, 3);
+        assert_eq!(report.shed, 1);
+        let ids: Vec<u64> = report.traces.iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        let exemplar_ids: Vec<u64> = report.exemplars.iter().map(|t| t.id).collect();
+        assert_eq!(exemplar_ids, vec![0, 1], "slowest first, capped at k");
+        let probe = &report.stages["algo1.probe"];
+        assert_eq!(probe.count, 3);
+        assert_eq!(probe.sum_ns, 50 + 150 + 100);
+        assert_eq!(probe.max_ns, 150);
+        let queue = &report.stages[QUEUE_STAGE];
+        assert_eq!(queue.count, 3);
+        assert_eq!(queue.sum_ns, 60);
+        assert_eq!(report.events["probe:exact"], 2);
+        assert_eq!(report.events["probe:fallback"], 1);
+        assert_eq!(report.events["admitted"], 3);
+    }
+
+    #[test]
+    fn normalized_render_strips_every_nanosecond_payload() {
+        let report = ObsReport::from_traces(vec![record(0, 500, 50, false)], 0, 1);
+        let normalized = report.render(true);
+        assert!(!normalized.contains("_ns"), "timing leaked:\n{normalized}");
+        assert!(!normalized.contains("ns\""), "timing leaked:\n{normalized}");
+        assert!(normalized.contains("\"exemplars\": 1"));
+        assert!(normalized.contains("\"queue_wait\""));
+        let full = report.render(false);
+        assert!(full.contains("\"total_ns\": 500"));
+        assert!(full.contains("\"queue_ns\": 50"));
+        assert!(full.contains("queue_wait:50ns"));
+        assert!(full.contains("\"exemplars\": ["));
+    }
+
+    #[test]
+    fn identical_inputs_render_byte_identical_reports() {
+        let build = || {
+            ObsReport::from_traces(
+                vec![record(1, 200, 20, false), record(0, 300, 30, true)],
+                2,
+                1,
+            )
+        };
+        assert_eq!(build().render(true), build().render(true));
+        assert_eq!(build().render(false), build().render(false));
+        // Balanced braces/brackets: structural sanity before the real
+        // parse in `xtask check-report`.
+        let doc = build().render(false);
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+        assert_eq!(doc.matches('[').count(), doc.matches(']').count());
+    }
+
+    #[test]
+    fn empty_report_renders_valid_empty_collections() {
+        let report = ObsReport::from_traces(Vec::new(), 0, 4);
+        let doc = report.render(true);
+        assert!(doc.contains("\"requests\": 0"));
+        assert!(doc.contains("\"stages\": {}"));
+        assert!(doc.contains("\"traces\": []"));
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

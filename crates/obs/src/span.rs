@@ -6,13 +6,21 @@
 //! exporter is installed ([`crate::install`]), entering pushes the
 //! thread-local depth, notifies the exporter, and the exit records the
 //! span's wall duration both to the exporter and to the global histogram
-//! registered under the span's name. With **no exporter installed the
-//! whole path is two relaxed atomic loads and a `None` guard** — no
-//! clock read, no allocation, no registry lookup — so instrumented hot
-//! paths cost nothing in default builds.
+//! registered under the span's name. Stage spans (names under
+//! [`crate::trace::STAGE_PREFIXES`]) additionally forward enter/exit
+//! events — with elapsed nanoseconds — into the thread's current
+//! [`TraceContext`](crate::trace::TraceContext), so a traced request
+//! keeps timing even when no exporter is installed; trace-only spans
+//! skip the registry entirely (the duration rides in the `StageExit`
+//! event). With **no exporter installed and no live trace the whole
+//! path is one relaxed atomic load and a `None` guard** — no clock
+//! read, no allocation, no registry lookup — so instrumented hot paths
+//! cost nothing in default builds.
 
-use crate::export::{enabled, with_exporter};
+use crate::export::{gate_load, with_exporter, EXPORTER_BIT, TRACE_UNIT};
+use crate::trace::{self, TraceContext, TraceEvent};
 use std::cell::Cell;
+use std::sync::Arc;
 use std::time::Instant;
 
 thread_local! {
@@ -28,6 +36,12 @@ struct ActiveSpan {
     name: &'static str,
     start: Instant,
     depth: usize,
+    /// An exporter was installed at enter time.
+    exported: bool,
+    /// Stage span: the trace context captured at enter time. Exit
+    /// records into this same context even if the thread's slot changes
+    /// mid-span.
+    trace: Option<Arc<TraceContext>>,
 }
 
 /// RAII guard for one span; the span exits when this drops.
@@ -37,27 +51,44 @@ pub struct SpanGuard {
 
 impl SpanGuard {
     /// Enter a span named `name`. Near-free when no exporter is
-    /// installed (returns an inert guard).
+    /// installed and no trace is live (returns an inert guard).
     #[inline]
     pub fn enter(name: &'static str) -> SpanGuard {
-        if !enabled() {
+        let gate = gate_load();
+        if gate == 0 {
             return SpanGuard { active: None };
         }
-        SpanGuard::enter_enabled(name)
+        SpanGuard::enter_observed(name, gate)
     }
 
-    fn enter_enabled(name: &'static str) -> SpanGuard {
+    fn enter_observed(name: &'static str, gate: u64) -> SpanGuard {
+        let exported = gate & EXPORTER_BIT != 0;
+        let trace = if gate >= TRACE_UNIT && trace::is_stage(name) {
+            trace::current()
+        } else {
+            None
+        };
+        if !exported && trace.is_none() {
+            return SpanGuard { active: None };
+        }
         let depth = DEPTH.with(|d| {
             let v = d.get();
             d.set(v + 1);
             v
         });
-        with_exporter(|e| e.span_enter(name, depth));
+        if exported {
+            with_exporter(|e| e.span_enter(name, depth));
+        }
+        if let Some(ctx) = trace.as_deref() {
+            ctx.record(TraceEvent::StageEnter { name });
+        }
         SpanGuard {
             active: Some(ActiveSpan {
                 name,
                 start: Instant::now(),
                 depth,
+                exported,
+                trace,
             }),
         }
     }
@@ -76,10 +107,21 @@ impl Drop for SpanGuard {
         };
         let nanos = u64::try_from(span.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
         DEPTH.with(|d| d.set(span.depth));
-        crate::metrics::registry()
-            .histogram(span.name)
-            .record(nanos);
-        with_exporter(|e| e.span_exit(span.name, span.depth, nanos));
+        if span.exported {
+            // The registry lookup is exporter-only: a trace-only span
+            // already carries its duration in the StageExit event, and
+            // skipping the global map keeps recorder overhead low.
+            crate::metrics::registry()
+                .histogram(span.name)
+                .record(nanos);
+            with_exporter(|e| e.span_exit(span.name, span.depth, nanos));
+        }
+        if let Some(ctx) = span.trace {
+            ctx.record(TraceEvent::StageExit {
+                name: span.name,
+                nanos,
+            });
+        }
     }
 }
 
@@ -110,6 +152,30 @@ mod tests {
         let g = SpanGuard::enter("noop");
         assert!(!g.is_active());
         assert_eq!(current_depth(), 0);
+    }
+
+    #[test]
+    fn stage_spans_forward_into_the_active_trace_without_an_exporter() {
+        let ctx = crate::trace::TraceContext::new(11);
+        let _scope = crate::trace::install(Arc::clone(&ctx));
+        {
+            let _stage = span!("algo1.probe");
+            // Not a stage prefix: never enters the per-request buffer.
+            let _kernel = span!("nn.matmul");
+        }
+        let normals: Vec<String> = ctx.events().iter().map(TraceEvent::normal).collect();
+        assert_eq!(
+            normals,
+            vec!["stage_enter:algo1.probe", "stage_exit:algo1.probe"]
+        );
+        // The exit carried a real duration payload.
+        assert!(matches!(
+            ctx.events()[1],
+            TraceEvent::StageExit {
+                name: "algo1.probe",
+                ..
+            }
+        ));
     }
 
     #[test]

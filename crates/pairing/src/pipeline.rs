@@ -145,8 +145,10 @@ impl PairingPipeline {
                     .count();
                 let n = vote_rows.len() as f64;
                 let reg = saccs_obs::registry();
+                // lint:allow(metric-name-literal): one series per labeling function — the LF set is static
                 reg.gauge(&format!("pairing.lf.{}.fire_rate", lf.name()))
                     .set(fired as f64 / n);
+                // lint:allow(metric-name-literal): one series per labeling function — the LF set is static
                 reg.gauge(&format!("pairing.lf.{}.agreement", lf.name()))
                     .set(agree as f64 / n);
             }

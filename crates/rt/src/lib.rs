@@ -277,7 +277,12 @@ impl<'env> Scope<'env> {
     {
         self.state.pending.fetch_add(1, Ordering::AcqRel);
         let state = Arc::clone(&self.state);
+        // Capture the caller's request-trace context (one relaxed load
+        // when tracing is off) so pool workers attribute their work to
+        // the owning request for the task's duration.
+        let trace = saccs_obs::trace::propagated();
         let task: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _trace_scope = trace.map(saccs_obs::trace::install);
             if let Err(payload) = catch_unwind(AssertUnwindSafe(f)) {
                 state.record_panic(payload);
             }
@@ -475,6 +480,31 @@ mod tests {
         set_threads(2);
         let (a, b) = join(|| 6 * 7, || "right");
         assert_eq!((a, b), (42, "right"));
+    }
+
+    #[test]
+    fn pool_workers_adopt_the_callers_trace_context() {
+        let _g = relock(WIDTH_LOCK.lock());
+        set_threads(8);
+        let ctx = saccs_obs::trace::TraceContext::new(123);
+        let _scope = saccs_obs::trace::install(Arc::clone(&ctx));
+        // Tasks fan out across pool workers; each records into the
+        // caller's context (installed for the task's duration) — all 64
+        // probes land in the one per-request buffer.
+        let out = parallel_map(64, 1, |i| {
+            saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Probe { exact: i % 2 == 0 });
+            saccs_obs::trace::current().map(|c| c.id())
+        });
+        assert!(out.iter().all(|id| *id == Some(123)));
+        let events = ctx.events();
+        assert_eq!(events.len(), 64);
+        // Worker threads must not keep the context after the task ends:
+        // run an untraced fan-out and check nothing more is recorded.
+        drop(_scope);
+        parallel_map(16, 1, |_| {
+            saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Shed);
+        });
+        assert_eq!(ctx.events().len(), 64);
     }
 
     #[test]

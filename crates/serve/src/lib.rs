@@ -34,10 +34,19 @@
 //! [`SaccsService::rank_request`] serially, at every worker count and
 //! batch size — the concurrency tests in `tests/serve.rs` pin this.
 
+/// Flight recorder: completed-trace ring + slow-exemplar reservoir.
+pub mod recorder;
+
+/// Re-exported so callers can configure the recorder without importing
+/// the module.
+pub use recorder::{FlightRecorder, RecorderConfig};
+
 use saccs_core::request::RankInput;
 use saccs_core::resilient::DeadlineClock;
 use saccs_core::{RankRequest, RankResponse, SaccsError, SaccsService, SearchApi, Stage};
 use saccs_data::Entity;
+use saccs_obs::report::ObsReport;
+use saccs_obs::trace::{self, TraceContext, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -59,6 +68,11 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Maximum requests one worker tick claims and warm-batches.
     pub batch: usize,
+    /// Install a flight recorder: every admitted request runs under a
+    /// [`TraceContext`] and its completed trace lands in the recorder's
+    /// ring. `None` (the default) keeps the single-atomic-load inert
+    /// fast path — rankings are bitwise identical either way.
+    pub recorder: Option<RecorderConfig>,
 }
 
 impl Default for ServeConfig {
@@ -67,16 +81,24 @@ impl Default for ServeConfig {
             workers: 1,
             queue_depth: 64,
             batch: 4,
+            recorder: None,
         }
     }
 }
 
 impl ServeConfig {
+    /// Enable the flight recorder with `config`.
+    pub fn with_recorder(mut self, config: RecorderConfig) -> Self {
+        self.recorder = Some(config);
+        self
+    }
+
     fn sanitized(self) -> ServeConfig {
         ServeConfig {
             workers: self.workers.max(1),
             queue_depth: self.queue_depth.max(1),
             batch: self.batch.max(1),
+            recorder: self.recorder.map(RecorderConfig::sanitized),
         }
     }
 }
@@ -130,6 +152,9 @@ struct Job {
     /// Started at admission: queue time spends the deadline budget.
     clock: DeadlineClock,
     reply: Arc<ReplySlot>,
+    /// The request's trace context (recorder enabled only), created at
+    /// admission and adopted by whichever worker serves the request.
+    trace: Option<Arc<TraceContext>>,
 }
 
 struct State {
@@ -151,18 +176,33 @@ struct Shared {
     shed: AtomicU64,
     served: AtomicU64,
     batched_warms: AtomicU64,
+    /// Present iff `config.recorder` is set.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// The report cut at shutdown, after the queue drained.
+    final_report: Mutex<Option<ObsReport>>,
 }
 
 impl Shared {
     fn submit(&self, request: RankRequest) -> Result<RankResponse, SaccsError> {
         let clock = DeadlineClock::start(self.service.resilience().deadline);
         let reply = Arc::new(ReplySlot::new());
+        // Trace ids are deterministic (caller-assigned or derived from
+        // request content) — never wallclock — so recorder reports are a
+        // pure function of the request stream.
+        let trace = self.recorder.as_ref().map(|rec| {
+            let ctx = TraceContext::with_cap(request.trace_key(), rec.config().events_per_trace);
+            ctx.record(TraceEvent::Admitted);
+            ctx
+        });
         {
             let mut st = relock(self.state.lock());
             if st.shutdown || st.queue.len() >= self.config.queue_depth {
                 drop(st);
                 self.shed.fetch_add(1, Ordering::Relaxed);
                 saccs_obs::counter!("serve.shed").inc();
+                if let Some(rec) = &self.recorder {
+                    rec.note_shed();
+                }
                 return Err(SaccsError::Unavailable {
                     stage: Stage::Admission,
                 });
@@ -171,8 +211,11 @@ impl Shared {
                 request,
                 clock,
                 reply: Arc::clone(&reply),
+                trace,
             });
         }
+        saccs_obs::gauge!("serve.queue.depth").add(1.0);
+        saccs_obs::gauge!("serve.inflight").add(1.0);
         self.submitted.fetch_add(1, Ordering::Relaxed);
         saccs_obs::counter!("serve.submitted").inc();
         self.work.notify_one();
@@ -220,12 +263,35 @@ impl Shared {
                 let n = self.config.batch.min(st.queue.len());
                 st.queue.drain(..n).collect()
             };
+            saccs_obs::gauge!("serve.queue.depth").sub(batch.len() as f64);
             self.warm_batch(&batch);
             for job in batch {
-                let response = self.service.rank_request_at(&job.request, &api, job.clock);
+                // Queue wait is time on the admission clock before this
+                // worker adopted the job — attributed separately from
+                // service time in the trace. (DeadlineClock, not a fresh
+                // Instant: queue time already spends the budget.)
+                let queue_ns = job.trace.as_ref().map(|ctx| {
+                    let nanos = u64::try_from(job.clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    ctx.record(TraceEvent::QueueWait { nanos });
+                    nanos
+                });
+                let response = {
+                    // Adopt the request's trace for the duration of the
+                    // rank call so every stage span and fault event lands
+                    // in the owning request's buffer.
+                    let _scope = job
+                        .trace
+                        .as_ref()
+                        .map(|ctx| trace::install(Arc::clone(ctx)));
+                    self.service.rank_request_at(&job.request, &api, job.clock)
+                };
+                if let (Some(rec), Some(ctx)) = (&self.recorder, &job.trace) {
+                    rec.complete(ctx, &response, queue_ns.unwrap_or(0));
+                }
                 self.served.fetch_add(1, Ordering::Relaxed);
                 saccs_obs::counter!("serve.served").inc();
                 job.reply.complete(response);
+                saccs_obs::gauge!("serve.inflight").sub(1.0);
             }
         }
     }
@@ -249,6 +315,7 @@ impl SaccsServer {
     ) -> SaccsServer {
         let config = config.sanitized();
         let workers = config.workers;
+        let recorder = config.recorder.map(|rc| Arc::new(FlightRecorder::new(rc)));
         let shared = Arc::new(Shared {
             service,
             entities,
@@ -263,6 +330,8 @@ impl SaccsServer {
             shed: AtomicU64::new(0),
             served: AtomicU64::new(0),
             batched_warms: AtomicU64::new(0),
+            recorder,
+            final_report: Mutex::new(None),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -321,6 +390,24 @@ impl SaccsServer {
         self.shared.work.notify_all();
     }
 
+    /// The installed flight recorder, if any.
+    pub fn recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.shared.recorder.as_ref()
+    }
+
+    /// Cut an on-demand report from the flight recorder (recorder
+    /// enabled only): everything still in the ring right now, plus the
+    /// slow-exemplar reservoir.
+    pub fn obs_report(&self) -> Option<ObsReport> {
+        self.shared.recorder.as_ref().map(|rec| rec.report())
+    }
+
+    /// The report cut once at shutdown, after the queue drained and the
+    /// workers exited. `None` before shutdown or without a recorder.
+    pub fn final_report(&self) -> Option<ObsReport> {
+        relock(self.shared.final_report.lock()).clone()
+    }
+
     /// Drain the queue and stop the workers. Queued requests are still
     /// served; new submissions shed. Called automatically on drop.
     pub fn shutdown(&mut self) {
@@ -332,6 +419,12 @@ impl SaccsServer {
         self.shared.work.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
+        }
+        if let Some(rec) = &self.shared.recorder {
+            let mut slot = relock(self.shared.final_report.lock());
+            if slot.is_none() {
+                *slot = Some(rec.report());
+            }
         }
     }
 }
@@ -411,6 +504,7 @@ mod tests {
                 workers: 1,
                 queue_depth: 2,
                 batch: 4,
+                ..ServeConfig::default()
             },
         );
         server.pause();
@@ -495,6 +589,7 @@ mod tests {
                 workers: 4,
                 queue_depth: 64,
                 batch: 4,
+                ..ServeConfig::default()
             },
         ));
         let (tx, rx) = std::sync::mpsc::channel();
@@ -517,5 +612,34 @@ mod tests {
         }
         assert_eq!(server.stats().served, 16);
         assert_eq!(server.stats().shed, 0);
+    }
+
+    #[test]
+    fn recorder_captures_trace_with_queue_wait_attribution() {
+        let mut server = SaccsServer::start(
+            service(),
+            entities(3),
+            ServeConfig::default().with_recorder(RecorderConfig::default()),
+        );
+        let response = server.submit(request().with_trace_id(7)).expect("admitted");
+        assert!(
+            response.timings.is_some(),
+            "recorder on must attach per-stage timings"
+        );
+        let report = server.obs_report().expect("recorder installed");
+        assert_eq!(report.requests, 1);
+        let trace = &report.traces[0];
+        assert_eq!(trace.id, 7, "caller-assigned trace id is preserved");
+        let labels: Vec<String> = trace.events.iter().map(|e| e.normal()).collect();
+        assert_eq!(labels[0], "admitted", "admission is the first event");
+        assert!(labels.contains(&"queue_wait".to_string()));
+        assert!(
+            labels.contains(&"stage_exit:algo1.probe".to_string()),
+            "stage spans forward into the owning trace: {labels:?}"
+        );
+        assert!(report.stages.contains_key("serve.queue_wait"));
+        server.shutdown();
+        let fin = server.final_report().expect("shutdown cuts a report");
+        assert_eq!(fin.requests, 1);
     }
 }

@@ -11,6 +11,7 @@ pub(crate) mod env_read;
 pub(crate) mod float_accum;
 pub(crate) mod hot_assert;
 pub(crate) mod lock_hazard;
+pub(crate) mod metric_name;
 pub(crate) mod no_panic;
 pub(crate) mod no_print;
 pub(crate) mod no_spawn;
@@ -70,7 +71,7 @@ pub(crate) fn all_lints() -> Vec<Box<dyn Lint>> {
     ]
 }
 
-/// Every `xtask audit` pass: the eight lints plus the five determinism/
+/// Every `xtask audit` pass: the eight lints plus the six determinism/
 /// concurrency analyses, in report order. `audit` gates their counts on
 /// the committed ratchet baseline.
 pub(crate) fn audit_passes() -> Vec<Box<dyn Lint>> {
@@ -80,6 +81,7 @@ pub(crate) fn audit_passes() -> Vec<Box<dyn Lint>> {
     passes.push(Box::new(wallclock::WallclockInCore));
     passes.push(Box::new(env_read::EnvReadInLib));
     passes.push(Box::new(blocking_worker::BlockingInWorker));
+    passes.push(Box::new(metric_name::MetricNameLiteral));
     passes
 }
 

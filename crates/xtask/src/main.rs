@@ -16,6 +16,7 @@ mod audit;
 mod auditjson;
 mod benchjson;
 mod lints;
+mod reportjson;
 mod scan;
 
 use lints::{all_lints, audit_passes, entry_matches, parse_allowlist, waivers_for, Violation};
@@ -42,11 +43,19 @@ fn main() -> ExitCode {
                 ExitCode::from(2)
             }
         },
+        Some("check-report") => match args.get(1) {
+            Some(path) => check_report(path),
+            None => {
+                eprintln!("usage: cargo run -p xtask -- check-report REPORT.json");
+                ExitCode::from(2)
+            }
+        },
         _ => {
             eprintln!("usage: cargo run -p xtask -- check");
             eprintln!("       cargo run -p xtask -- audit [--json PATH] [--update-baseline]");
             eprintln!("       cargo run -p xtask -- check-bench BENCH_<bin>.json");
             eprintln!("       cargo run -p xtask -- check-audit AUDIT.json");
+            eprintln!("       cargo run -p xtask -- check-report REPORT.json");
             eprintln!();
             eprintln!("check lints:");
             for lint in all_lints() {
@@ -78,6 +87,28 @@ fn check_audit(path: &str) -> ExitCode {
     } else {
         for p in &problems {
             eprintln!("xtask check-audit: {path}: {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Validate one flight-recorder report dumped by the serve bench
+/// (syntax, envelope, section shapes, per-trace shape).
+fn check_report(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask check-report: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let problems = reportjson::validate(&text);
+    if problems.is_empty() {
+        println!("xtask check-report: {path} ok");
+        ExitCode::SUCCESS
+    } else {
+        for p in &problems {
+            eprintln!("xtask check-report: {path}: {p}");
         }
         ExitCode::FAILURE
     }

@@ -16,7 +16,10 @@
 #   8. perf      SACCS_OBS=json matmul microbench + xtask check-bench
 #   9. chaos     seeded fault suite + double chaos-bin run, exports diffed
 #  10. serve     concurrent-serving suite + double serve-bin run, exports
-#                diffed, BENCH_serve.json validated
+#                AND normalized flight-recorder reports diffed,
+#                BENCH_serve.json + the recorder report validated
+#  11. trace     request-tracing suite (five-stage coverage, fault events
+#                in the owning trace, recorder-on/off bitwise equality)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -45,7 +48,7 @@ fi
 stage lint "cargo run -p xtask -- check"
 cargo run "${OFFLINE[@]}" -q -p xtask -- check || fail lint
 
-# Determinism & concurrency hazard audit: all 13 passes gated on the
+# Determinism & concurrency hazard audit: all 14 passes gated on the
 # ratcheted baseline (per-pass counts may only go down), run twice with
 # the JSON report byte-diffed — the analyzer itself must be as
 # deterministic as the code it audits — and the report schema validated.
@@ -103,19 +106,30 @@ rm -f CHAOS_a.jsonl CHAOS_b.jsonl
 # Serving gate: the concurrent-serving suite (bitwise equality at every
 # width/batch, exact shed accounting, chaos through the server), then
 # the serve bin run twice — its JSON-lines export (rankings as score
-# bits plus the server counters; no timings) must be byte-identical —
-# and the QPS/A-B snapshot validated.
-stage serve "serve suite + double serve run, exports diffed"
+# bits plus the server counters; no timings) AND its normalized
+# flight-recorder report (per-stage counts and event sequences,
+# timestamps stripped) must both be byte-identical — and the QPS/A-B
+# snapshot plus the recorder report validated.
+stage serve "serve suite + double serve run, exports + reports diffed"
 cargo test "${OFFLINE[@]}" -q --features fault --test serve || fail serve
-rm -f SERVE_a.jsonl SERVE_b.jsonl BENCH_serve.json
-SACCS_OBS=json SACCS_SERVE_OUT=SERVE_a.jsonl \
+rm -f SERVE_a.jsonl SERVE_b.jsonl SERVE_obsreport_a.json SERVE_obsreport_b.json BENCH_serve.json
+SACCS_OBS=json SACCS_SERVE_OUT=SERVE_a.jsonl SACCS_SERVE_REPORT=SERVE_obsreport_a.json \
     cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin serve \
     || fail serve
-SACCS_SERVE_OUT=SERVE_b.jsonl \
+SACCS_SERVE_OUT=SERVE_b.jsonl SACCS_SERVE_REPORT=SERVE_obsreport_b.json \
     cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --features fault --bin serve \
     >/dev/null || fail serve
 diff SERVE_a.jsonl SERVE_b.jsonl || fail serve
-rm -f SERVE_a.jsonl SERVE_b.jsonl
+diff SERVE_obsreport_a.json SERVE_obsreport_b.json || fail serve
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-report SERVE_obsreport_a.json || fail serve
+rm -f SERVE_a.jsonl SERVE_b.jsonl SERVE_obsreport_a.json SERVE_obsreport_b.json
 cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_serve.json || fail serve
+
+# Tracing gate: the request-tracing integration suite — every trace
+# carries all five Algorithm-1 stages with queue wait attributed
+# separately, fault events land in the owning request's trace, and
+# rankings are bitwise identical with the recorder on and off.
+stage trace "cargo test --features fault --test trace"
+cargo test "${OFFLINE[@]}" -q --features fault --test trace || fail trace
 
 printf '\n=== CI green: all stages passed ===\n'

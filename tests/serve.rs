@@ -146,6 +146,7 @@ fn every_width_and_batch_size_is_bitwise_identical_to_serial() {
                     workers,
                     queue_depth: 64,
                     batch,
+                    ..ServeConfig::default()
                 },
             ));
             let replies = submit_all(&server);
@@ -178,6 +179,7 @@ fn forced_micro_batch_warms_features_and_stays_bitwise_identical() {
             workers: 1,
             queue_depth: 64,
             batch: REQUESTS,
+            ..ServeConfig::default()
         },
     ));
     server.pause();
@@ -221,6 +223,7 @@ fn over_depth_burst_sheds_exactly_the_excess() {
             workers: 2,
             queue_depth: DEPTH,
             batch: 4,
+            ..ServeConfig::default()
         },
     ));
     server.pause();
@@ -298,6 +301,7 @@ mod armed {
                 workers: 2,
                 queue_depth: 64,
                 batch: 4,
+                ..ServeConfig::default()
             },
         ));
         const CHAOS_REQUESTS: usize = 8;
