@@ -681,10 +681,118 @@ pub fn apply_typos(sentence: &mut LabeledSentence, rate: f64, rng: &mut StdRng) 
     }
 }
 
+/// Deterministic large-scale subjective-tag corpus for the probe-scaling
+/// benches: every lexicon opinion variant crossed with every member of
+/// its natural aspect concepts, expanded with seeded single-edit typo
+/// variants that still fuzzy-resolve (edit similarity ≥ the 0.75 typo
+/// threshold, so each variant lands in the same semantic cell as its
+/// clean form). Output order and contents depend only on `(lexicon, n,
+/// seed)`. Returns fewer than `n` tags only if the variant space of the
+/// lexicon is exhausted.
+pub fn synthetic_tags(lexicon: &Lexicon, n: usize, seed: u64) -> Vec<saccs_text::SubjectiveTag> {
+    fn mix(mut h: u64) -> u64 {
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+        h ^ (h >> 31)
+    }
+    /// One seeded typo that keeps `edit_similarity ≥ 0.75`: duplicate or
+    /// drop an interior char (one Levenshtein edit), or swap adjacent
+    /// chars (two edits — only on words of 8+ chars, where `1 − 2/8`
+    /// still clears the threshold). Words under 4 chars are returned
+    /// verbatim; a single edit there would fall below it.
+    fn typo(word: &str, salt: u64) -> String {
+        let mut chars: Vec<char> = word.chars().collect();
+        if chars.len() < 4 {
+            return word.to_string();
+        }
+        let pos = 1 + (salt as usize >> 2) % (chars.len() - 1);
+        match salt & 3 {
+            0 | 1 => {
+                let c = chars[pos];
+                chars.insert(pos, c);
+            }
+            2 => {
+                chars.remove(pos);
+            }
+            _ if chars.len() >= 8 => chars.swap(pos - 1, pos),
+            _ => {
+                let c = chars[pos];
+                chars.insert(pos, c);
+            }
+        }
+        chars.into_iter().collect()
+    }
+
+    let mut base: Vec<(&'static str, &'static str)> = Vec::new();
+    for group in lexicon.opinion_groups() {
+        for &variant in group.variants {
+            for &concept in group.aspects {
+                if let Some(ac) = lexicon.aspect_by_name(concept) {
+                    for &member in ac.members {
+                        base.push((variant, member));
+                    }
+                }
+            }
+        }
+    }
+    if base.is_empty() {
+        return Vec::new();
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    let mut out = Vec::with_capacity(n);
+    let mut i = 0u64;
+    let budget = (n as u64).saturating_mul(16);
+    while out.len() < n && i < budget {
+        let (ov, am) = base[(i as usize) % base.len()];
+        let round = i / base.len() as u64;
+        let salt = mix(seed ^ mix(i));
+        let tag = match (round, round % 3) {
+            (0, _) => saccs_text::SubjectiveTag::new(ov, am),
+            (_, 1) => saccs_text::SubjectiveTag::new(&typo(ov, salt), am),
+            (_, 2) => saccs_text::SubjectiveTag::new(ov, &typo(am, salt)),
+            _ => saccs_text::SubjectiveTag::new(&typo(ov, salt), &typo(am, mix(salt))),
+        };
+        if seen.insert(tag.phrase()) {
+            out.push(tag);
+        }
+        i += 1;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    #[test]
+    fn synthetic_tags_are_deterministic_distinct_and_resolvable() {
+        let lexicon = Lexicon::new(saccs_text::Domain::Restaurants);
+        let tags = synthetic_tags(&lexicon, 10_000, 0x5EED);
+        assert_eq!(tags.len(), 10_000, "variant space exhausted early");
+        assert_eq!(tags, synthetic_tags(&lexicon, 10_000, 0x5EED));
+        let phrases: std::collections::BTreeSet<String> = tags.iter().map(|t| t.phrase()).collect();
+        assert_eq!(phrases.len(), tags.len());
+        // Typo'd variants must still fuzzy-resolve into the lexicon so
+        // the probe-scaling bench exercises the semantic cells, not the
+        // edit-distance fallback.
+        let sim =
+            saccs_text::ConceptualSimilarity::new(Lexicon::new(saccs_text::Domain::Restaurants));
+        for tag in tags.iter().step_by(251) {
+            assert!(
+                sim.resolve_opinion(&tag.opinion).is_some(),
+                "opinion {:?} fell out of the lexicon",
+                tag.opinion
+            );
+            assert!(
+                sim.resolve_aspect(&tag.aspect).is_some(),
+                "aspect {:?} fell out of the lexicon",
+                tag.aspect
+            );
+        }
+    }
     use saccs_text::iob::is_valid_sequence;
     use saccs_text::{Domain, SpanKind};
 

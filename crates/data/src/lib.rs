@@ -49,7 +49,9 @@ pub use entity::Entity;
 /// Adversarial review injection.
 pub use fraud::{inject_fraud, FraudCampaign};
 /// The sentence generator and its configuration.
-pub use generator::{FacetSpec, GeneratorConfig, LabeledSentence, SentenceGenerator};
+pub use generator::{
+    synthetic_tags, FacetSpec, GeneratorConfig, LabeledSentence, SentenceGenerator,
+};
 /// The named labeled datasets.
 pub use labeled::{Dataset, DatasetId};
 /// Query workloads over the canonical tags.

@@ -255,12 +255,32 @@ impl MiniBert {
             self.cache_insert(key.clone(), feats.clone());
         }
         // Serve from the cache but fall back to the freshly encoded list:
-        // a batch larger than the cache cap evicts its own entries.
-        let cache = self.feature_cache.borrow();
-        keys.iter()
-            .map(|key| match cache.map.get(key) {
-                Some(m) => m.clone(),
-                None => encoded[miss_of[key.as_slice()]].clone(),
+        // a batch larger than the cache cap evicts its own entries. That
+        // includes keys that were *hits* at dedupe time (so they are in
+        // neither the cache nor the miss list); re-encode those serially —
+        // same weights, same kernel, so the output is bitwise identical
+        // to the evicted entry.
+        let served: Vec<Option<Matrix>> = {
+            let cache = self.feature_cache.borrow();
+            keys.iter()
+                .map(|key| {
+                    cache
+                        .map
+                        .get(key)
+                        .cloned()
+                        .or_else(|| miss_of.get(key.as_slice()).map(|&i| encoded[i].clone()))
+                })
+                .collect()
+        };
+        served
+            .into_iter()
+            .zip(&keys)
+            .map(|(m, key)| match m {
+                Some(m) => m,
+                None => {
+                    let full = self.encode_frozen(key);
+                    full.slice_rows(1, full.rows())
+                }
             })
             .collect()
     }
@@ -564,6 +584,34 @@ mod tests {
         for (seq, got) in seqs.iter().zip(&batch) {
             assert_eq!(got, &b.features(seq));
         }
+    }
+
+    #[test]
+    fn features_batch_survives_cap_eviction_of_dedupe_hits() {
+        let b = tiny_bert();
+        // Prime the cache so this key is a *hit* when the batch dedupes.
+        let hot = toks(&["food", "is", "delicious"]);
+        let expect = b.features(&hot);
+        // More unique misses than the cache cap: the FIFO evicts the hot
+        // entry (and the earliest batch entries) before the serve loop
+        // runs, so the hot key ends up in neither the cache nor the miss
+        // list and must be re-encoded.
+        let words = ["the", "food", "is", "delicious", "staff", "nice", "."];
+        let mut seqs = vec![hot.clone()];
+        for i in 0..(FEATURE_CACHE_CAP + 8) {
+            let mut n = i;
+            let seq: Vec<String> = (0..5)
+                .map(|_| {
+                    let w = words[n % words.len()].to_string();
+                    n /= words.len();
+                    w
+                })
+                .collect();
+            seqs.push(seq);
+        }
+        let batch = b.features_batch(&seqs);
+        assert_eq!(batch[0], expect);
+        assert_eq!(batch.len(), seqs.len());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Int8-quantized MiniBert forward for the probe-side embedding path.
+//!
+//! [`QuantizedEncoder`] is a read-only snapshot of a trained
+//! [`MiniBert`](crate::MiniBert): it copies the weights out of
+//! `Layer::state()`, quantizes every projection matrix (the four
+//! attention projections, which are bias-free, and the two FFN linears)
+//! to per-column symmetric i8 via [`saccs_nn::QuantizedLinear`], and
+//! replays the frozen pre-norm forward with integer GEMMs. Embedding
+//! lookups, LayerNorm, softmax, the attention×value product, residual
+//! adds, and mean pooling stay in f32 — they are cheap and precision
+//! critical; the projections are where the FLOPs are.
+//!
+//! Because the u8×i8→i32 dot is exact integer arithmetic, the quantized
+//! forward is bitwise deterministic across SIMD tiers and thread widths.
+//! It is *not* bitwise equal to the f32 forward — callers that need
+//! bit-exact parity with trained-table regeneration keep
+//! [`EncoderPrecision::F32`] (the default), which bypasses this module
+//! entirely and calls `MiniBert::phrase_embedding`.
+
+use saccs_nn::{Layer, Matrix, QuantizedLinear};
+
+use crate::model::MiniBert;
+
+/// Which arithmetic the probe-side embedding path uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum EncoderPrecision {
+    /// Full f32 forward through `MiniBert` — bitwise identical to the
+    /// path used when similarity tables were generated. The default.
+    #[default]
+    F32,
+    /// Int8 projections via [`QuantizedEncoder`] — deterministic, ~4×
+    /// less weight traffic, small cosine error against f32.
+    Int8,
+}
+
+/// Per-block weights: quantized projections + f32 norm parameters.
+struct QBlock {
+    wq: QuantizedLinear,
+    wk: QuantizedLinear,
+    wv: QuantizedLinear,
+    wo: QuantizedLinear,
+    ln1_gain: Vec<f32>,
+    ln1_bias: Vec<f32>,
+    ff1: QuantizedLinear,
+    ff2: QuantizedLinear,
+    ln2_gain: Vec<f32>,
+    ln2_bias: Vec<f32>,
+}
+
+/// Frozen int8 snapshot of a MiniBert encoder.
+pub struct QuantizedEncoder {
+    dim: usize,
+    heads: usize,
+    tok_emb: Matrix,
+    pos_emb: Matrix,
+    blocks: Vec<QBlock>,
+}
+
+/// LayerNorm eps, matching `saccs_nn::LayerNorm::new`.
+const LN_EPS: f32 = 1e-5;
+
+fn zero_bias(n: usize) -> Matrix {
+    Matrix::row_vector(vec![0.0; n])
+}
+
+fn slice_cols(m: &Matrix, start: usize, end: usize) -> Matrix {
+    let rows = m.rows();
+    let mut out = Matrix::zeros(rows, end - start);
+    for r in 0..rows {
+        out.row_mut(r).copy_from_slice(&m.row(r)[start..end]);
+    }
+    out
+}
+
+fn layer_norm(x: &Matrix, gain: &[f32], bias: &[f32]) -> Matrix {
+    let (rows, cols) = x.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    for r in 0..rows {
+        let row = x.row(r);
+        let mu = row.iter().sum::<f32>() / cols as f32;
+        let var = row.iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / cols as f32;
+        let sigma = (var + LN_EPS).sqrt();
+        let dst = out.row_mut(r);
+        for c in 0..cols {
+            dst[c] = (row[c] - mu) / sigma * gain[c] + bias[c];
+        }
+    }
+    out
+}
+
+impl QuantizedEncoder {
+    /// Snapshot `bert`'s current weights. Call again after further
+    /// training; the encoder does not track weight updates.
+    pub fn from_bert(bert: &MiniBert) -> Self {
+        let cfg = bert.config();
+        let dim = cfg.dim;
+        let state = bert.state();
+        // MiniBert state layout: tok_emb, pos_emb, then per block
+        // [wq, wk, wv, wo, ln1.gain, ln1.bias, ff1.w, ff1.b, ff2.w,
+        //  ff2.b, ln2.gain, ln2.bias], then mlm_head (w, b) — unused here.
+        debug_assert_eq!(state.len(), 2 + 12 * cfg.layers + 2);
+        let proj = |m: &Matrix| QuantizedLinear::from_weights(m, &zero_bias(dim));
+        let blocks = (0..cfg.layers)
+            .map(|l| {
+                let s = &state[2 + 12 * l..2 + 12 * (l + 1)];
+                QBlock {
+                    wq: proj(&s[0]),
+                    wk: proj(&s[1]),
+                    wv: proj(&s[2]),
+                    wo: proj(&s[3]),
+                    ln1_gain: s[4].data().to_vec(),
+                    ln1_bias: s[5].data().to_vec(),
+                    ff1: QuantizedLinear::from_weights(&s[6], &s[7]),
+                    ff2: QuantizedLinear::from_weights(&s[8], &s[9]),
+                    ln2_gain: s[10].data().to_vec(),
+                    ln2_bias: s[11].data().to_vec(),
+                }
+            })
+            .collect();
+        QuantizedEncoder {
+            dim,
+            heads: cfg.heads,
+            tok_emb: state[0].clone(),
+            pos_emb: state[1].clone(),
+            blocks,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn attention(&self, block: &QBlock, x: &Matrix) -> Matrix {
+        let q = block.wq.forward(x);
+        let k = block.wk.forward(x);
+        let v = block.wv.forward(x);
+        let hd = self.dim / self.heads;
+        let scale = 1.0 / (hd as f32).sqrt();
+        let mut cat: Option<Matrix> = None;
+        for h in 0..self.heads {
+            let (c0, c1) = (h * hd, (h + 1) * hd);
+            let qh = slice_cols(&q, c0, c1);
+            let kh = slice_cols(&k, c0, c1);
+            let vh = slice_cols(&v, c0, c1);
+            let att = qh.matmul(&kh.transpose()).scale(scale).softmax_rows();
+            let out = att.matmul(&vh);
+            cat = Some(match cat {
+                Some(acc) => acc.hstack(&out),
+                None => out,
+            });
+        }
+        block.wo.forward(&cat.expect("at least one attention head"))
+    }
+
+    /// Run the frozen encoder over `ids` (the output of
+    /// [`MiniBert::ids`], `[CLS]`-prefixed and truncated).
+    pub fn encode(&self, ids: &[usize]) -> Matrix {
+        let rows = ids.len();
+        let mut x = Matrix::zeros(rows, self.dim);
+        for (r, &id) in ids.iter().enumerate() {
+            let dst = x.row_mut(r);
+            for (c, v) in dst.iter_mut().enumerate() {
+                *v = self.tok_emb.get(id, c) + self.pos_emb.get(r, c);
+            }
+        }
+        for block in &self.blocks {
+            let a = self.attention(block, &layer_norm(&x, &block.ln1_gain, &block.ln1_bias));
+            x = x.add(&a);
+            let h = layer_norm(&x, &block.ln2_gain, &block.ln2_bias);
+            let f = block
+                .ff2
+                .forward(&block.ff1.forward(&h).map(|v| v.max(0.0)));
+            x = x.add(&f);
+        }
+        x
+    }
+
+    /// Mean-pooled phrase vector over the non-`[CLS]` rows — the int8
+    /// counterpart of [`MiniBert::phrase_embedding`]. Takes the id
+    /// sequence from [`MiniBert::ids`].
+    pub fn phrase_embedding(&self, ids: &[usize]) -> Vec<f32> {
+        let encoded = self.encode(ids);
+        let rows = encoded.rows();
+        if rows <= 1 {
+            return vec![0.0; self.dim];
+        }
+        let features = encoded.slice_rows(1, rows);
+        features
+            .sum_rows()
+            .scale(1.0 / features.rows() as f32)
+            .data()
+            .to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MiniBertConfig;
+    use saccs_text::vocab::Vocab;
+
+    fn tiny_bert() -> MiniBert {
+        let vocab = Vocab::from_tokens(
+            [
+                "delicious",
+                "food",
+                "friendly",
+                "staff",
+                "terrible",
+                "noise",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
+        );
+        MiniBert::new(vocab, MiniBertConfig::default())
+    }
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn cosine(a: &[f32], b: &[f32]) -> f32 {
+        let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+        dot / (na * nb).max(1e-12)
+    }
+
+    #[test]
+    fn int8_embedding_stays_close_to_f32() {
+        let bert = tiny_bert();
+        let qe = QuantizedEncoder::from_bert(&bert);
+        for phrase in [
+            vec!["delicious", "food"],
+            vec!["friendly", "staff"],
+            vec!["terrible", "noise", "food"],
+            vec!["food"],
+        ] {
+            let tokens = toks(&phrase);
+            let exact = bert.phrase_embedding(&tokens);
+            let quant = qe.phrase_embedding(&bert.ids(&tokens));
+            let cos = cosine(&exact, &quant);
+            assert!(cos > 0.999, "cosine {cos} for {phrase:?}");
+        }
+    }
+
+    #[test]
+    fn int8_embedding_is_deterministic() {
+        let bert = tiny_bert();
+        let qe = QuantizedEncoder::from_bert(&bert);
+        let ids = bert.ids(&toks(&["delicious", "food"]));
+        let a = qe.phrase_embedding(&ids);
+        let b = qe.phrase_embedding(&ids);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn empty_phrase_embeds_to_zero() {
+        let bert = tiny_bert();
+        let qe = QuantizedEncoder::from_bert(&bert);
+        let ids = bert.ids(&[]);
+        assert_eq!(qe.phrase_embedding(&ids), vec![0.0; bert.dim()]);
+    }
+
+    #[test]
+    fn f32_precision_is_the_default() {
+        assert_eq!(EncoderPrecision::default(), EncoderPrecision::F32);
+    }
+}

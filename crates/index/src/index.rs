@@ -1,10 +1,12 @@
 //! The inverted index and Equation 1.
 
+use crate::ann::{GraphAnnIndex, SemanticCandidateIndex, TagVectorSource};
 use crate::history::UserTagHistory;
 use parking_lot::Mutex;
 use saccs_text::{ConceptualSimilarity, SubjectiveTag, TagSimilarity};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt::Write as _;
 use std::sync::MutexGuard;
 
 /// One entity mapping under an index tag.
@@ -62,6 +64,23 @@ pub struct IndexConfig {
     /// matchers under the generic bridge) use a raised threshold, while
     /// specific in-lexicon tags probe with a slightly lowered one.
     pub dynamic_thresholds: bool,
+    /// Answer fallback probes through the deterministic ANN candidate
+    /// structures in [`crate::ann`] instead of the exhaustive scan. With
+    /// the default conceptual similarity the results stay bitwise
+    /// identical to the scan (sound upper-bound pruning + exact rescore);
+    /// with a custom similarity the graph search is approximate and its
+    /// recall is measured honestly in `BENCH_probe`.
+    pub ann_enabled: bool,
+    /// Graph-search beam width (candidates returned per probe). Also the
+    /// floor of the construction beam. Ignored by the semantic cells.
+    pub ann_ef: usize,
+    /// Max neighbors per graph node per level. Ignored by the semantic
+    /// cells.
+    pub ann_m: usize,
+    /// Equality mode for the paper tables: run *both* the exhaustive scan
+    /// and the ANN probe, count bitwise mismatches
+    /// (`index.probe.ann.mismatch`), and always return the scan result.
+    pub ann_verify: bool,
 }
 
 impl Default for IndexConfig {
@@ -71,6 +90,10 @@ impl Default for IndexConfig {
             theta_filter: 0.45,
             degree_formula: DegreeFormula::Equation1,
             dynamic_thresholds: false,
+            ann_enabled: false,
+            ann_ef: 64,
+            ann_m: 8,
+            ann_verify: false,
         }
     }
 }
@@ -103,12 +126,27 @@ pub struct SubjectiveIndex {
     /// serving time, so it sits behind its own mutex: probes stay `&self`
     /// and many serving threads can record unknown tags concurrently.
     history: Mutex<UserTagHistory>,
+    /// Embedding vectors for tags, enabling the graph ANN when a custom
+    /// (embedding) similarity is installed.
+    vector_source: Option<Box<dyn TagVectorSource>>,
+    /// ANN sidecar, rebuilt eagerly by every `&mut` entry mutation when
+    /// `ann_enabled` — probes stay `&self`.
+    ann: Option<AnnState>,
 }
 
-/// Serializable snapshot of the index state.
-#[derive(Serialize, Deserialize)]
-pub struct IndexSnapshot {
-    pub entries: BTreeMap<String, Vec<IndexEntry>>,
+/// The ANN sidecar: the lexicographic tag list candidate ids index into,
+/// its posting lists (cloned at rebuild so a rescore is one indexed read
+/// instead of a string-keyed tree lookup per candidate), plus whichever
+/// candidate structure fits the similarity in use.
+struct AnnState {
+    tags: Vec<SubjectiveTag>,
+    postings: Vec<Vec<IndexEntry>>,
+    kind: AnnKind,
+}
+
+enum AnnKind {
+    Semantic(SemanticCandidateIndex),
+    Graph(GraphAnnIndex),
 }
 
 impl SubjectiveIndex {
@@ -120,6 +158,8 @@ impl SubjectiveIndex {
             entries: BTreeMap::new(),
             evidence: Vec::new(),
             history: Mutex::new(UserTagHistory::new()),
+            vector_source: None,
+            ann: None,
         }
     }
 
@@ -127,6 +167,15 @@ impl SubjectiveIndex {
     /// conceptual-vs-cosine ablation hook). Call before `index_tags`.
     pub fn with_custom_similarity(mut self, similarity: impl TagSimilarity + 'static) -> Self {
         self.custom_similarity = Some(Box::new(similarity));
+        self
+    }
+
+    /// Install a vector source for tag embeddings. Required for the
+    /// graph ANN path (custom similarity + `ann_enabled`); the default
+    /// conceptual similarity builds its semantic cells without vectors.
+    /// Call before `index_tags`.
+    pub fn with_tag_vectors(mut self, source: impl TagVectorSource + 'static) -> Self {
+        self.vector_source = Some(Box::new(source));
         self
     }
 
@@ -152,6 +201,49 @@ impl SubjectiveIndex {
     /// recomputed automatically.
     pub fn set_degree_formula(&mut self, formula: DegreeFormula) {
         self.config.degree_formula = formula;
+    }
+
+    /// Toggle the ANN fallback probe on an already-built index (the
+    /// scan-vs-ANN A/B hook), rebuilding or dropping the sidecar.
+    pub fn set_ann_enabled(&mut self, enabled: bool) {
+        self.config.ann_enabled = enabled;
+        self.rebuild_ann();
+    }
+
+    /// Rebuild the ANN sidecar from the current entries. Always runs over
+    /// the lexicographically sorted tag list, so the structure is a pure
+    /// function of the tag set — independent of insertion order and of
+    /// the thread count.
+    fn rebuild_ann(&mut self) {
+        self.ann = None;
+        if !self.config.ann_enabled || self.entries.is_empty() {
+            return;
+        }
+        let tags: Vec<SubjectiveTag> = self.entries.keys().cloned().collect();
+        let postings: Vec<Vec<IndexEntry>> = self.entries.values().cloned().collect();
+        let kind = if self.custom_similarity.is_none() {
+            Some(AnnKind::Semantic(SemanticCandidateIndex::build(
+                &self.similarity,
+                &tags,
+            )))
+        } else if let Some(source) = &self.vector_source {
+            GraphAnnIndex::build(
+                source.as_ref(),
+                &tags,
+                self.config.ann_m,
+                self.config.ann_ef,
+            )
+            .map(AnnKind::Graph)
+        } else {
+            // Custom similarity without vectors: nothing to search by,
+            // fallback probes keep scanning.
+            None
+        };
+        self.ann = kind.map(|kind| AnnState {
+            tags,
+            postings,
+            kind,
+        });
     }
 
     /// Register extracted evidence for one entity (idempotent per entity:
@@ -232,6 +324,7 @@ impl SubjectiveIndex {
         for (tag, postings) in tags.iter().zip(postings) {
             self.entries.insert(tag.clone(), postings);
         }
+        self.rebuild_ann();
     }
 
     /// Fallible [`SubjectiveIndex::index_tags`] behind the `index.build`
@@ -268,6 +361,7 @@ impl SubjectiveIndex {
     /// Table-2 runs to evaluate 6/12/18-tag index states on one pipeline.
     pub fn clear_tags(&mut self) {
         self.entries.clear();
+        self.ann = None;
     }
 
     /// Number of index tags.
@@ -362,23 +456,133 @@ impl SubjectiveIndex {
             }
         }
         // θ_filter similarity fallback: the tag is unknown (or indexed
-        // empty), so scan every index tag. The exact/fallback counter
-        // ratio is the index miss rate under real query traffic.
+        // empty). The exact/fallback counter ratio is the index miss
+        // rate under real query traffic.
         saccs_obs::counter!("index.probe.fallback").inc();
         saccs_obs::trace::record(saccs_obs::trace::TraceEvent::Probe { exact: false });
         let theta = self.theta_filter_for(tag);
-        let mut scores: BTreeMap<usize, f32> = BTreeMap::new();
+        if let Some(state) = &self.ann {
+            if self.config.ann_verify {
+                // Equality mode: answer from the scan, run the ANN probe
+                // alongside, and account every bitwise divergence.
+                let scan = self.probe_scan(tag, theta);
+                match self.probe_ann(state, tag, theta) {
+                    Some(ann) if Self::ranked_bitwise_eq(&scan, &ann) => {
+                        saccs_obs::counter!("index.probe.ann.verified").inc();
+                    }
+                    Some(_) => {
+                        saccs_obs::counter!("index.probe.ann.mismatch").inc();
+                    }
+                    None => {}
+                }
+                return scan;
+            }
+            match self.probe_ann(state, tag, theta) {
+                Some(out) => return out,
+                // No probe vector for this tag: scan rather than lie.
+                None => {
+                    saccs_obs::counter!("index.probe.ann.scan_fallback").inc();
+                }
+            }
+        }
+        self.probe_scan(tag, theta)
+    }
+
+    /// The exhaustive θ_filter fallback: score every index tag.
+    fn probe_scan(&self, tag: &SubjectiveTag, theta: f32) -> Vec<(usize, f32)> {
+        let mut hits: Vec<(usize, f32)> = Vec::new();
         for (index_tag, postings) in &self.entries {
             let sim = self.sim(tag, index_tag);
             if sim > theta {
                 for e in postings {
-                    *scores.entry(e.entity_id).or_insert(0.0) += sim * e.degree_of_truth;
+                    hits.push((e.entity_id, sim * e.degree_of_truth));
                 }
             }
         }
-        let mut out: Vec<(usize, f32)> = scores.into_iter().collect();
+        Self::rank_hits(hits)
+    }
+
+    /// ANN fallback: fetch candidates, exactly rescore them in ascending
+    /// tag order (= the scan's iteration order), and rank. With the
+    /// semantic cells the candidate set is a superset of the scan's
+    /// matches, so the surviving `(tag, posting)` sequence — and with it
+    /// every f32 addition — is identical to the scan's and the ranking
+    /// is bitwise equal. `None` when the probe tag cannot be embedded.
+    fn probe_ann(
+        &self,
+        state: &AnnState,
+        tag: &SubjectiveTag,
+        theta: f32,
+    ) -> Option<Vec<(usize, f32)>> {
+        let mut hits: Vec<(usize, f32)> = Vec::new();
+        let mut rescored = 0u32;
+        let (candidates, visited) = match &state.kind {
+            AnnKind::Semantic(cells) => {
+                // Fused candidate + per-cell exact rescore: scores come
+                // back bitwise equal to `sim()` without paying a lexicon
+                // resolution per candidate.
+                let sc = cells.rescore(&self.similarity, tag, theta, &state.tags);
+                for &(id, sim) in &sc.scored {
+                    if sim > theta {
+                        rescored += 1;
+                        for e in &state.postings[id as usize] {
+                            hits.push((e.entity_id, sim * e.degree_of_truth));
+                        }
+                    }
+                }
+                (sc.scored.len() as u32, sc.visited)
+            }
+            AnnKind::Graph(graph) => {
+                let v = self.vector_source.as_ref()?.vector(tag)?;
+                let cand = graph.candidates(&v, self.config.ann_ef)?;
+                for &id in &cand.ids {
+                    let sim = self.sim(tag, &state.tags[id as usize]);
+                    if sim > theta {
+                        rescored += 1;
+                        for e in &state.postings[id as usize] {
+                            hits.push((e.entity_id, sim * e.degree_of_truth));
+                        }
+                    }
+                }
+                (cand.ids.len() as u32, cand.visited)
+            }
+        };
+        saccs_obs::counter!("index.probe.ann.candidates").add(u64::from(candidates));
+        saccs_obs::counter!("index.probe.ann.rescored").add(u64::from(rescored));
+        saccs_obs::counter!("index.probe.ann.visited").add(u64::from(visited));
+        saccs_obs::trace::record(saccs_obs::trace::TraceEvent::ProbeAnn {
+            candidates,
+            rescored,
+            visited,
+        });
+        Some(Self::rank_hits(hits))
+    }
+
+    /// Collapse `(entity, sim × degree)` hits — recorded in tag-major
+    /// scan order — into the ranked `(entity, score)` list. The stable
+    /// sort keeps each entity's contributions in encounter order, so the
+    /// left-to-right fold adds them in exactly the sequence the previous
+    /// `BTreeMap` accumulation did: scores are bit-for-bit unchanged,
+    /// without a tree lookup per hit (`BENCH_probe` measures the win).
+    fn rank_hits(mut hits: Vec<(usize, f32)>) -> Vec<(usize, f32)> {
+        hits.sort_by_key(|&(id, _)| id);
+        let mut out: Vec<(usize, f32)> = Vec::with_capacity(hits.len());
+        for (id, v) in hits {
+            match out.last_mut() {
+                Some((last, acc)) if *last == id => *acc += v,
+                _ => out.push((id, v)),
+            }
+        }
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
         out
+    }
+
+    /// Exact (id, score-bits, order) equality of two rankings.
+    fn ranked_bitwise_eq(a: &[(usize, f32)], b: &[(usize, f32)]) -> bool {
+        a.len() == b.len()
+            && a.iter()
+                .zip(b)
+                .all(|(x, y)| x.0 == y.0 && x.1.to_bits() == y.1.to_bits())
     }
 
     /// Pending unknown tags (user tag history). Returns the guard; the
@@ -389,18 +593,70 @@ impl SubjectiveIndex {
         self.history.lock()
     }
 
-    /// Serialize the posting lists to bytes (serde + JSON-free compact
-    /// format via bincode-style manual framing is overkill; postings are
-    /// small, so JSON it is).
+    /// Serialize the posting lists to bytes: one `opinion|aspect\t
+    /// id:degree:norm,...` line per tag, straight off the entries map —
+    /// no intermediate keyed map, no posting-list clones.
     pub fn snapshot(&self) -> bytes::Bytes {
-        let snap = IndexSnapshot {
-            entries: self
-                .entries
-                .iter()
-                .map(|(t, v)| (format!("{}|{}", t.opinion, t.aspect), v.clone()))
-                .collect(),
-        };
-        bytes::Bytes::from(serde_json::to_vec(&snap))
+        let mut out = String::new();
+        for (tag, entries) in &self.entries {
+            out.push_str(&tag.opinion);
+            out.push('|');
+            out.push_str(&tag.aspect);
+            out.push('\t');
+            for (i, e) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{}:{}:{}",
+                    e.entity_id, e.degree_of_truth, e.normalized
+                );
+            }
+            out.push('\n');
+        }
+        bytes::Bytes::from(out.into_bytes())
+    }
+
+    /// Rebuild the posting lists from a [`SubjectiveIndex::snapshot`]
+    /// byte image, replacing the current entries (registered evidence is
+    /// untouched) and rebuilding the ANN sidecar. Returns the number of
+    /// restored tags. `f32` values round-trip exactly: `Display` prints
+    /// the shortest decimal that parses back to the same bits.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<usize, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("snapshot is not UTF-8: {e}"))?;
+        let mut entries: BTreeMap<SubjectiveTag, Vec<IndexEntry>> = BTreeMap::new();
+        for (ln, line) in text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let bad = |what: &str| format!("snapshot line {}: {what}", ln + 1);
+            let (key, rest) = line.split_once('\t').ok_or_else(|| bad("missing tab"))?;
+            let (opinion, aspect) = key
+                .split_once('|')
+                .ok_or_else(|| bad("missing | in tag key"))?;
+            let tag = SubjectiveTag {
+                opinion: opinion.to_string(),
+                aspect: aspect.to_string(),
+            };
+            let mut postings: Vec<IndexEntry> = Vec::new();
+            for part in rest.split(',').filter(|p| !p.is_empty()) {
+                let mut fields = part.splitn(3, ':');
+                match (fields.next(), fields.next(), fields.next()) {
+                    (Some(id), Some(degree), Some(norm)) => postings.push(IndexEntry {
+                        entity_id: id.parse().map_err(|_| bad("bad entity id"))?,
+                        degree_of_truth: degree.parse().map_err(|_| bad("bad degree"))?,
+                        normalized: norm.parse().map_err(|_| bad("bad normalized"))?,
+                    }),
+                    _ => return Err(bad("posting needs id:degree:norm")),
+                }
+            }
+            entries.insert(tag, postings);
+        }
+        let restored = entries.len();
+        self.entries = entries;
+        self.rebuild_ann();
+        Ok(restored)
     }
 
     /// Render the Table-1 view of the index (tags with their top entities
@@ -423,32 +679,6 @@ impl SubjectiveIndex {
             }
         }
         out
-    }
-}
-
-// `serde_json` is not among the allowed crates; serialize with a tiny
-// hand-rolled encoder instead. Kept module-private.
-mod serde_json {
-    use super::IndexSnapshot;
-
-    /// Minimal, dependency-free serializer: `tag\tid:degree:norm,...\n`.
-    pub(super) fn to_vec(snap: &IndexSnapshot) -> Vec<u8> {
-        let mut out = String::new();
-        for (tag, entries) in &snap.entries {
-            out.push_str(tag);
-            out.push('\t');
-            for (i, e) in entries.iter().enumerate() {
-                if i > 0 {
-                    out.push(',');
-                }
-                out.push_str(&format!(
-                    "{}:{}:{}",
-                    e.entity_id, e.degree_of_truth, e.normalized
-                ));
-            }
-            out.push('\n');
-        }
-        out.into_bytes()
     }
 }
 
@@ -663,6 +893,63 @@ mod tests {
         let text = String::from_utf8(bytes.to_vec()).unwrap();
         assert!(text.contains("good|food"));
         assert!(text.contains("nice|staff"));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_and_preserves_ann_vs_scan_equality() {
+        let mut idx = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig {
+                ann_enabled: true,
+                ..Default::default()
+            },
+        );
+        idx.register_entity(evidence(0, 3, &[("good", "food"), ("nice", "staff")]));
+        idx.register_entity(evidence(
+            1,
+            7,
+            &[("creative", "cooking"), ("quick", "service")],
+        ));
+        idx.register_entity(evidence(2, 2, &[("romantic", "ambiance")]));
+        idx.index_tags(&[
+            tag("good", "food"),
+            tag("nice", "staff"),
+            tag("creative", "cooking"),
+            tag("quick", "service"),
+            tag("romantic", "ambiance"),
+        ]);
+        let bytes = idx.snapshot();
+
+        let mut restored = SubjectiveIndex::new(
+            ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+            IndexConfig {
+                ann_enabled: true,
+                ..Default::default()
+            },
+        );
+        assert_eq!(restored.restore(&bytes).unwrap(), idx.len());
+        // Postings round-trip bit-exactly (Display → parse is lossless).
+        for t in idx.tags() {
+            let a = idx.lookup(t).unwrap();
+            let b = restored.lookup(t).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert_eq!(x.entity_id, y.entity_id);
+                assert_eq!(x.degree_of_truth.to_bits(), y.degree_of_truth.to_bits());
+                assert_eq!(x.normalized.to_bits(), y.normalized.to_bits());
+            }
+        }
+        // And the re-derived ANN sidecar answers fallback probes bitwise
+        // identically to the exhaustive scan on the restored index.
+        for probe in [tag("delicious", "food"), tag("friendly", "waiters")] {
+            let theta = restored.theta_filter_for(&probe);
+            let ann = restored.probe_readonly(&probe);
+            let scan = restored.probe_scan(&probe, theta);
+            assert!(SubjectiveIndex::ranked_bitwise_eq(&ann, &scan));
+            assert!(!ann.is_empty());
+        }
+        // A second snapshot of the restored index is byte-identical.
+        assert_eq!(bytes, restored.snapshot());
     }
 
     #[test]

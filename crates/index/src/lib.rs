@@ -18,6 +18,8 @@
 //! extractor lives in `saccs-core`), so this crate stays a pure data
 //! structure with no model dependencies.
 
+/// Deterministic ANN candidate structures for the fallback probe.
+pub mod ann;
 /// Aho-Corasick-style tag automaton for fast mention scans.
 pub mod automaton;
 /// The user tag history feeding re-indexing rounds.
@@ -29,6 +31,10 @@ pub mod robust;
 /// Concurrent serving wrapper (RwLock + pending queue).
 pub mod shared;
 
+/// ANN candidate structures and the probe-side vector source hook.
+pub use ann::{
+    CandidateSet, GraphAnnIndex, ScoredCandidates, SemanticCandidateIndex, TagVectorSource,
+};
 /// Multi-tag mention scanning.
 pub use automaton::TagAutomaton;
 /// Unknown tags users asked about.

@@ -1,0 +1,232 @@
+//! ANN-enabled fallback probes must be *exactly* the exhaustive scan:
+//! same entity ids, same score bits, same order. With the default
+//! conceptual similarity the semantic candidate cells prune only tags
+//! whose upper bound is below θ_filter, and the rescore replays the
+//! scan's addition sequence, so the equality is bitwise — across random
+//! corpora, θ values, dynamic thresholds, and `saccs-rt` widths.
+
+use proptest::prelude::*;
+use saccs_index::index::{EntityEvidence, IndexConfig, SubjectiveIndex};
+use saccs_text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+
+/// Mix of in-lexicon opinions, fuzzy-resolvable typos, and garbage.
+const OPINIONS: &[&str] = &[
+    "delicious",
+    "tasty",
+    "great",
+    "good",
+    "bad",
+    "friendly",
+    "rude",
+    "cozy",
+    "noisy",
+    "cheap",
+    "deliciouz",
+    "frendly",
+    "zorgle",
+];
+
+/// Same mix on the aspect side.
+const ASPECTS: &[&str] = &[
+    "food", "meal", "pasta", "staff", "service", "waiters", "ambiance", "price", "zzplace",
+];
+
+/// θ_filter values swept by the fuzz test.
+const THETAS: &[f32] = &[0.15, 0.45, 0.55, 0.7, 0.9];
+
+fn sim() -> ConceptualSimilarity {
+    ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+}
+
+fn mk_tag(&(o, a): &(usize, usize)) -> SubjectiveTag {
+    SubjectiveTag::new(OPINIONS[o % OPINIONS.len()], ASPECTS[a % ASPECTS.len()])
+}
+
+fn build(
+    config: IndexConfig,
+    entities: &[(usize, Vec<SubjectiveTag>)],
+    tags: &[SubjectiveTag],
+) -> SubjectiveIndex {
+    let mut idx = SubjectiveIndex::new(sim(), config);
+    for (e, (reviews, review_tags)) in entities.iter().enumerate() {
+        idx.register_entity(EntityEvidence {
+            entity_id: e,
+            review_count: *reviews,
+            review_tags: review_tags.clone(),
+        });
+    }
+    idx.index_tags(tags);
+    idx
+}
+
+fn assert_ranked_bitwise_eq(ann: &[(usize, f32)], scan: &[(usize, f32)], ctx: &str) {
+    assert_eq!(ann.len(), scan.len(), "{ctx}: lengths differ");
+    for (i, ((ea, sa), (eb, sb))) in ann.iter().zip(scan).enumerate() {
+        assert_eq!(ea, eb, "{ctx}: entity at rank {i}");
+        assert_eq!(
+            sa.to_bits(),
+            sb.to_bits(),
+            "{ctx}: score bits at rank {i} ({sa} vs {sb})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(prop::test_runner::Config::with_cases(48))]
+
+    /// The core tentpole invariant, fuzzed: for any corpus, θ_filter and
+    /// dynamic-threshold setting, ANN probes equal scan probes bitwise.
+    #[test]
+    fn ann_probe_equals_scan_probe_bitwise(
+        raw_entities in prop::collection::vec(
+            (1usize..5, prop::collection::vec((0usize..64, 0usize..64), 1..6)),
+            1..10,
+        ),
+        raw_tags in prop::collection::vec((0usize..64, 0usize..64), 1..14),
+        raw_probes in prop::collection::vec((0usize..64, 0usize..64), 1..6),
+        theta_pick in 0usize..THETAS.len(),
+        dynamic in prop::bool::ANY,
+    ) {
+        let theta = THETAS[theta_pick];
+        let entities: Vec<(usize, Vec<SubjectiveTag>)> = raw_entities
+            .iter()
+            .map(|(reviews, ts)| (*reviews, ts.iter().map(mk_tag).collect()))
+            .collect();
+        let tags: Vec<SubjectiveTag> = raw_tags.iter().map(mk_tag).collect();
+        let probes: Vec<SubjectiveTag> = raw_probes.iter().map(mk_tag).collect();
+        let config = IndexConfig {
+            theta_filter: theta,
+            dynamic_thresholds: dynamic,
+            ..IndexConfig::default()
+        };
+        let scan_idx = build(config.clone(), &entities, &tags);
+        let ann_idx = build(
+            IndexConfig { ann_enabled: true, ..config },
+            &entities,
+            &tags,
+        );
+        for probe in &probes {
+            let scan = scan_idx.probe_readonly(probe);
+            let ann = ann_idx.probe_readonly(probe);
+            assert_ranked_bitwise_eq(
+                &ann,
+                &scan,
+                &format!("probe {probe:?} θ={theta} dynamic={dynamic}"),
+            );
+        }
+    }
+}
+
+/// Verify mode runs both paths, returns the scan, and records zero
+/// mismatches (the mismatch counter is asserted indirectly: results are
+/// the scan's results bit for bit).
+#[test]
+fn verify_mode_returns_scan_results() {
+    let entities: Vec<(usize, Vec<SubjectiveTag>)> = (0..8)
+        .map(|e| {
+            let t = (0..3)
+                .map(|k| {
+                    SubjectiveTag::new(
+                        OPINIONS[(e * 3 + k) % OPINIONS.len()],
+                        ASPECTS[(e + k * 2) % ASPECTS.len()],
+                    )
+                })
+                .collect();
+            (1 + e % 4, t)
+        })
+        .collect();
+    let tags: Vec<SubjectiveTag> = (0..10)
+        .map(|i| SubjectiveTag::new(OPINIONS[i % OPINIONS.len()], ASPECTS[i % ASPECTS.len()]))
+        .collect();
+    let scan_idx = build(IndexConfig::default(), &entities, &tags);
+    let verify_idx = build(
+        IndexConfig {
+            ann_enabled: true,
+            ann_verify: true,
+            ..IndexConfig::default()
+        },
+        &entities,
+        &tags,
+    );
+    for probe in [
+        SubjectiveTag::new("scrumptious", "pizza"),
+        SubjectiveTag::new("delicious", "waiters"),
+        SubjectiveTag::new("zorgle", "zzplace"),
+    ] {
+        assert_ranked_bitwise_eq(
+            &verify_idx.probe_readonly(&probe),
+            &scan_idx.probe_readonly(&probe),
+            &format!("verify-mode probe {probe:?}"),
+        );
+    }
+}
+
+/// Width sweep: one test function on purpose — `saccs_rt::set_threads`
+/// is grow-only and process-global, so the width-1 pass must run first.
+/// ANN-enabled probes must match both the scan *and* the width-1
+/// baseline bit for bit at widths 1, 2 and 8.
+#[test]
+fn ann_probes_bitwise_identical_across_widths() {
+    let entities: Vec<(usize, Vec<SubjectiveTag>)> = (0..16)
+        .map(|e| {
+            let t = (0..4)
+                .map(|k| {
+                    SubjectiveTag::new(
+                        OPINIONS[(e * 5 + k * 3) % OPINIONS.len()],
+                        ASPECTS[(e * 2 + k) % ASPECTS.len()],
+                    )
+                })
+                .collect();
+            (2 + e % 3, t)
+        })
+        .collect();
+    let tags: Vec<SubjectiveTag> = (0..12)
+        .map(|i| {
+            SubjectiveTag::new(
+                OPINIONS[(i * 7) % OPINIONS.len()],
+                ASPECTS[i % ASPECTS.len()],
+            )
+        })
+        .collect();
+    let probes = [
+        SubjectiveTag::new("scrumptious", "pasta"),
+        SubjectiveTag::new("deliciouz", "food"),
+        SubjectiveTag::new("great", "waiters"),
+        SubjectiveTag::new("romantic", "ambiance"),
+    ];
+
+    let mut baseline: Option<Vec<Vec<(usize, f32)>>> = None;
+    for width in [1usize, 2, 8] {
+        saccs_rt::set_threads(width);
+        let scan_idx = build(IndexConfig::default(), &entities, &tags);
+        let ann_idx = build(
+            IndexConfig {
+                ann_enabled: true,
+                ..IndexConfig::default()
+            },
+            &entities,
+            &tags,
+        );
+        let results: Vec<Vec<(usize, f32)>> =
+            probes.iter().map(|p| ann_idx.probe_readonly(p)).collect();
+        for (probe, ann) in probes.iter().zip(&results) {
+            assert_ranked_bitwise_eq(
+                ann,
+                &scan_idx.probe_readonly(probe),
+                &format!("width {width} probe {probe:?}"),
+            );
+        }
+        match &baseline {
+            None => baseline = Some(results),
+            Some(base) => {
+                for ((probe, got), expect) in probes.iter().zip(&results).zip(base) {
+                    assert_ranked_bitwise_eq(
+                        got,
+                        expect,
+                        &format!("width {width} vs width 1, probe {probe:?}"),
+                    );
+                }
+            }
+        }
+    }
+}

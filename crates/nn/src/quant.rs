@@ -1,0 +1,354 @@
+//! Int8-quantized linear layers for the probe-side encoder path.
+//!
+//! Scheme (the standard asymmetric-activation × symmetric-weight GEMM):
+//!
+//! * **Weights** are quantized per output column to symmetric i8:
+//!   `scale_j = max|W[:,j]| / 127`, `wq = round(w / scale_j)`. Stored
+//!   transposed (`n×k`) so each output's dot product streams one
+//!   contiguous row.
+//! * **Activations** are quantized per row into the *unsigned 7-bit*
+//!   range `[0, 127]`: `q_i = round(x_i / scale_x) + zp`. Capping at 127
+//!   instead of 255 halves the resolution but makes the AVX2 `maddubs`
+//!   pair-sum safe — `2·127·127 = 32258 < i16::MAX` — so every kernel
+//!   accumulates exactly, with no saturation anywhere.
+//! * The integer dot is corrected by the precomputed row sums:
+//!   `Σ x·w ≈ scale_x·scale_j·(Σ q·wq − zp·Σ wq)`.
+//!
+//! Three i8×u8→i32 kernels sit behind the same once-per-process runtime
+//! dispatch as `kernel.rs`: AVX-512 VNNI (`dpbusd`), AVX2
+//! (`maddubs` + `madd`), and a portable scalar loop. Integer addition is
+//! associative, so **all three produce bit-identical sums** — the
+//! quantized forward is deterministic across machines and widths; only
+//! the f32-vs-int8 choice changes results, and that choice is the
+//! `EncoderPrecision` flag in `saccs-embed` (f32 remains the default for
+//! training and table regeneration).
+
+use crate::matrix::Matrix;
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum QKind {
+    Vnni,
+    Avx2,
+    Portable,
+}
+
+fn qkind() -> QKind {
+    static KIND: std::sync::OnceLock<QKind> = std::sync::OnceLock::new();
+    *KIND.get_or_init(detect)
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect() -> QKind {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vnni") {
+        QKind::Vnni
+    } else if is_x86_feature_detected!("avx2") {
+        QKind::Avx2
+    } else {
+        QKind::Portable
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect() -> QKind {
+    QKind::Portable
+}
+
+/// Name of the selected int8 dot kernel (bench/telemetry label).
+pub fn quant_kernel_name() -> &'static str {
+    match qkind() {
+        QKind::Vnni => "vnni_dpbusd",
+        QKind::Avx2 => "avx2_maddubs",
+        QKind::Portable => "portable_i32",
+    }
+}
+
+/// A row of activations quantized to `[0, 127]` with its dequant params.
+#[derive(Debug, Clone)]
+pub struct QuantizedRow {
+    /// Quantized values, `x ≈ scale · (q − zero_point)`.
+    pub q: Vec<u8>,
+    pub scale: f32,
+    pub zero_point: i32,
+}
+
+/// Quantize one activation row into `[0, 127]` (asymmetric, per-row
+/// range). A constant row quantizes losslessly to its zero point.
+pub fn quantize_row(x: &[f32]) -> QuantizedRow {
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &v in x {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if x.is_empty() || !lo.is_finite() || !hi.is_finite() || hi <= lo {
+        return QuantizedRow {
+            q: vec![0; x.len()],
+            scale: 1.0,
+            zero_point: lo.is_finite().then(|| -lo.round() as i32).unwrap_or(0),
+        };
+    }
+    // Include zero in the range so zp lands in [0, 127] and zero stays
+    // exactly representable (post-ReLU activations are half zeros).
+    let lo = lo.min(0.0);
+    let hi = hi.max(0.0);
+    let scale = (hi - lo) / 127.0;
+    let zp = (-lo / scale).round() as i32;
+    let q = x
+        .iter()
+        .map(|&v| ((v / scale).round() as i32 + zp).clamp(0, 127) as u8)
+        .collect();
+    QuantizedRow {
+        q,
+        scale,
+        zero_point: zp,
+    }
+}
+
+/// An `in_dim × out_dim` linear layer with int8 weights, equivalent in
+/// shape to `saccs_nn::layers::Linear` (`y = x·W + b`).
+pub struct QuantizedLinear {
+    k: usize,
+    n: usize,
+    /// `n × k`: row `j` holds column `j` of `W`, quantized.
+    wq: Vec<i8>,
+    /// Per-output dequant scale.
+    scale: Vec<f32>,
+    /// Per-output `Σ wq` for the zero-point correction.
+    wsum: Vec<i32>,
+    bias: Vec<f32>,
+}
+
+impl QuantizedLinear {
+    /// Quantize `w` (`k×n`, row-major, as stored by `Linear`) and `b`
+    /// (`1×n`).
+    pub fn from_weights(w: &Matrix, b: &Matrix) -> Self {
+        let (k, n) = w.shape();
+        debug_assert_eq!(b.len(), n, "bias/width mismatch");
+        let wd = w.data();
+        let mut wq = vec![0i8; n * k];
+        let mut scale = vec![0.0f32; n];
+        let mut wsum = vec![0i32; n];
+        for j in 0..n {
+            let mut max_abs = 0.0f32;
+            for i in 0..k {
+                max_abs = max_abs.max(wd[i * n + j].abs());
+            }
+            let s = if max_abs > 0.0 { max_abs / 127.0 } else { 1.0 };
+            scale[j] = s;
+            let mut sum = 0i32;
+            let row = &mut wq[j * k..(j + 1) * k];
+            for (i, slot) in row.iter_mut().enumerate() {
+                let q = (wd[i * n + j] / s).round().clamp(-127.0, 127.0) as i8;
+                *slot = q;
+                sum += i32::from(q);
+            }
+            wsum[j] = sum;
+        }
+        QuantizedLinear {
+            k,
+            n,
+            wq,
+            scale,
+            wsum,
+            bias: b.data().to_vec(),
+        }
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// `out = x·W + b` for one already-quantized activation row.
+    pub fn forward_quantized(&self, x: &QuantizedRow, out: &mut [f32]) {
+        debug_assert_eq!(x.q.len(), self.k);
+        debug_assert_eq!(out.len(), self.n);
+        for j in 0..self.n {
+            let dot = dot_u8i8(&x.q, &self.wq[j * self.k..(j + 1) * self.k]);
+            let centered = dot - x.zero_point * self.wsum[j];
+            out[j] = x.scale * self.scale[j] * centered as f32 + self.bias[j];
+        }
+    }
+
+    /// `y = x·W + b` row by row, quantizing each activation row once.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let rows = x.rows();
+        let mut out = Matrix::zeros(rows, self.n);
+        for r in 0..rows {
+            let q = quantize_row(x.row(r));
+            self.forward_quantized(&q, out.row_mut(r));
+        }
+        out
+    }
+}
+
+/// `Σ q[i]·w[i]` with `q` unsigned `[0,127]` and `w` signed i8, exact in
+/// i32. Dispatches once per process; every kernel returns identical bits.
+pub fn dot_u8i8(q: &[u8], w: &[i8]) -> i32 {
+    debug_assert_eq!(q.len(), w.len());
+    match qkind() {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detect` confirmed AVX-512F + VNNI on this CPU, and both
+        // slices have equal length by the debug assert / caller contract.
+        QKind::Vnni => unsafe { x86::dot_vnni(q.as_ptr(), w.as_ptr(), q.len()) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: `detect` confirmed AVX2; same slice-length contract.
+        QKind::Avx2 => unsafe { x86::dot_avx2(q.as_ptr(), w.as_ptr(), q.len()) },
+        _ => dot_portable(q, w),
+    }
+}
+
+fn dot_portable(q: &[u8], w: &[i8]) -> i32 {
+    let mut sum = 0i32;
+    for (&a, &b) in q.iter().zip(w) {
+        sum += i32::from(a) * i32::from(b);
+    }
+    sum
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! `target_feature` int8 dot kernels; callers guarantee detection.
+
+    /// AVX-512 VNNI dot: 64 u8×i8 products per `dpbusd`, i32 accumulate.
+    ///
+    /// # Safety
+    /// Requires AVX-512F and AVX-512VNNI at runtime; `q` and `w` must be
+    /// readable for `k` bytes each.
+    #[target_feature(enable = "avx512f,avx512vnni")]
+    pub(super) unsafe fn dot_vnni(q: *const u8, w: *const i8, k: usize) -> i32 {
+        use std::arch::x86_64::*;
+        let mut acc = _mm512_setzero_si512();
+        let mut i = 0usize;
+        while i + 64 <= k {
+            let a = std::ptr::read_unaligned(q.add(i) as *const __m512i);
+            let b = std::ptr::read_unaligned(w.add(i) as *const __m512i);
+            acc = _mm512_dpbusd_epi32(acc, a, b);
+            i += 64;
+        }
+        let mut sum = _mm512_reduce_add_epi32(acc);
+        while i < k {
+            sum += i32::from(*q.add(i)) * i32::from(*w.add(i));
+            i += 1;
+        }
+        sum
+    }
+
+    /// AVX2 dot: `maddubs` pairs u8×i8 into i16 (safe: activations are
+    /// capped at 127, so a pair sum is ≤ 32258), `madd` widens to i32.
+    ///
+    /// # Safety
+    /// Requires AVX2 at runtime; `q` and `w` must be readable for `k`
+    /// bytes each.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_avx2(q: *const u8, w: *const i8, k: usize) -> i32 {
+        use std::arch::x86_64::*;
+        let ones = _mm256_set1_epi16(1);
+        let mut acc = _mm256_setzero_si256();
+        let mut i = 0usize;
+        while i + 32 <= k {
+            let a = std::ptr::read_unaligned(q.add(i) as *const __m256i);
+            let b = std::ptr::read_unaligned(w.add(i) as *const __m256i);
+            let pairs = _mm256_maddubs_epi16(a, b);
+            acc = _mm256_add_epi32(acc, _mm256_madd_epi16(pairs, ones));
+            i += 32;
+        }
+        let lo = _mm256_castsi256_si128(acc);
+        let hi = _mm256_extracti128_si256::<1>(acc);
+        let s = _mm_add_epi32(lo, hi);
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b00_01_10_11>(s));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b01_00_11_10>(s));
+        let mut sum = _mm_cvtsi128_si32(s);
+        while i < k {
+            sum += i32::from(*q.add(i)) * i32::from(*w.add(i));
+            i += 1;
+        }
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo(seed: u64, n: usize, spread: f32) -> Vec<f32> {
+        let mut h = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+        (0..n)
+            .map(|_| {
+                h ^= h >> 33;
+                h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                h ^= h >> 29;
+                ((h % 2000) as f32 / 1000.0 - 1.0) * spread
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dispatched_dot_matches_portable_reference() {
+        for len in [0usize, 1, 7, 31, 32, 33, 63, 64, 65, 200] {
+            let xs = pseudo(len as u64 + 1, len, 1.0);
+            let q: Vec<u8> = xs.iter().map(|v| (v.abs() * 127.0) as u8).collect();
+            let w: Vec<i8> = pseudo(len as u64 + 99, len, 1.0)
+                .iter()
+                .map(|v| (v * 127.0) as i8)
+                .collect();
+            assert_eq!(dot_u8i8(&q, &w), dot_portable(&q, &w), "len {len}");
+        }
+    }
+
+    #[test]
+    fn quantize_row_round_trips_within_half_step() {
+        let xs = pseudo(7, 64, 2.0);
+        let qr = quantize_row(&xs);
+        assert!(qr.q.iter().all(|&v| v <= 127));
+        for (&x, &q) in xs.iter().zip(&qr.q) {
+            let back = qr.scale * (i32::from(q) - qr.zero_point) as f32;
+            assert!(
+                (x - back).abs() <= qr.scale * 0.5 + 1e-6,
+                "x={x} back={back} scale={}",
+                qr.scale
+            );
+        }
+        // Exact zero stays exact (zp is in range because 0 ∈ [lo, hi]).
+        let with_zero = [0.0f32, 1.0, -1.0, 0.5];
+        let qz = quantize_row(&with_zero);
+        let back0 = qz.scale * (i32::from(qz.q[0]) - qz.zero_point) as f32;
+        assert_eq!(back0, 0.0);
+    }
+
+    #[test]
+    fn constant_and_empty_rows_are_handled() {
+        let qr = quantize_row(&[]);
+        assert!(qr.q.is_empty());
+        let qr = quantize_row(&[3.0, 3.0, 3.0]);
+        assert_eq!(qr.q, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn quantized_linear_tracks_f32_linear() {
+        let (k, n) = (48, 24);
+        let w = Matrix::from_vec(k, n, pseudo(11, k * n, 0.4));
+        let b = Matrix::row_vector(pseudo(13, n, 0.1));
+        let ql = QuantizedLinear::from_weights(&w, &b);
+        let x = Matrix::from_vec(3, k, pseudo(17, 3 * k, 1.5));
+        let exact = x.matmul(&w).add_row_broadcast(&b);
+        let quant = ql.forward(&x);
+        let mut max_rel = 0.0f32;
+        for (e, q) in exact.data().iter().zip(quant.data()) {
+            let rel = (e - q).abs() / exact.max_abs().max(1e-6);
+            max_rel = max_rel.max(rel);
+        }
+        assert!(max_rel < 0.05, "max relative error {max_rel}");
+    }
+
+    #[test]
+    fn quantized_forward_is_deterministic() {
+        let (k, n) = (32, 16);
+        let w = Matrix::from_vec(k, n, pseudo(5, k * n, 0.3));
+        let b = Matrix::row_vector(vec![0.0; n]);
+        let ql = QuantizedLinear::from_weights(&w, &b);
+        let x = Matrix::from_vec(2, k, pseudo(6, 2 * k, 1.0));
+        let a = ql.forward(&x);
+        let bq = ql.forward(&x);
+        assert_eq!(a.data(), bq.data());
+    }
+}

@@ -68,6 +68,17 @@ pub enum TraceEvent {
         /// Whether the probe hit the exact automaton entry.
         exact: bool,
     },
+    /// A fallback probe was answered through the ANN candidate index
+    /// instead of the exhaustive scan. All payloads are deterministic
+    /// functions of `(index contents, probe tag)`, never of timing.
+    ProbeAnn {
+        /// Candidate tags returned by the ANN structure.
+        candidates: u32,
+        /// Candidates whose exact rescore cleared θ_filter.
+        rescored: u32,
+        /// Cells or graph nodes examined during candidate search.
+        visited: u32,
+    },
     /// A retry attempt is about to back off and re-run the stage op.
     Retry {
         /// Stage label (`Stage::label()`).
@@ -114,6 +125,13 @@ impl TraceEvent {
             }
             TraceEvent::Probe { exact } => {
                 let _ = write!(s, "probe:{}", if *exact { "exact" } else { "fallback" });
+            }
+            TraceEvent::ProbeAnn {
+                candidates,
+                rescored,
+                visited,
+            } => {
+                let _ = write!(s, "probe_ann:{candidates}:{rescored}:{visited}");
             }
             TraceEvent::Retry { stage, attempt } => {
                 let _ = write!(s, "retry:{stage}:{attempt}");
@@ -434,6 +452,15 @@ mod tests {
             .normal(),
             "degrade:search_api:objective-only"
         );
+        // ANN payloads are deterministic counts, not timings, so they
+        // survive into the normal form.
+        let ann = TraceEvent::ProbeAnn {
+            candidates: 12,
+            rescored: 3,
+            visited: 40,
+        };
+        assert_eq!(ann.normal(), "probe_ann:12:3:40");
+        assert_eq!(ann.full(), "probe_ann:12:3:40");
     }
 
     #[test]

@@ -615,6 +615,92 @@ mod tests {
     }
 
     #[test]
+    fn ann_enabled_serving_is_bitwise_identical_to_scan_across_worker_counts() {
+        // An unknown probe tag forces the θ_filter fallback on every
+        // request; the ANN-enabled service must serve bit-for-bit what
+        // the exhaustive scan serves, at every worker count.
+        let build = |ann: bool| {
+            let mut idx = SubjectiveIndex::new(
+                ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants)),
+                IndexConfig {
+                    ann_enabled: ann,
+                    ..IndexConfig::default()
+                },
+            );
+            for (entity_id, tags) in [
+                (0, vec![tag("delicious", "food"), tag("friendly", "staff")]),
+                (1, vec![tag("delicious", "food"), tag("cozy", "ambiance")]),
+                (2, vec![tag("friendly", "staff"), tag("bland", "food")]),
+                (3, vec![tag("tasty", "pasta"), tag("great", "menu")]),
+            ] {
+                idx.register_entity(EntityEvidence {
+                    entity_id,
+                    review_count: 4,
+                    review_tags: tags,
+                });
+            }
+            idx.index_tags(&[
+                tag("delicious", "food"),
+                tag("friendly", "staff"),
+                tag("cozy", "ambiance"),
+                tag("tasty", "pasta"),
+                tag("great", "menu"),
+            ]);
+            Arc::new(SaccsService::index_only(idx, SaccsConfig::default()))
+        };
+        // "amazing meal" is not indexed → fallback probe on both sides.
+        let probe_request = || RankRequest::tags(vec![tag("amazing", "meal")]);
+        let ents = entities(4);
+        let expected = {
+            let api = SearchApi::new(&ents);
+            build(false).rank_request(&probe_request(), &api).results
+        };
+        assert!(!expected.is_empty(), "fallback probe must match something");
+        for workers in [1usize, 2, 8] {
+            let server = Arc::new(SaccsServer::start(
+                build(true),
+                ents.clone(),
+                ServeConfig {
+                    workers,
+                    queue_depth: 64,
+                    batch: 4,
+                    ..ServeConfig::default()
+                },
+            ));
+            let (tx, rx) = std::sync::mpsc::channel();
+            let handles: Vec<_> = (0..8)
+                .map(|i| {
+                    let server = Arc::clone(&server);
+                    let tx = tx.clone();
+                    saccs_rt::spawn_worker(&format!("test-ann-{workers}-{i}"), move || {
+                        let results = server.submit(probe_request()).expect("admitted").results;
+                        tx.send(results).expect("send results");
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("submitter");
+            }
+            drop(tx);
+            for results in rx {
+                assert_eq!(
+                    results.len(),
+                    expected.len(),
+                    "ann/scan length diverged at {workers} workers"
+                );
+                for ((ea, sa), (eb, sb)) in results.iter().zip(&expected) {
+                    assert_eq!(ea, eb, "entity order diverged at {workers} workers");
+                    assert_eq!(
+                        sa.to_bits(),
+                        sb.to_bits(),
+                        "score bits diverged at {workers} workers"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
     fn recorder_captures_trace_with_queue_wait_attribution() {
         let mut server = SaccsServer::start(
             service(),

@@ -11,7 +11,7 @@
 //! > concept relatedness > polarity-gated co-applicability, with a fuzzy
 //! > edit-distance fallback for out-of-lexicon terms (typos).
 
-use crate::lexicon::Lexicon;
+use crate::lexicon::{Lexicon, OpinionGroup};
 use crate::metrics::edit_similarity;
 use crate::token::words_lower;
 
@@ -160,6 +160,97 @@ impl ConceptualSimilarity {
         &self.lexicon
     }
 
+    /// The active weight configuration (read-only).
+    pub fn config(&self) -> &SimilarityConfig {
+        &self.config
+    }
+
+    /// Resolve an aspect term to its canonical concept name, absorbing
+    /// typos exactly as [`Self::aspect_similarity`] does. `None` means the
+    /// term stays out of lexicon even after fuzzy canonicalization.
+    pub fn resolve_aspect(&self, term: &str) -> Option<&'static str> {
+        if let Some(c) = self.lexicon.aspect_concept(term) {
+            return Some(c.canonical);
+        }
+        self.fuzzy_canonicalize(term, true)
+            .and_then(|m| self.lexicon.aspect_concept(m))
+            .map(|c| c.canonical)
+    }
+
+    /// Resolve an opinion phrase to its group, absorbing typos exactly as
+    /// [`Self::opinion_similarity`] does.
+    pub fn resolve_opinion(&self, phrase: &str) -> Option<&OpinionGroup> {
+        self.lexicon.opinion_group(phrase).or_else(|| {
+            self.fuzzy_canonicalize(phrase, false)
+                .and_then(|v| self.lexicon.opinion_group(v))
+        })
+    }
+
+    /// Upper bound on `aspect_similarity(p, t)` over *every* pair of terms
+    /// whose resolutions are `probe_concept` and `cand_concept` (`None` =
+    /// unresolved after fuzzy canonicalization).
+    ///
+    /// Soundness: identical strings always share a resolution state, so
+    /// across a resolved/unresolved split the surface forms must differ and
+    /// the score comes from the edit fallback `(edit_sim - 0.5).max(0) <=
+    /// 0.5`. Two terms resolved to the same concept may still be the
+    /// identical string, hence 1.0 there; two terms resolved to *different*
+    /// concepts score exactly `related_concept` or 0.
+    pub fn aspect_upper_bound(
+        &self,
+        probe_concept: Option<&str>,
+        cand_concept: Option<&str>,
+    ) -> f32 {
+        match (probe_concept, cand_concept) {
+            (Some(p), Some(c)) if p == c => 1.0,
+            (Some(p), Some(c)) if self.lexicon.aspects_related(p, c) => self.config.related_concept,
+            (Some(_), Some(_)) => 0.0,
+            (None, None) => 1.0,
+            _ => 0.5,
+        }
+    }
+
+    /// Upper bound on `opinion_similarity(p, t)` over every pair of phrases
+    /// whose resolutions are `probe_group` and `cand_group` (`None` =
+    /// unresolved). Same identity argument as [`Self::aspect_upper_bound`];
+    /// distinct groups can never hold the identical string, so the
+    /// cross-group branches are exact, including the hard polarity zero.
+    pub fn opinion_upper_bound(
+        &self,
+        probe_group: Option<&OpinionGroup>,
+        cand_group: Option<&OpinionGroup>,
+    ) -> f32 {
+        match (probe_group, cand_group) {
+            (Some(g1), Some(g2)) => {
+                if g1.canonical == g2.canonical {
+                    return 1.0;
+                }
+                if g1.polarity != g2.polarity {
+                    return 0.0;
+                }
+                if g1.generic || g2.generic {
+                    return self.config.generic_bridge;
+                }
+                if g1.aspects.iter().any(|a| g2.aspects.contains(a)) {
+                    return self.config.shared_applicability;
+                }
+                self.config.same_polarity
+            }
+            (None, None) => 1.0,
+            _ => 0.5,
+        }
+    }
+
+    /// Combine per-side upper bounds exactly as [`Self::tag_similarity`]
+    /// combines per-side scores (weighted geometric mean, hard zero).
+    pub fn tag_upper_bound(&self, aspect_ub: f32, opinion_ub: f32) -> f32 {
+        if aspect_ub <= 0.0 || opinion_ub <= 0.0 {
+            return 0.0;
+        }
+        let w = self.config.aspect_weight;
+        (aspect_ub.powf(w) * opinion_ub.powf(1.0 - w)).clamp(0.0, 1.0)
+    }
+
     /// Absorb small typos: map an out-of-lexicon word to the best known
     /// aspect member / opinion variant when the edit similarity clears the
     /// configured threshold.
@@ -205,15 +296,7 @@ impl ConceptualSimilarity {
         if a1 == a2 {
             return 1.0;
         }
-        let resolve = |t: &str| -> Option<&'static str> {
-            if let Some(c) = self.lexicon.aspect_concept(t) {
-                return Some(c.canonical);
-            }
-            self.fuzzy_canonicalize(t, true)
-                .and_then(|m| self.lexicon.aspect_concept(m))
-                .map(|c| c.canonical)
-        };
-        match (resolve(a1), resolve(a2)) {
+        match (self.resolve_aspect(a1), self.resolve_aspect(a2)) {
             (Some(c1), Some(c2)) if c1 == c2 => self.config.same_concept,
             (Some(c1), Some(c2)) if self.lexicon.aspects_related(c1, c2) => {
                 self.config.related_concept
@@ -231,13 +314,7 @@ impl ConceptualSimilarity {
         if o1 == o2 {
             return 1.0;
         }
-        let resolve = |t: &str| {
-            self.lexicon.opinion_group(t).or_else(|| {
-                self.fuzzy_canonicalize(t, false)
-                    .and_then(|v| self.lexicon.opinion_group(v))
-            })
-        };
-        match (resolve(o1), resolve(o2)) {
+        match (self.resolve_opinion(o1), self.resolve_opinion(o2)) {
             (Some(g1), Some(g2)) => {
                 if g1.canonical == g2.canonical {
                     return self.config.same_group;
@@ -424,6 +501,46 @@ mod tests {
             let t = SubjectiveTag::new(ops[i % ops.len()].variants[0], asps[a % asps.len()].members[0]);
             let u = SubjectiveTag::new(ops[j % ops.len()].variants[0], asps[b % asps.len()].members[0]);
             prop_assert!(s.tag_similarity(&t, &t) >= s.tag_similarity(&t, &u) - 1e-6);
+        }
+
+        /// The resolution-level upper bounds really bound the similarity,
+        /// across in-lexicon terms, absorbable typos, and garbage — the
+        /// soundness contract the ANN candidate pruning rests on.
+        #[test]
+        fn prop_upper_bounds_are_sound(i1 in 0usize..64, i2 in 0usize..64, a1 in 0usize..64, a2 in 0usize..64) {
+            let s = sim();
+            let lex = s.lexicon().clone();
+            let pick_opinion = |i: usize| -> String {
+                let g = &lex.opinion_groups()[i % lex.opinion_groups().len()];
+                let v = g.variants[i / 7 % g.variants.len()];
+                match i % 4 {
+                    0 => v.to_string(),
+                    1 => format!("{v}z"),          // absorbable typo
+                    2 => format!("zz{v}qq"),       // usually unresolved
+                    _ => format!("xq{}", i % 9),   // garbage
+                }
+            };
+            let pick_aspect = |i: usize| -> String {
+                let c = &lex.aspects()[i % lex.aspects().len()];
+                let m = c.members[i / 5 % c.members.len()];
+                match i % 4 {
+                    0 => m.to_string(),
+                    1 => format!("{m}s"),
+                    2 => format!("qq{m}zz"),
+                    _ => format!("vb{}", i % 9),
+                }
+            };
+            let (o1, o2) = (pick_opinion(i1), pick_opinion(i2));
+            let (p1, p2) = (pick_aspect(a1), pick_aspect(a2));
+            let a_ub = s.aspect_upper_bound(s.resolve_aspect(&p1), s.resolve_aspect(&p2));
+            prop_assert!(s.aspect_similarity(&p1, &p2) <= a_ub + 1e-6,
+                "aspect sim({p1},{p2}) exceeds ub {a_ub}");
+            let o_ub = s.opinion_upper_bound(s.resolve_opinion(&o1), s.resolve_opinion(&o2));
+            prop_assert!(s.opinion_similarity(&o1, &o2) <= o_ub + 1e-6,
+                "opinion sim({o1},{o2}) exceeds ub {o_ub}");
+            let t1 = SubjectiveTag::new(&o1, &p1);
+            let t2 = SubjectiveTag::new(&o2, &p2);
+            prop_assert!(s.tag_similarity(&t1, &t2) <= s.tag_upper_bound(a_ub, o_ub) + 1e-5);
         }
     }
 }

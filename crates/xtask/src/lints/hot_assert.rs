@@ -27,6 +27,10 @@ impl Lint for AssertInHotPath {
         path.starts_with("crates/nn/src/")
             || path.starts_with("crates/tagger/src/")
             || path.starts_with("crates/rt/src/")
+            // The ANN candidate search and the quantized encoder forward
+            // run per-candidate/per-row inner loops on the probe path.
+            || path == "crates/index/src/ann.rs"
+            || path == "crates/embed/src/quantized.rs"
     }
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
@@ -115,6 +119,8 @@ mod tests {
     fn scope_is_the_hot_kernel_crates_only() {
         assert!(AssertInHotPath.applies("crates/tagger/src/crf.rs"));
         assert!(AssertInHotPath.applies("crates/rt/src/lib.rs"));
+        assert!(AssertInHotPath.applies("crates/index/src/ann.rs"));
+        assert!(AssertInHotPath.applies("crates/embed/src/quantized.rs"));
         assert!(!AssertInHotPath.applies("crates/index/src/index.rs"));
     }
 }

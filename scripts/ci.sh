@@ -20,6 +20,9 @@
 #                BENCH_serve.json + the recorder report validated
 #  11. trace     request-tracing suite (five-stage coverage, fault events
 #                in the owning trace, recorder-on/off bitwise equality)
+#  12. probe     ANN equality suite + double probe-bin run on a reduced
+#                synthetic corpus, deterministic exports byte-diffed,
+#                BENCH_probe.json validated
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -131,5 +134,24 @@ cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_serve.json || fail se
 # rankings are bitwise identical with the recorder on and off.
 stage trace "cargo test --features fault --test trace"
 cargo test "${OFFLINE[@]}" -q --features fault --test trace || fail trace
+
+# Probe gate: the ANN-vs-scan equality suite, then the probe bin run
+# twice on a reduced synthetic corpus — its JSON-lines export (per-probe
+# rankings as score bits, match counts, graph recall rows; no timings)
+# must be byte-identical or the candidate search is not deterministic —
+# and the BENCH_probe snapshot validated. The full 100k acceptance run
+# stays a manual `SACCS_PROBE_TAGS=100000` invocation (see README).
+stage probe "ann suite + double probe run, exports diffed"
+cargo test "${OFFLINE[@]}" -q -p saccs-index --test ann || fail probe
+rm -f PROBE_a.jsonl PROBE_b.jsonl BENCH_probe.json
+SACCS_OBS=json SACCS_PROBE_TAGS=20000 SACCS_PROBE_OUT=PROBE_a.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin probe \
+    || fail probe
+SACCS_PROBE_TAGS=20000 SACCS_PROBE_OUT=PROBE_b.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin probe \
+    >/dev/null || fail probe
+diff PROBE_a.jsonl PROBE_b.jsonl || fail probe
+rm -f PROBE_a.jsonl PROBE_b.jsonl
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_probe.json || fail probe
 
 printf '\n=== CI green: all stages passed ===\n'
