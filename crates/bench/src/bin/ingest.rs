@@ -1,0 +1,289 @@
+//! Ingest-scaling bench: the segmented live index under a seeded review
+//! stream.
+//!
+//! Phase 1 (equivalence checkpoints): a persistent [`LiveIndex`] —
+//! sealing, compacting and committing under `SACCS_INGEST_DIR` — ingests
+//! a seeded stream; at fixed checkpoints every probe must come back
+//! bitwise identical to a `SubjectiveIndex` rebuilt from scratch over
+//! the same review log, and any divergence exits non-zero. The store is
+//! then checkpointed, reopened, and the recovered index must reproduce
+//! the same bits. Rankings (score bits) and segment counts go to
+//! `SACCS_INGEST_OUT` as JSON lines; the file is a pure function of the
+//! build and `scripts/ci.sh` byte-diffs two runs.
+//!
+//! Phase 2 (throughput A/B): reviews/sec and pinned-probe latency as the
+//! seal cadence sweeps `{16, 64, 256}` with compaction off — three
+//! different sealed-segment counts over the same stream, isolating the
+//! cost of probing across more (smaller) segments. Timings are printed
+//! and land in the `BENCH_ingest.json` headline, never in the export.
+//!
+//! Environment: `SACCS_INGEST_REVIEWS` (phase-2 stream length, default
+//! 3000), `SACCS_INGEST_OUT` (default `INGEST_report.jsonl`),
+//! `SACCS_INGEST_DIR` (default `target/ingest-bench`, wiped at start),
+//! `SACCS_OBS=json` to emit `BENCH_ingest.json`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saccs_data::synthetic_tags;
+use saccs_index::index::{EntityEvidence, IndexConfig};
+use saccs_index::{LiveConfig, LiveIndex, ReviewRecord, SubjectiveIndex};
+use saccs_text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const N_ENTITIES: usize = 100;
+const EQ_REVIEWS: usize = 256;
+const EQ_CHECK_EVERY: usize = 64;
+const TIMING_REPS: usize = 3;
+const SEED: u64 = 0x1A6E57;
+
+fn env_or(name: &str, default: &str) -> String {
+    std::env::var(name).unwrap_or_else(|_| default.to_string())
+}
+
+fn sim() -> ConceptualSimilarity {
+    ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(e, s)| (e, s.to_bits())).collect()
+}
+
+/// The seeded review stream: `n` reviews over [`N_ENTITIES`] entities,
+/// 1–3 tags each, drawn from the synthetic vocabulary.
+fn stream(vocab: &[SubjectiveTag], n: usize, rng: &mut StdRng) -> Vec<(usize, Vec<SubjectiveTag>)> {
+    (0..n)
+        .map(|_| {
+            let entity = rng.gen_range(0..N_ENTITIES);
+            let k = 1 + rng.gen_range(0..3);
+            let tags = (0..k)
+                .map(|_| vocab[rng.gen_range(0..vocab.len())].clone())
+                .collect();
+            (entity, tags)
+        })
+        .collect()
+}
+
+/// From-scratch comparator over a review log, identical to the one the
+/// ingest test suites use.
+fn rebuild(log: &[ReviewRecord], tags: &[SubjectiveTag]) -> SubjectiveIndex {
+    let mut idx = SubjectiveIndex::new(sim(), IndexConfig::default());
+    let mut evidence: Vec<EntityEvidence> = Vec::new();
+    for record in log {
+        match evidence
+            .iter_mut()
+            .find(|e| e.entity_id == record.entity_id)
+        {
+            Some(ev) => {
+                ev.review_count += 1;
+                ev.review_tags.extend(record.tags.iter().cloned());
+            }
+            None => evidence.push(EntityEvidence {
+                entity_id: record.entity_id,
+                review_count: 1,
+                review_tags: record.tags.clone(),
+            }),
+        }
+    }
+    for ev in evidence {
+        idx.register_entity(ev);
+    }
+    idx.index_tags(tags);
+    idx
+}
+
+/// Compare every probe on the live index against the rebuild, appending
+/// deterministic report lines; exits non-zero on the first divergence.
+fn check_equivalence(
+    label: &str,
+    live: &LiveIndex,
+    log: &[ReviewRecord],
+    index_tags: &[SubjectiveTag],
+    probes: &[SubjectiveTag],
+    report: &mut String,
+) {
+    let frozen = rebuild(log, index_tags);
+    let snapshot = live.pin();
+    for probe in probes {
+        let got = bits(&live.probe_pinned(&snapshot, probe));
+        let want = bits(&frozen.probe_readonly(probe));
+        if got != want {
+            println!(
+                "DIVERGENCE: live probe for {probe:?} differs from rebuild at {label} \
+                 ({} reviews, {} segments)",
+                log.len(),
+                live.segment_count()
+            );
+            std::process::exit(1);
+        }
+        let ranking: Vec<String> = got
+            .iter()
+            .take(20)
+            .map(|&(e, b)| format!("[{e},{b}]"))
+            .collect();
+        let _ = writeln!(
+            report,
+            "{{\"checkpoint\":\"{label}\",\"reviews\":{},\"segments\":{},\"probe\":\"{}\",\"ranking\":[{}]}}",
+            log.len(),
+            live.segment_count(),
+            probe.phrase(),
+            ranking.join(",")
+        );
+    }
+}
+
+fn main() {
+    saccs_bench::obs_init();
+    let n_perf: usize = env_or("SACCS_INGEST_REVIEWS", "3000")
+        .parse()
+        .unwrap_or(3000);
+    let out_path = env_or("SACCS_INGEST_OUT", "INGEST_report.jsonl");
+    let dir = env_or("SACCS_INGEST_DIR", "target/ingest-bench");
+    let lexicon = Lexicon::new(Domain::Restaurants);
+
+    // The shared vocabulary: review tags are drawn from all of it, the
+    // index covers a 32-tag prefix, and the probe set mixes indexed
+    // tags with out-of-vocabulary ones (the fallback path).
+    let vocab = synthetic_tags(&lexicon, 400, 0x5EED);
+    let index_tags: Vec<SubjectiveTag> = vocab.iter().take(32).cloned().collect();
+    let mut probes: Vec<SubjectiveTag> = vocab.iter().take(4).cloned().collect();
+    probes.extend(vocab.iter().rev().take(4).cloned());
+
+    // Phase 1: equivalence checkpoints on the persistent path.
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let eq_stream = stream(&vocab, EQ_REVIEWS, &mut rng);
+    let mut report = String::new();
+    let live = match LiveIndex::open(
+        &dir,
+        sim(),
+        IndexConfig::default(),
+        LiveConfig {
+            seal_every: 16,
+            max_segments: 4,
+            background_compaction: false,
+        },
+    ) {
+        Ok(live) => live,
+        Err(e) => {
+            println!("failed to open {dir}: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    live.add_tags(&index_tags);
+    let t0 = Instant::now();
+    let mut log: Vec<ReviewRecord> = Vec::new();
+    for (i, (entity_id, tags)) in eq_stream.iter().enumerate() {
+        let receipt = live.add_review(*entity_id, tags);
+        log.push(ReviewRecord {
+            seq: receipt.seq,
+            entity_id: *entity_id,
+            tags: tags.clone(),
+        });
+        if (i + 1) % EQ_CHECK_EVERY == 0 {
+            check_equivalence("live", &live, &log, &index_tags, &probes, &mut report);
+        }
+    }
+    println!(
+        "Phase 1: {EQ_REVIEWS} reviews persisted+checked in {:.2}s \
+         ({} segments after compaction)",
+        t0.elapsed().as_secs_f64(),
+        live.segment_count()
+    );
+    if let Err(e) = live.checkpoint() {
+        println!("checkpoint failed: {e:?}");
+        std::process::exit(1);
+    }
+    drop(live);
+    let recovered = match LiveIndex::open(
+        &dir,
+        sim(),
+        IndexConfig::default(),
+        LiveConfig {
+            seal_every: 16,
+            max_segments: 4,
+            background_compaction: false,
+        },
+    ) {
+        Ok(live) => live,
+        Err(e) => {
+            println!("recovery failed: {e:?}");
+            std::process::exit(1);
+        }
+    };
+    if recovered.review_log() != log {
+        println!("DIVERGENCE: recovered review log differs from the ingested stream");
+        std::process::exit(1);
+    }
+    check_equivalence(
+        "recovered",
+        &recovered,
+        &log,
+        &index_tags,
+        &probes,
+        &mut report,
+    );
+    println!("Phase 1: recovery round trip bitwise identical\n");
+    drop(recovered);
+
+    // Phase 2: seal-cadence sweep, compaction off — three segment
+    // counts over the same stream.
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xB0B);
+    let perf_stream = stream(&vocab, n_perf, &mut rng);
+    let mut headline: Vec<(String, f64)> = vec![("reviews".into(), n_perf as f64)];
+    println!("Phase 2: {n_perf} reviews per cadence, probe latency best of {TIMING_REPS}");
+    for seal_every in [16usize, 64, 256] {
+        let live = LiveIndex::new(
+            sim(),
+            IndexConfig::default(),
+            LiveConfig {
+                seal_every,
+                max_segments: 0,
+                background_compaction: false,
+            },
+        );
+        live.add_tags(&index_tags);
+        let t0 = Instant::now();
+        for (entity_id, tags) in &perf_stream {
+            live.add_review(*entity_id, tags);
+        }
+        let ingest_wall = t0.elapsed().as_secs_f64();
+        let rps = n_perf as f64 / ingest_wall;
+        let segments = live.segment_count();
+
+        let snapshot = live.pin();
+        let histogram = format!("ingest.probe.s{seal_every}");
+        let mut best = f64::INFINITY;
+        for _ in 0..TIMING_REPS {
+            let mut sink = 0usize;
+            let t0 = Instant::now();
+            for probe in &probes {
+                let t1 = Instant::now();
+                sink += live.probe_pinned(&snapshot, probe).len();
+                saccs_obs::registry()
+                    .histogram(&histogram)
+                    .record(t1.elapsed().as_nanos() as u64);
+            }
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert!(sink > 0, "probes all came back empty");
+        }
+        println!(
+            "  seal_every={seal_every:>3}: {segments:>3} segments, \
+             {rps:>9.0} reviews/s, probes {:.3} ms",
+            best * 1e3
+        );
+        headline.push((format!("rps_s{seal_every}"), rps));
+        headline.push((format!("probe_ms_s{seal_every}"), best * 1e3));
+        headline.push((format!("segments_s{seal_every}"), segments as f64));
+    }
+
+    match std::fs::write(&out_path, &report) {
+        Ok(()) => println!("\nwrote {out_path} ({} probes)", probes.len()),
+        Err(e) => {
+            println!("failed to write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    let headline_refs: Vec<(&str, f64)> = headline.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    saccs_bench::obs_finish("ingest", &headline_refs);
+}

@@ -25,6 +25,8 @@ pub enum Stage {
     Extract,
     /// Per-tag index probes.
     Probe,
+    /// Live review ingestion into the segmented index.
+    Ingest,
 }
 
 impl Stage {
@@ -35,6 +37,7 @@ impl Stage {
             Stage::SearchApi => "search_api",
             Stage::Extract => "extract",
             Stage::Probe => "probe",
+            Stage::Ingest => "ingest",
         }
     }
 }

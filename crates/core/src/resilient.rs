@@ -159,11 +159,14 @@ impl StageBreakers {
         }
     }
 
-    /// The breaker guarding `stage`; `None` for [`Stage::Admission`],
-    /// which is gated by the serving queue depth, not a breaker.
+    /// The breaker guarding `stage`; `None` for [`Stage::Admission`]
+    /// and [`Stage::Ingest`], which are gated by the serving queue
+    /// depth, not a breaker (a failed ingest persist stays buffered and
+    /// is retried at the next seal, so tripping a breaker would only
+    /// block the in-memory path that still works).
     pub fn for_stage(&self, stage: Stage) -> Option<&SharedBreaker> {
         match stage {
-            Stage::Admission => None,
+            Stage::Admission | Stage::Ingest => None,
             Stage::SearchApi => Some(&self.search_api),
             Stage::Extract => Some(&self.extract),
             Stage::Probe => Some(&self.probe),

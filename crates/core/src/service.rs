@@ -38,9 +38,10 @@ use crate::resilient::{
 };
 use crate::search_api::SearchApi;
 use crate::shared_extractor::SharedExtractor;
-use saccs_index::SubjectiveIndex;
+use saccs_index::{IngestReceipt, LiveIndex, LiveSnapshot, SubjectiveIndex};
 use saccs_text::SubjectiveTag;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Score aggregation across tags (§3.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,6 +105,10 @@ impl Default for SaccsConfig {
 /// The assembled subjective search service.
 pub struct SaccsService {
     index: SubjectiveIndex,
+    /// Live-ingestion backend. When present, probes pin one consistent
+    /// [`LiveSnapshot`] per request and `self.index` is only the
+    /// similarity/config carrier for profile weights.
+    live: Option<Arc<LiveIndex>>,
     extractor: Option<SharedExtractor>,
     config: SaccsConfig,
     resilience: ResilienceConfig,
@@ -119,6 +124,7 @@ impl SaccsService {
         let breakers = StageBreakers::new(resilience.breaker);
         SaccsService {
             index,
+            live: None,
             extractor: Some(SharedExtractor::adopt(extractor)),
             config,
             resilience,
@@ -135,6 +141,29 @@ impl SaccsService {
         let breakers = StageBreakers::new(resilience.breaker);
         SaccsService {
             index,
+            live: None,
+            extractor: None,
+            config,
+            resilience,
+            breakers,
+        }
+    }
+
+    /// Build over a live-ingestion backend: probes pin one consistent
+    /// snapshot of `live` per request (ingest proceeds concurrently
+    /// without ever being observed mid-write), and
+    /// [`SaccsService::ingest`] feeds reviews in. No neural extractor —
+    /// utterance requests degrade to objective-only like
+    /// [`SaccsService::index_only`].
+    pub fn with_live_index(live: Arc<LiveIndex>, config: SaccsConfig) -> Self {
+        let resilience = ResilienceConfig::default();
+        let breakers = StageBreakers::new(resilience.breaker);
+        // The static index is only the similarity/config carrier (for
+        // profile weights); probes never touch it while `live` is set.
+        let index = SubjectiveIndex::new(live.similarity().clone(), live.config().clone());
+        SaccsService {
+            index,
+            live: Some(live),
             extractor: None,
             config,
             resilience,
@@ -163,6 +192,28 @@ impl SaccsService {
 
     pub fn index(&self) -> &SubjectiveIndex {
         &self.index
+    }
+
+    /// The live-ingestion backend, when the service was built
+    /// [`SaccsService::with_live_index`].
+    pub fn live_index(&self) -> Option<&Arc<LiveIndex>> {
+        self.live.as_ref()
+    }
+
+    /// Ingest one review into the live backend. Fails with
+    /// [`SaccsError::Unavailable`] at [`Stage::Ingest`] on a static
+    /// (non-live) service.
+    pub fn ingest(
+        &self,
+        entity_id: usize,
+        review_tags: &[SubjectiveTag],
+    ) -> Result<IngestReceipt, SaccsError> {
+        match &self.live {
+            Some(live) => Ok(live.add_review(entity_id, review_tags)),
+            None => Err(SaccsError::Unavailable {
+                stage: Stage::Ingest,
+            }),
+        }
     }
 
     pub fn index_mut(&mut self) -> &mut SubjectiveIndex {
@@ -337,6 +388,9 @@ impl SaccsService {
         let mut probe_failures: Vec<SaccsError> = Vec::new();
         {
             let _probe = saccs_obs::span!("algo1.probe");
+            // One pin for the whole request: every probe answers from the
+            // same consistent segment set however much is ingested mid-flight.
+            let pinned = self.pin_live();
             let retry = &self.resilience.retry;
             let breaker = &self.breakers.probe;
             for (i, t) in tags.iter().enumerate() {
@@ -354,7 +408,7 @@ impl SaccsService {
                 }
                 let w = weights.as_ref().map_or(1.0, |ws| ws[i]);
                 match call_with_retry(Stage::Probe, retry, breaker, &clock, || {
-                    self.index.try_probe(t)
+                    self.try_probe_at(pinned.as_deref(), t)
                 }) {
                     Ok(scores) => {
                         per_tag.push(scores.into_iter().map(|(e, s)| (e, s * w)).collect())
@@ -545,6 +599,34 @@ impl SaccsService {
         api.iter().take(k).map(|&e| (e, 0.0)).collect()
     }
 
+    /// One pinned live snapshot for a request, or `None` on the static
+    /// path.
+    fn pin_live(&self) -> Option<Arc<LiveSnapshot>> {
+        self.live.as_ref().map(|l| l.pin())
+    }
+
+    /// Probe against the request's pinned snapshot (live backend) or the
+    /// static index.
+    fn probe_at(&self, pinned: Option<&LiveSnapshot>, tag: &SubjectiveTag) -> Vec<(usize, f32)> {
+        match (&self.live, pinned) {
+            (Some(live), Some(snap)) => live.probe_pinned(snap, tag),
+            _ => self.index.probe(tag),
+        }
+    }
+
+    /// Fallible [`SaccsService::probe_at`] — both backends share the
+    /// `algo1.probe` failpoint, so chaos scenarios hit them alike.
+    fn try_probe_at(
+        &self,
+        pinned: Option<&LiveSnapshot>,
+        tag: &SubjectiveTag,
+    ) -> Result<Vec<(usize, f32)>, saccs_fault::FaultError> {
+        match (&self.live, pinned) {
+            (Some(live), Some(snap)) => live.try_probe_pinned(snap, tag),
+            _ => self.index.try_probe(tag),
+        }
+    }
+
     /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
     /// per-tag weights (the personalization hook). `config` is the
     /// *effective* config — the service's, or the request's override.
@@ -563,11 +645,11 @@ impl SaccsService {
         let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
         {
             let _probe = saccs_obs::span!("algo1.probe");
+            let pinned = self.pin_live();
             for (i, t) in tags.iter().enumerate() {
                 let w = weights.map_or(1.0, |ws| ws[i]);
                 per_tag.push(
-                    self.index
-                        .probe(t)
+                    self.probe_at(pinned.as_deref(), t)
                         .into_iter()
                         .map(|(e, s)| (e, s * w))
                         .collect(),

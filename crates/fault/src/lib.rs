@@ -7,7 +7,11 @@
 //!    through the pipeline's hot seams (`algo1.search_api`,
 //!    `algo1.extract`, `algo1.probe`, `index.build`,
 //!    `embed.features_batch`, `tagger.train_step`, `persist.load`,
-//!    `persist.save`). Without the `fault` cargo feature, `check` is an
+//!    `persist.save`) and the live-ingestion seams of the segmented
+//!    index (`index.seal` defers sealing the mem-segment, `index.persist`
+//!    tears a segment write mid-file, `index.merge` aborts compaction
+//!    between the merged write and the manifest commit). Without the
+//!    `fault` cargo feature, `check` is an
 //!    inlined constant `Ok(())` and the whole subsystem compiles out;
 //!    with it, an armed [`Scenario`] decides per call whether to inject
 //!    a delay or an error.

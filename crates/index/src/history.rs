@@ -43,6 +43,24 @@ impl UserTagHistory {
         self.counts.get(tag).copied().unwrap_or(0)
     }
 
+    /// Iterate the pending tags with their request counts, in tag order
+    /// (deterministic — the backing map is a `BTreeMap`). Used by the
+    /// index snapshot so in-flight unknown-tag requests survive a
+    /// save/restore cycle.
+    pub fn entries(&self) -> impl Iterator<Item = (&SubjectiveTag, usize)> {
+        self.counts.iter().map(|(t, c)| (t, *c))
+    }
+
+    /// Set `tag`'s request count outright (snapshot restore). A zero
+    /// count removes the tag.
+    pub fn set_count(&mut self, tag: SubjectiveTag, count: usize) {
+        if count == 0 {
+            self.counts.remove(&tag);
+        } else {
+            self.counts.insert(tag, count);
+        }
+    }
+
     /// Remove and return all pending tags, most-requested first.
     pub fn drain(&mut self) -> Vec<SubjectiveTag> {
         let mut pending: Vec<(SubjectiveTag, usize)> =

@@ -276,16 +276,13 @@ impl SubjectiveIndex {
         if n == 0 {
             return None;
         }
-        let mean = sum / n as f32;
-        let total_tags = evidence.review_tags.len().max(1) as f32;
-        let log_reviews = ((evidence.review_count + 1) as f32).ln();
-        Some(match self.config.degree_formula {
-            DegreeFormula::Equation1 => log_reviews * mean,
-            DegreeFormula::MatchVolume => ((n + 1) as f32).ln() * mean,
-            DegreeFormula::MentionRate => log_reviews * sum / total_tags,
-            DegreeFormula::PureRate => sum / total_tags,
-            DegreeFormula::PureMean => mean,
-        })
+        Some(degree_value(
+            self.config.degree_formula,
+            sum,
+            n,
+            evidence.review_count,
+            evidence.review_tags.len(),
+        ))
     }
 
     /// Compute one tag's posting list from the registered evidence.
@@ -301,14 +298,17 @@ impl SubjectiveIndex {
                 })
             })
             .collect();
-        postings.sort_by(|a, b| b.degree_of_truth.total_cmp(&a.degree_of_truth));
-        let max = postings.first().map(|e| e.degree_of_truth).unwrap_or(0.0);
-        if max > 0.0 {
-            for e in &mut postings {
-                e.normalized = e.degree_of_truth / max;
-            }
-        }
+        finalize_postings(&mut postings);
         postings
+    }
+
+    /// Replace the entries map wholesale (the live-ingest publish path:
+    /// `crate::live` computes posting lists incrementally and installs
+    /// them here so a snapshot index probes exactly like a from-scratch
+    /// build). Rebuilds the ANN sidecar for the new segment set.
+    pub(crate) fn replace_entries(&mut self, entries: BTreeMap<SubjectiveTag, Vec<IndexEntry>>) {
+        self.entries = entries;
+        self.rebuild_ann();
     }
 
     /// (Re)index the given tags against all registered evidence. Existing
@@ -595,7 +595,11 @@ impl SubjectiveIndex {
 
     /// Serialize the posting lists to bytes: one `opinion|aspect\t
     /// id:degree:norm,...` line per tag, straight off the entries map —
-    /// no intermediate keyed map, no posting-list clones.
+    /// no intermediate keyed map, no posting-list clones. The user tag
+    /// history follows as `#history\topinion|aspect\tcount` lines, so a
+    /// snapshot taken mid-flight (unknown tags recorded but not yet
+    /// re-indexed) restores with those in-flight requests intact instead
+    /// of silently dropping the next indexing round's input.
     pub fn snapshot(&self) -> bytes::Bytes {
         let mut out = String::new();
         for (tag, entries) in &self.entries {
@@ -615,6 +619,10 @@ impl SubjectiveIndex {
             }
             out.push('\n');
         }
+        let history = self.history.lock();
+        for (tag, count) in history.entries() {
+            let _ = writeln!(out, "#history\t{}|{}\t{count}", tag.opinion, tag.aspect);
+        }
         bytes::Bytes::from(out.into_bytes())
     }
 
@@ -626,12 +634,26 @@ impl SubjectiveIndex {
     pub fn restore(&mut self, bytes: &[u8]) -> Result<usize, String> {
         let text = std::str::from_utf8(bytes).map_err(|e| format!("snapshot is not UTF-8: {e}"))?;
         let mut entries: BTreeMap<SubjectiveTag, Vec<IndexEntry>> = BTreeMap::new();
+        let mut history = UserTagHistory::new();
         for (ln, line) in text.lines().enumerate() {
             if line.is_empty() {
                 continue;
             }
             let bad = |what: &str| format!("snapshot line {}: {what}", ln + 1);
             let (key, rest) = line.split_once('\t').ok_or_else(|| bad("missing tab"))?;
+            if key == "#history" {
+                let (tag_key, count) = rest
+                    .split_once('\t')
+                    .ok_or_else(|| bad("history line needs tag\\tcount"))?;
+                let (opinion, aspect) = tag_key
+                    .split_once('|')
+                    .ok_or_else(|| bad("missing | in history tag"))?;
+                history.set_count(
+                    SubjectiveTag::new(opinion, aspect),
+                    count.parse().map_err(|_| bad("bad history count"))?,
+                );
+                continue;
+            }
             let (opinion, aspect) = key
                 .split_once('|')
                 .ok_or_else(|| bad("missing | in tag key"))?;
@@ -655,6 +677,7 @@ impl SubjectiveIndex {
         }
         let restored = entries.len();
         self.entries = entries;
+        *self.history.lock() = history;
         self.rebuild_ann();
         Ok(restored)
     }
@@ -679,6 +702,45 @@ impl SubjectiveIndex {
             }
         }
         out
+    }
+}
+
+/// The degree-of-truth value for one `(tag, entity)` pair, given the
+/// θ_index-filtered similarity fold `(sum, n)` over the entity's review
+/// tags. Shared by the batch builder above and the incremental live
+/// path (`crate::live`): both feed it the *same* left-fold `sum` (f32
+/// addition in review order), so batch and incremental degrees are
+/// bitwise identical.
+pub(crate) fn degree_value(
+    formula: DegreeFormula,
+    sum: f32,
+    n: usize,
+    review_count: usize,
+    total_tags: usize,
+) -> f32 {
+    let mean = sum / n as f32;
+    let total = total_tags.max(1) as f32;
+    let log_reviews = ((review_count + 1) as f32).ln();
+    match formula {
+        DegreeFormula::Equation1 => log_reviews * mean,
+        DegreeFormula::MatchVolume => ((n + 1) as f32).ln() * mean,
+        DegreeFormula::MentionRate => log_reviews * sum / total,
+        DegreeFormula::PureRate => sum / total,
+        DegreeFormula::PureMean => mean,
+    }
+}
+
+/// Order a freshly computed posting list and fill in the normalized
+/// column: stable sort by descending degree (ties keep evidence order),
+/// then rescale against the max. Shared by batch and live builds so the
+/// posting byte layout cannot drift between the two paths.
+pub(crate) fn finalize_postings(postings: &mut [IndexEntry]) {
+    postings.sort_by(|a, b| b.degree_of_truth.total_cmp(&a.degree_of_truth));
+    let max = postings.first().map(|e| e.degree_of_truth).unwrap_or(0.0);
+    if max > 0.0 {
+        for e in postings.iter_mut() {
+            e.normalized = e.degree_of_truth / max;
+        }
     }
 }
 
@@ -949,6 +1011,30 @@ mod tests {
             assert!(!ann.is_empty());
         }
         // A second snapshot of the restored index is byte-identical.
+        assert_eq!(bytes, restored.snapshot());
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_pending_history() {
+        // Regression: snapshots used to drop the user tag history, so a
+        // save/restore cycle lost every in-flight unknown-tag request
+        // (the Figure-1 adaptation loop restarted from zero). The
+        // `#history` lines now carry the counts across.
+        let mut idx = index();
+        idx.register_entity(evidence(0, 2, &[("good", "food")]));
+        idx.index_tags(&[tag("good", "food")]);
+        let _ = idx.probe(&tag("zorgle", "zzplace"));
+        let _ = idx.probe(&tag("zorgle", "zzplace"));
+        let _ = idx.probe(&tag("quiet", "place"));
+        assert_eq!(idx.history().len(), 2);
+        let bytes = idx.snapshot();
+
+        let mut restored = index();
+        restored.restore(&bytes).unwrap();
+        assert_eq!(restored.history().len(), 2);
+        assert_eq!(restored.history().count(&tag("zorgle", "zzplace")), 2);
+        assert_eq!(restored.history().count(&tag("quiet", "place")), 1);
+        // The round trip stays byte-stable with history present.
         assert_eq!(bytes, restored.snapshot());
     }
 

@@ -22,12 +22,18 @@
 pub mod ann;
 /// Aho-Corasick-style tag automaton for fast mention scans.
 pub mod automaton;
+/// Zigzag/varint byte codec for segment persistence.
+pub mod codec;
 /// The user tag history feeding re-indexing rounds.
 pub mod history;
 /// The subjective index: Equation 1 degrees of truth.
 pub mod index;
+/// Live ingestion: snapshot-isolated readers over a segmented index.
+pub mod live;
 /// Fraud-aware evidence filtering.
 pub mod robust;
+/// Mem/sealed segments, merge, and the on-disk segment store.
+pub mod segment;
 /// Concurrent serving wrapper (RwLock + pending queue).
 pub mod shared;
 
@@ -41,9 +47,16 @@ pub use automaton::TagAutomaton;
 pub use history::UserTagHistory;
 /// The index and its tuning knobs.
 pub use index::{DegreeFormula, IndexConfig, IndexEntry, SubjectiveIndex};
+/// Live-ingestion handle, its tuning knobs, pinned snapshots, receipts.
+pub use live::{IngestReceipt, LiveConfig, LiveIndex, LiveSnapshot};
 /// Evidence construction with fraud filtering.
 pub use robust::{naive_evidence, FraudFilter, ReviewProfile};
 /// Re-exported tag type used throughout the index API.
 pub use saccs_text::SubjectiveTag;
+/// Segment types, the seq-ordered merge, and the on-disk store.
+pub use segment::{
+    merge_segments, LoadedStore, Manifest, MemSegment, ReviewRecord, SealedSegment, SegmentStore,
+    StoreError,
+};
 /// Thread-safe index handle.
 pub use shared::SharedIndex;

@@ -105,6 +105,12 @@ pub enum TraceEvent {
         /// Ladder action taken (`DegradeAction::label()`).
         action: &'static str,
     },
+    /// A review was ingested into the live index.
+    Ingest {
+        /// Whether the write sealed the mem-segment (`sealed`) or
+        /// stayed buffered in it (`buffered`).
+        sealed: bool,
+    },
 }
 
 impl TraceEvent {
@@ -144,6 +150,9 @@ impl TraceEvent {
             }
             TraceEvent::Degraded { stage, action } => {
                 let _ = write!(s, "degrade:{stage}:{action}");
+            }
+            TraceEvent::Ingest { sealed } => {
+                let _ = write!(s, "ingest:{}", if *sealed { "sealed" } else { "buffered" });
             }
         }
         s
@@ -451,6 +460,14 @@ mod tests {
             }
             .normal(),
             "degrade:search_api:objective-only"
+        );
+        // Ingest events carry no timestamps: normal == full.
+        let ingest = TraceEvent::Ingest { sealed: true };
+        assert_eq!(ingest.normal(), "ingest:sealed");
+        assert_eq!(ingest.full(), "ingest:sealed");
+        assert_eq!(
+            TraceEvent::Ingest { sealed: false }.normal(),
+            "ingest:buffered"
         );
         // ANN payloads are deterministic counts, not timings, so they
         // survive into the normal form.

@@ -45,8 +45,10 @@ use saccs_core::request::RankInput;
 use saccs_core::resilient::DeadlineClock;
 use saccs_core::{RankRequest, RankResponse, SaccsError, SaccsService, SearchApi, Stage};
 use saccs_data::Entity;
+use saccs_index::IngestReceipt;
 use saccs_obs::report::ObsReport;
 use saccs_obs::trace::{self, TraceContext, TraceEvent};
+use saccs_text::SubjectiveTag;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
@@ -110,15 +112,24 @@ pub struct ServeStats {
     pub submitted: u64,
     /// Requests rejected at admission (queue full or shut down).
     pub shed: u64,
-    /// Requests completed by a worker.
+    /// Rank requests completed by a worker.
     pub served: u64,
+    /// Ingest jobs completed by a worker.
+    pub ingested: u64,
     /// Worker ticks that warm-batched more than one sentence.
     pub batched_warms: u64,
 }
 
+/// What a worker hands back through a [`ReplySlot`]: a rank response or
+/// an ingest receipt, matching the submitted [`JobInput`] kind.
+enum Reply {
+    Rank(RankResponse),
+    Ingest(Result<IngestReceipt, SaccsError>),
+}
+
 /// One caller's rendezvous with the worker that serves its request.
 struct ReplySlot {
-    result: Mutex<Option<RankResponse>>,
+    result: Mutex<Option<Reply>>,
     ready: Condvar,
 }
 
@@ -130,25 +141,36 @@ impl ReplySlot {
         }
     }
 
-    fn complete(&self, response: RankResponse) {
-        *relock(self.result.lock()) = Some(response);
+    fn complete(&self, reply: Reply) {
+        *relock(self.result.lock()) = Some(reply);
         self.ready.notify_one();
     }
 
-    fn wait(&self) -> RankResponse {
+    fn wait(&self) -> Reply {
         let mut guard = relock(self.result.lock());
         loop {
             match guard.take() {
-                Some(response) => return response,
+                Some(reply) => return reply,
                 None => guard = relock(self.ready.wait(guard)),
             }
         }
     }
 }
 
+/// The work carried by an admitted job: a rank request, or a review to
+/// ingest into the service's live index. Both kinds flow through the
+/// same bounded queue, so overload sheds rank and ingest traffic alike.
+enum JobInput {
+    Rank(RankRequest),
+    Ingest {
+        entity_id: usize,
+        review_tags: Vec<SubjectiveTag>,
+    },
+}
+
 /// An admitted request waiting for a worker.
 struct Job {
-    request: RankRequest,
+    input: JobInput,
     /// Started at admission: queue time spends the deadline budget.
     clock: DeadlineClock,
     reply: Arc<ReplySlot>,
@@ -175,6 +197,7 @@ struct Shared {
     submitted: AtomicU64,
     shed: AtomicU64,
     served: AtomicU64,
+    ingested: AtomicU64,
     batched_warms: AtomicU64,
     /// Present iff `config.recorder` is set.
     recorder: Option<Arc<FlightRecorder>>,
@@ -183,16 +206,25 @@ struct Shared {
 }
 
 impl Shared {
-    fn submit(&self, request: RankRequest) -> Result<RankResponse, SaccsError> {
+    /// Shared admission path for both job kinds: one bounded queue, one
+    /// shed policy, one deadline clock started at admission.
+    fn admit(&self, input: JobInput) -> Result<Reply, SaccsError> {
         let clock = DeadlineClock::start(self.service.resilience().deadline);
         let reply = Arc::new(ReplySlot::new());
         // Trace ids are deterministic (caller-assigned or derived from
         // request content) — never wallclock — so recorder reports are a
         // pure function of the request stream.
-        let trace = self.recorder.as_ref().map(|rec| {
-            let ctx = TraceContext::with_cap(request.trace_key(), rec.config().events_per_trace);
-            ctx.record(TraceEvent::Admitted);
-            ctx
+        let trace = self.recorder.as_ref().and_then(|rec| match &input {
+            JobInput::Rank(request) => {
+                let ctx =
+                    TraceContext::with_cap(request.trace_key(), rec.config().events_per_trace);
+                ctx.record(TraceEvent::Admitted);
+                Some(ctx)
+            }
+            // Ingest jobs are not rank-shaped, so they stay out of the
+            // recorder ring; their `ingest` trace events land in
+            // whatever context the ingesting caller installs.
+            JobInput::Ingest { .. } => None,
         });
         {
             let mut st = relock(self.state.lock());
@@ -208,7 +240,7 @@ impl Shared {
                 });
             }
             st.queue.push_back(Job {
-                request,
+                input,
                 clock,
                 reply: Arc::clone(&reply),
                 trace,
@@ -220,6 +252,34 @@ impl Shared {
         saccs_obs::counter!("serve.submitted").inc();
         self.work.notify_one();
         Ok(reply.wait())
+    }
+
+    fn submit(&self, request: RankRequest) -> Result<RankResponse, SaccsError> {
+        match self.admit(JobInput::Rank(request))? {
+            Reply::Rank(response) => Ok(response),
+            // A rank job always completes with a rank reply; treat a
+            // mismatch as a shed rather than panicking a caller thread.
+            Reply::Ingest(_) => Err(SaccsError::Unavailable {
+                stage: Stage::Admission,
+            }),
+        }
+    }
+
+    fn submit_ingest(
+        &self,
+        entity_id: usize,
+        review_tags: Vec<SubjectiveTag>,
+    ) -> Result<IngestReceipt, SaccsError> {
+        saccs_obs::counter!("serve.ingest.submitted").inc();
+        match self.admit(JobInput::Ingest {
+            entity_id,
+            review_tags,
+        })? {
+            Reply::Ingest(result) => result,
+            Reply::Rank(_) => Err(SaccsError::Unavailable {
+                stage: Stage::Admission,
+            }),
+        }
     }
 
     /// Pre-warm this worker's extractor replica across every utterance
@@ -235,8 +295,10 @@ impl Shared {
         };
         let mut sentences: Vec<Vec<String>> = Vec::new();
         for job in batch {
-            if let RankInput::Utterance(utterance) = &job.request.input {
-                sentences.extend(saccs_core::extractor::sentence_tokens(utterance));
+            if let JobInput::Rank(request) = &job.input {
+                if let RankInput::Utterance(utterance) = &request.input {
+                    sentences.extend(saccs_core::extractor::sentence_tokens(utterance));
+                }
             }
         }
         if sentences.len() > 1 {
@@ -266,31 +328,49 @@ impl Shared {
             saccs_obs::gauge!("serve.queue.depth").sub(batch.len() as f64);
             self.warm_batch(&batch);
             for job in batch {
+                let Job {
+                    input,
+                    clock,
+                    reply,
+                    trace: job_trace,
+                } = job;
                 // Queue wait is time on the admission clock before this
                 // worker adopted the job — attributed separately from
                 // service time in the trace. (DeadlineClock, not a fresh
                 // Instant: queue time already spends the budget.)
-                let queue_ns = job.trace.as_ref().map(|ctx| {
-                    let nanos = u64::try_from(job.clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                let queue_ns = job_trace.as_ref().map(|ctx| {
+                    let nanos = u64::try_from(clock.elapsed().as_nanos()).unwrap_or(u64::MAX);
                     ctx.record(TraceEvent::QueueWait { nanos });
                     nanos
                 });
-                let response = {
-                    // Adopt the request's trace for the duration of the
-                    // rank call so every stage span and fault event lands
-                    // in the owning request's buffer.
-                    let _scope = job
-                        .trace
-                        .as_ref()
-                        .map(|ctx| trace::install(Arc::clone(ctx)));
-                    self.service.rank_request_at(&job.request, &api, job.clock)
-                };
-                if let (Some(rec), Some(ctx)) = (&self.recorder, &job.trace) {
-                    rec.complete(ctx, &response, queue_ns.unwrap_or(0));
+                match input {
+                    JobInput::Rank(request) => {
+                        let response = {
+                            // Adopt the request's trace for the duration of
+                            // the rank call so every stage span and fault
+                            // event lands in the owning request's buffer.
+                            let _scope = job_trace
+                                .as_ref()
+                                .map(|ctx| trace::install(Arc::clone(ctx)));
+                            self.service.rank_request_at(&request, &api, clock)
+                        };
+                        if let (Some(rec), Some(ctx)) = (&self.recorder, &job_trace) {
+                            rec.complete(ctx, &response, queue_ns.unwrap_or(0));
+                        }
+                        self.served.fetch_add(1, Ordering::Relaxed);
+                        saccs_obs::counter!("serve.served").inc();
+                        reply.complete(Reply::Rank(response));
+                    }
+                    JobInput::Ingest {
+                        entity_id,
+                        review_tags,
+                    } => {
+                        let result = self.service.ingest(entity_id, &review_tags);
+                        self.ingested.fetch_add(1, Ordering::Relaxed);
+                        saccs_obs::counter!("serve.ingest.served").inc();
+                        reply.complete(Reply::Ingest(result));
+                    }
                 }
-                self.served.fetch_add(1, Ordering::Relaxed);
-                saccs_obs::counter!("serve.served").inc();
-                job.reply.complete(response);
                 saccs_obs::gauge!("serve.inflight").sub(1.0);
             }
         }
@@ -329,6 +409,7 @@ impl SaccsServer {
             submitted: AtomicU64::new(0),
             shed: AtomicU64::new(0),
             served: AtomicU64::new(0),
+            ingested: AtomicU64::new(0),
             batched_warms: AtomicU64::new(0),
             recorder,
             final_report: Mutex::new(None),
@@ -357,6 +438,20 @@ impl SaccsServer {
         self.shared.submit(request)
     }
 
+    /// Submit one review for ingestion into the service's live index and
+    /// block until a worker applied it. Goes through the same bounded
+    /// admission queue as rank traffic — overload sheds both alike with
+    /// `SaccsError::Unavailable { stage: Admission }`. On a service
+    /// without a live backend the job is admitted and then fails with
+    /// `Unavailable { stage: Ingest }`.
+    pub fn submit_ingest(
+        &self,
+        entity_id: usize,
+        review_tags: Vec<SubjectiveTag>,
+    ) -> Result<IngestReceipt, SaccsError> {
+        self.shared.submit_ingest(entity_id, review_tags)
+    }
+
     /// The service this server fronts.
     pub fn service(&self) -> &Arc<SaccsService> {
         &self.shared.service
@@ -373,6 +468,7 @@ impl SaccsServer {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             shed: self.shared.shed.load(Ordering::Relaxed),
             served: self.shared.served.load(Ordering::Relaxed),
+            ingested: self.shared.ingested.load(Ordering::Relaxed),
             batched_warms: self.shared.batched_warms.load(Ordering::Relaxed),
         }
     }

@@ -27,7 +27,13 @@ impl Lint for BlockingInWorker {
     }
 
     fn applies(&self, path: &str) -> bool {
-        path.starts_with("crates/serve/src/") || path.starts_with("crates/rt/src/")
+        path.starts_with("crates/serve/src/")
+            || path.starts_with("crates/rt/src/")
+            // The live index runs on serve workers and owns a background
+            // compactor thread: all of its IO must flow through the
+            // SegmentStore seams (failpoint-guarded, manifest-committed),
+            // never inline fs calls or sleeps.
+            || path == "crates/index/src/live.rs"
     }
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
@@ -101,9 +107,11 @@ mod tests {
     }
 
     #[test]
-    fn scope_is_serve_and_rt_only() {
+    fn scope_is_serve_rt_and_the_live_index() {
         assert!(BlockingInWorker.applies("crates/serve/src/lib.rs"));
         assert!(BlockingInWorker.applies("crates/rt/src/lib.rs"));
+        assert!(BlockingInWorker.applies("crates/index/src/live.rs"));
+        assert!(!BlockingInWorker.applies("crates/index/src/segment.rs"));
         assert!(!BlockingInWorker.applies("crates/core/src/persist.rs"));
         assert!(!BlockingInWorker.applies("crates/bench/src/bin/table2.rs"));
     }

@@ -31,6 +31,12 @@ impl Lint for AssertInHotPath {
             // run per-candidate/per-row inner loops on the probe path.
             || path == "crates/index/src/ann.rs"
             || path == "crates/embed/src/quantized.rs"
+            // The live-ingestion fold, the posting-list codec and the
+            // segment merge run per-record/per-posting inner loops on
+            // the ingest and recovery paths.
+            || path == "crates/index/src/live.rs"
+            || path == "crates/index/src/codec.rs"
+            || path == "crates/index/src/segment.rs"
     }
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
@@ -121,6 +127,9 @@ mod tests {
         assert!(AssertInHotPath.applies("crates/rt/src/lib.rs"));
         assert!(AssertInHotPath.applies("crates/index/src/ann.rs"));
         assert!(AssertInHotPath.applies("crates/embed/src/quantized.rs"));
+        assert!(AssertInHotPath.applies("crates/index/src/live.rs"));
+        assert!(AssertInHotPath.applies("crates/index/src/codec.rs"));
+        assert!(AssertInHotPath.applies("crates/index/src/segment.rs"));
         assert!(!AssertInHotPath.applies("crates/index/src/index.rs"));
     }
 }

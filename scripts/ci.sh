@@ -23,6 +23,10 @@
 #  12. probe     ANN equality suite + double probe-bin run on a reduced
 #                synthetic corpus, deterministic exports byte-diffed,
 #                BENCH_probe.json validated
+#  13. ingest    segmented-index suites (proptests, ingest-while-serving
+#                equivalence, crash recovery) + double ingest-bin run,
+#                deterministic exports byte-diffed, BENCH_ingest.json
+#                validated
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -153,5 +157,26 @@ SACCS_PROBE_TAGS=20000 SACCS_PROBE_OUT=PROBE_b.jsonl \
 diff PROBE_a.jsonl PROBE_b.jsonl || fail probe
 rm -f PROBE_a.jsonl PROBE_b.jsonl
 cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_probe.json || fail probe
+
+# Ingest gate: the segmented-index property suite, the ingest-while-
+# serving equivalence suite, and the crash-recovery chaos tests; then
+# the ingest bin run twice with one seed — its JSON-lines export
+# (checkpoint rankings as score bits plus segment counts; no timings)
+# must be byte-identical or live ingestion is not deterministic — and
+# the reviews/sec + probe-latency snapshot validated.
+stage ingest "ingest suites + double ingest run, exports diffed"
+cargo test "${OFFLINE[@]}" -q -p saccs-index --test segment || fail ingest
+cargo test "${OFFLINE[@]}" -q --test ingest || fail ingest
+cargo test "${OFFLINE[@]}" -q --features fault --test chaos ingest_recovery || fail ingest
+rm -f INGEST_a.jsonl INGEST_b.jsonl BENCH_ingest.json
+SACCS_OBS=json SACCS_INGEST_OUT=INGEST_a.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin ingest \
+    || fail ingest
+SACCS_INGEST_OUT=INGEST_b.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin ingest \
+    >/dev/null || fail ingest
+diff INGEST_a.jsonl INGEST_b.jsonl || fail ingest
+rm -f INGEST_a.jsonl INGEST_b.jsonl
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_ingest.json || fail ingest
 
 printf '\n=== CI green: all stages passed ===\n'

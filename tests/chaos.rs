@@ -351,3 +351,261 @@ mod armed {
         );
     }
 }
+
+/// Crash-recovery chaos for the segmented live index: failpoints kill a
+/// segment persist mid-write and a compaction merge mid-flight, and
+/// recovery must come up on a consistent committed snapshot — no torn
+/// segment ever becomes visible — serving rankings bitwise identical to
+/// a from-scratch rebuild of the durable review log.
+#[cfg(feature = "fault")]
+mod ingest_recovery {
+    use super::{bits, counter, global_lock};
+    use saccs::fault::{arm_guard, Scenario};
+    use saccs::index::index::{EntityEvidence, IndexConfig};
+    use saccs::index::{LiveConfig, LiveIndex, ReviewRecord, SubjectiveIndex};
+    use saccs::text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn sim() -> ConceptualSimilarity {
+        ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+    }
+
+    fn tag(op: &str, asp: &str) -> SubjectiveTag {
+        SubjectiveTag::new(op, asp)
+    }
+
+    fn index_tags() -> Vec<SubjectiveTag> {
+        vec![tag("delicious", "food"), tag("cozy", "ambiance")]
+    }
+
+    fn probes() -> Vec<SubjectiveTag> {
+        vec![
+            tag("delicious", "food"),
+            tag("cozy", "ambiance"),
+            tag("tasty", "meal"),
+        ]
+    }
+
+    /// Six reviews over four entities: enough for three sealed segments
+    /// at `seal_every = 2`.
+    fn reviews() -> Vec<(usize, Vec<SubjectiveTag>)> {
+        vec![
+            (0, vec![tag("delicious", "food")]),
+            (1, vec![tag("cozy", "ambiance"), tag("tasty", "meal")]),
+            (2, vec![tag("friendly", "staff")]),
+            (0, vec![tag("deliciouz", "food")]),
+            (3, vec![tag("cozy", "ambiance")]),
+            (1, vec![tag("delicious", "meal"), tag("great", "service")]),
+        ]
+    }
+
+    fn live_config() -> LiveConfig {
+        // Manual compaction only: the tests drive merges explicitly.
+        LiveConfig {
+            seal_every: 2,
+            max_segments: 0,
+            background_compaction: false,
+        }
+    }
+
+    fn temp_dir(label: &str) -> PathBuf {
+        static NONCE: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "saccs-chaos-{label}-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// From-scratch comparator over a review log, identical to the one
+    /// the ingest equivalence suite uses.
+    fn rebuild(log: &[ReviewRecord], tags: &[SubjectiveTag]) -> SubjectiveIndex {
+        let mut idx = SubjectiveIndex::new(sim(), IndexConfig::default());
+        let mut evidence: Vec<EntityEvidence> = Vec::new();
+        for record in log {
+            match evidence
+                .iter_mut()
+                .find(|e| e.entity_id == record.entity_id)
+            {
+                Some(ev) => {
+                    ev.review_count += 1;
+                    ev.review_tags.extend(record.tags.iter().cloned());
+                }
+                None => evidence.push(EntityEvidence {
+                    entity_id: record.entity_id,
+                    review_count: 1,
+                    review_tags: record.tags.clone(),
+                }),
+            }
+        }
+        for ev in evidence {
+            idx.register_entity(ev);
+        }
+        idx.index_tags(tags);
+        idx
+    }
+
+    fn probe_bits(live: &LiveIndex) -> Vec<Vec<(usize, u32)>> {
+        let snap = live.pin();
+        probes()
+            .iter()
+            .map(|p| bits(&live.probe_pinned(&snap, p)))
+            .collect()
+    }
+
+    fn rebuild_bits(log: &[ReviewRecord]) -> Vec<Vec<(usize, u32)>> {
+        let frozen = rebuild(log, &index_tags());
+        probes()
+            .iter()
+            .map(|p| bits(&frozen.probe_readonly(p)))
+            .collect()
+    }
+
+    /// `index.persist` tears the first seal's segment write mid-file and
+    /// the process "dies" before any retry. The torn file sits at its
+    /// final name, but the manifest never referenced it, so recovery
+    /// must come up on the (empty) durable prefix — and a clean rerun
+    /// over the same directory overwrites the torn file and round-trips
+    /// the full stream bitwise.
+    #[test]
+    fn torn_segment_persist_never_becomes_visible_after_recovery() {
+        let _serial = global_lock();
+        const SEED: u64 = 13;
+        let scenario = Scenario::parse("index.persist=err@1").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+        let dir = temp_dir("persist");
+        let failed_before = counter("index.ingest.persist_failed");
+
+        {
+            let _faults = arm_guard(&scenario, SEED);
+            let live = LiveIndex::open(&dir, sim(), IndexConfig::default(), live_config())
+                .expect("open fresh store");
+            live.add_tags(&index_tags());
+            for (entity_id, review_tags) in reviews().into_iter().take(2) {
+                live.add_review(entity_id, &review_tags);
+            }
+            assert_eq!(
+                counter("index.ingest.persist_failed") - failed_before,
+                1,
+                "the armed seal persist must have torn"
+            );
+            // The in-memory view keeps serving past the failed persist.
+            assert_eq!(
+                probe_bits(&live),
+                rebuild_bits(&live.review_log()),
+                "in-memory serving diverged after the torn persist"
+            );
+            // Crash: dropped without a checkpoint, retry never happens.
+        }
+
+        let recovered = LiveIndex::open(&dir, sim(), IndexConfig::default(), live_config())
+            .expect("recovery must not load the torn segment");
+        assert_eq!(
+            recovered.review_log(),
+            Vec::new(),
+            "nothing was durable, so the recovered log must be empty"
+        );
+
+        // Clean rerun over the same directory: the overwritten segment
+        // files and a checkpoint round-trip the full stream bitwise.
+        let mut log: Vec<ReviewRecord> = Vec::new();
+        for (entity_id, review_tags) in reviews() {
+            let receipt = recovered.add_review(entity_id, &review_tags);
+            log.push(ReviewRecord {
+                seq: receipt.seq,
+                entity_id,
+                tags: review_tags,
+            });
+        }
+        recovered.checkpoint().expect("clean checkpoint");
+        drop(recovered);
+        let reopened = LiveIndex::open(&dir, sim(), IndexConfig::default(), live_config())
+            .expect("reopen after clean run");
+        assert_eq!(reopened.review_log(), log);
+        assert_eq!(
+            probe_bits(&reopened),
+            rebuild_bits(&log),
+            "recovered rankings diverged from the from-scratch rebuild"
+        );
+    }
+
+    /// `index.merge` aborts compaction between writing the merged image
+    /// and committing the manifest: the merged file is an invisible
+    /// orphan, the old segments stay live (bitwise unchanged service),
+    /// and recovery after the "crash" re-serves identical rankings —
+    /// after which compaction completes cleanly.
+    #[test]
+    fn aborted_merge_keeps_old_segments_live_and_recovers_bitwise() {
+        let _serial = global_lock();
+        const SEED: u64 = 17;
+        let scenario = Scenario::parse("index.merge=err@1").expect("scenario parses");
+        println!("chaos replay: seed={SEED} scenario={scenario}");
+        let dir = temp_dir("merge");
+        let aborted_before = counter("index.ingest.merge_aborted");
+
+        let mut log: Vec<ReviewRecord> = Vec::new();
+        {
+            let live = LiveIndex::open(&dir, sim(), IndexConfig::default(), live_config())
+                .expect("open fresh store");
+            live.add_tags(&index_tags());
+            for (entity_id, review_tags) in reviews() {
+                let receipt = live.add_review(entity_id, &review_tags);
+                log.push(ReviewRecord {
+                    seq: receipt.seq,
+                    entity_id,
+                    tags: review_tags,
+                });
+            }
+            assert_eq!(live.segment_count(), 3, "three sealed segments expected");
+            let before = probe_bits(&live);
+
+            let aborted = {
+                let _faults = arm_guard(&scenario, SEED);
+                live.compact_now()
+            };
+            assert!(aborted.is_err(), "the armed merge must abort");
+            assert_eq!(
+                counter("index.ingest.merge_aborted") - aborted_before,
+                1,
+                "the abort must be counted exactly once"
+            );
+            assert_eq!(
+                live.segment_count(),
+                3,
+                "an aborted merge must leave the old segments live"
+            );
+            assert_eq!(
+                probe_bits(&live),
+                before,
+                "an aborted merge changed live rankings"
+            );
+            // Crash: dropped without a checkpoint.
+        }
+
+        let recovered = LiveIndex::open(&dir, sim(), IndexConfig::default(), live_config())
+            .expect("recovery after the aborted merge");
+        assert_eq!(
+            recovered.review_log(),
+            log,
+            "the committed pre-merge snapshot must recover in full"
+        );
+        assert_eq!(recovered.segment_count(), 3, "orphan merge file loaded?");
+        assert_eq!(
+            probe_bits(&recovered),
+            rebuild_bits(&log),
+            "recovered rankings diverged from the from-scratch rebuild"
+        );
+
+        // Unarmed, the merge completes and rankings still don't move.
+        assert!(recovered.compact_now().expect("clean merge"));
+        assert_eq!(recovered.segment_count(), 1);
+        assert_eq!(
+            probe_bits(&recovered),
+            rebuild_bits(&log),
+            "a completed merge changed rankings"
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! Ingest-while-serving equivalence suite: the segmented live index
+//! behind the full `saccs-serve` front end.
+//!
+//! The contract under test is the ingestion PR's headline claim: a
+//! server whose service fronts a [`LiveIndex`] answers every rank
+//! request — at any worker count, with ANN on or off — **bitwise
+//! identically** to a frozen `SubjectiveIndex` rebuilt from scratch
+//! over the same review log, at *every* intermediate state of the
+//! stream: mid mem-segment, right after a seal, and right after a
+//! compaction merge. Ingestion rides the same bounded admission queue
+//! as rank traffic, so the interleaving here exercises real
+//! queue-sharing, not a side channel.
+//!
+//! Also covered: serve-level ingest accounting ([`ServeStats`]), the
+//! `Stage::Ingest` rejection on a static (non-live) service, and the
+//! `ingest:buffered` / `ingest:sealed` trace events.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs::core::{RankRequest, SaccsConfig, SaccsService, SearchApi, Stage};
+use saccs::data::Entity;
+use saccs::index::index::{EntityEvidence, IndexConfig};
+use saccs::index::{LiveConfig, LiveIndex, ReviewRecord, SubjectiveIndex};
+use saccs::obs::trace::install;
+use saccs::obs::TraceContext;
+use saccs::serve::{SaccsServer, ServeConfig};
+use saccs::text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Metrics and (under the `fault` feature) the failpoint registry are
+/// process-global, so the tests serialize exactly like `tests/serve.rs`.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sim() -> ConceptualSimilarity {
+    ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+}
+
+fn tag(op: &str, asp: &str) -> SubjectiveTag {
+    SubjectiveTag::new(op, asp)
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(e, s)| (e, s.to_bits())).collect()
+}
+
+fn entities(n: usize) -> Vec<Entity> {
+    let lex = Lexicon::new(Domain::Restaurants);
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n).map(|i| Entity::sample(i, &lex, &mut rng)).collect()
+}
+
+/// The indexed tag vocabulary.
+fn index_tags() -> Vec<SubjectiveTag> {
+    vec![
+        tag("delicious", "food"),
+        tag("friendly", "staff"),
+        tag("cozy", "ambiance"),
+    ]
+}
+
+/// The interleaved review stream: 10 reviews over 5 entities, mixing
+/// exact vocabulary hits, near-typos and out-of-vocabulary noise.
+fn stream() -> Vec<(usize, Vec<SubjectiveTag>)> {
+    vec![
+        (0, vec![tag("delicious", "food"), tag("friendly", "staff")]),
+        (1, vec![tag("tasty", "meal")]),
+        (2, vec![tag("cozy", "ambiance"), tag("great", "service")]),
+        (0, vec![tag("deliciouz", "food")]),
+        (3, vec![tag("friendly", "staff"), tag("cozy", "ambiance")]),
+        (1, vec![tag("zorgle", "zzplace")]),
+        (4, vec![tag("delicious", "food")]),
+        (2, vec![tag("friendly", "service")]),
+        (3, vec![tag("tasty", "food"), tag("great", "staff")]),
+        (4, vec![tag("cozy", "ambiance"), tag("delicious", "meal")]),
+    ]
+}
+
+/// Rank requests probing indexed tags, a near-synonym and an unknown
+/// tag (the fallback + history-recording path).
+fn rank_requests() -> Vec<RankRequest> {
+    vec![
+        RankRequest::tags(vec![tag("delicious", "food"), tag("nice", "staff")]),
+        RankRequest::tags(vec![tag("cozy", "ambiance")]),
+        RankRequest::tags(vec![tag("quiet", "place")]),
+    ]
+}
+
+/// The from-scratch comparator: replay the log the way the batch
+/// pipeline would and index the same tag set.
+fn rebuild(log: &[ReviewRecord], tags: &[SubjectiveTag], config: &IndexConfig) -> SubjectiveIndex {
+    let mut idx = SubjectiveIndex::new(sim(), config.clone());
+    let mut evidence: Vec<EntityEvidence> = Vec::new();
+    for record in log {
+        match evidence
+            .iter_mut()
+            .find(|e| e.entity_id == record.entity_id)
+        {
+            Some(ev) => {
+                ev.review_count += 1;
+                ev.review_tags.extend(record.tags.iter().cloned());
+            }
+            None => evidence.push(EntityEvidence {
+                entity_id: record.entity_id,
+                review_count: 1,
+                review_tags: record.tags.clone(),
+            }),
+        }
+    }
+    for ev in evidence {
+        idx.register_entity(ev);
+    }
+    idx.index_tags(tags);
+    idx
+}
+
+fn live_index(ann: bool) -> (Arc<LiveIndex>, IndexConfig) {
+    let config = IndexConfig {
+        ann_enabled: ann,
+        ..IndexConfig::default()
+    };
+    let live = LiveIndex::new(
+        sim(),
+        config.clone(),
+        LiveConfig {
+            seal_every: 2,
+            max_segments: 3,
+            background_compaction: false,
+        },
+    );
+    live.add_tags(&index_tags());
+    (Arc::new(live), config)
+}
+
+fn live_server(live: &Arc<LiveIndex>, workers: usize) -> (Arc<SaccsServer>, Vec<Entity>) {
+    let svc = Arc::new(SaccsService::with_live_index(
+        Arc::clone(live),
+        SaccsConfig::default(),
+    ));
+    let ents = entities(5);
+    let server = Arc::new(SaccsServer::start(
+        svc,
+        ents.clone(),
+        ServeConfig {
+            workers,
+            queue_depth: 64,
+            batch: 4,
+            ..ServeConfig::default()
+        },
+    ));
+    (server, ents)
+}
+
+/// The tentpole: interleave ingest and rank traffic through the served
+/// admission queue and demand bitwise equality with a from-scratch
+/// rebuild at every seal/merge state, at serve widths 1, 2 and 8, with
+/// the ANN sidecar on and off.
+#[test]
+fn interleaved_ingest_and_rank_matches_rebuild_at_every_state() {
+    let _serial = global_lock();
+    for ann in [false, true] {
+        for workers in [1usize, 2, 8] {
+            let (live, config) = live_index(ann);
+            let (server, ents) = live_server(&live, workers);
+            let api = SearchApi::new(&ents);
+            let mut log: Vec<ReviewRecord> = Vec::new();
+            let mut seals = 0usize;
+            for (entity_id, review_tags) in stream() {
+                let receipt = server
+                    .submit_ingest(entity_id, review_tags.clone())
+                    .expect("ingest admitted");
+                if receipt.sealed {
+                    seals += 1;
+                }
+                log.push(ReviewRecord {
+                    seq: receipt.seq,
+                    entity_id,
+                    tags: review_tags,
+                });
+                let frozen = SaccsService::index_only(
+                    rebuild(&log, &index_tags(), &config),
+                    SaccsConfig::default(),
+                );
+                for (served, reference) in rank_requests()
+                    .into_iter()
+                    .zip(rank_requests().iter().map(|r| frozen.rank_request(r, &api)))
+                {
+                    let response = server.submit(served).expect("rank admitted");
+                    assert!(response.is_full_fidelity());
+                    assert_eq!(
+                        bits(&response.results),
+                        bits(&reference.results),
+                        "served ranking diverged from rebuild after {} reviews \
+                         (workers={workers}, ann={ann}, segments={})",
+                        log.len(),
+                        live.segment_count(),
+                    );
+                }
+            }
+            // The cadence actually exercised seals and compaction: 10
+            // reviews at seal_every=2 seal five times, and max_segments=3
+            // forces at least one inline merge, so the final sealed set
+            // is smaller than the number of seals.
+            assert_eq!(seals, 5, "workers={workers} ann={ann}");
+            assert!(
+                live.segment_count() < seals,
+                "compaction never merged (workers={workers}, ann={ann}, segments={})",
+                live.segment_count(),
+            );
+            assert_eq!(live.review_log(), log, "workers={workers} ann={ann}");
+        }
+    }
+}
+
+/// Ingestion shares the admission queue: receipts are sequential, the
+/// serve-level counters attribute ingest and rank traffic separately,
+/// and old pinned snapshots stay readable mid-stream.
+#[test]
+fn serve_stats_attribute_ingest_and_rank_separately() {
+    let _serial = global_lock();
+    let (live, _config) = live_index(false);
+    let (server, _ents) = live_server(&live, 2);
+    let early = live.pin();
+    let early_bits = bits(&live.probe_pinned(&early, &tag("delicious", "food")));
+    for (i, (entity_id, review_tags)) in stream().into_iter().enumerate() {
+        let receipt = server
+            .submit_ingest(entity_id, review_tags)
+            .expect("ingest admitted");
+        assert_eq!(receipt.seq, i as u64, "receipts must be sequential");
+    }
+    let _ = server
+        .submit(RankRequest::tags(vec![tag("delicious", "food")]))
+        .expect("rank admitted");
+    let stats = server.stats();
+    assert_eq!(stats.ingested, 10);
+    assert_eq!(stats.served, 1, "rank and ingest counters must not mix");
+    assert_eq!(stats.submitted, 11, "both kinds ride the admission queue");
+    assert_eq!(stats.shed, 0);
+    // Snapshot isolation across the whole served stream: the pre-ingest
+    // pin still answers with its original (empty-index) bits.
+    assert_eq!(
+        bits(&live.probe_pinned(&early, &tag("delicious", "food"))),
+        early_bits
+    );
+}
+
+/// A static (non-live) service refuses ingestion with the dedicated
+/// stage, both directly and through the server.
+#[test]
+fn static_service_rejects_ingest_at_the_ingest_stage() {
+    let _serial = global_lock();
+    let frozen = SaccsService::index_only(
+        rebuild(&[], &index_tags(), &IndexConfig::default()),
+        SaccsConfig::default(),
+    );
+    let err = frozen
+        .ingest(0, &[tag("delicious", "food")])
+        .expect_err("static service must refuse ingest");
+    assert_eq!(err.stage(), Stage::Ingest);
+
+    let server = SaccsServer::start(
+        Arc::new(SaccsService::index_only(
+            rebuild(&[], &index_tags(), &IndexConfig::default()),
+            SaccsConfig::default(),
+        )),
+        entities(3),
+        ServeConfig::default(),
+    );
+    let err = server
+        .submit_ingest(0, vec![tag("delicious", "food")])
+        .expect_err("served ingest must surface the same refusal");
+    assert_eq!(err.stage(), Stage::Ingest);
+}
+
+/// Every ingest records a trace event on the caller's context:
+/// `ingest:buffered` while the mem-segment absorbs the review,
+/// `ingest:sealed` on the write that trips the seal cadence.
+#[test]
+fn ingest_emits_buffered_and_sealed_trace_events() {
+    let _serial = global_lock();
+    let (live, _config) = live_index(false);
+    let svc = SaccsService::with_live_index(Arc::clone(&live), SaccsConfig::default());
+    let ctx = TraceContext::new(42);
+    let normals: Vec<String> = {
+        let _scope = install(Arc::clone(&ctx));
+        svc.ingest(0, &[tag("delicious", "food")])
+            .expect("live ingest");
+        svc.ingest(1, &[tag("friendly", "staff")])
+            .expect("live ingest");
+        ctx.events().iter().map(|e| e.normal()).collect()
+    };
+    assert_eq!(
+        normals,
+        vec!["ingest:buffered".to_string(), "ingest:sealed".to_string()],
+        "seal_every=2: first write buffers, second seals"
+    );
+}
