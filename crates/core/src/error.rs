@@ -23,6 +23,8 @@ pub enum Stage {
     SearchApi,
     /// Neural subjective-tag extraction.
     Extract,
+    /// Subjective filter compilation against the pinned snapshot.
+    Filter,
     /// Per-tag index probes.
     Probe,
     /// Live review ingestion into the segmented index.
@@ -36,6 +38,7 @@ impl Stage {
             Stage::Admission => "admission",
             Stage::SearchApi => "search_api",
             Stage::Extract => "extract",
+            Stage::Filter => "filter",
             Stage::Probe => "probe",
             Stage::Ingest => "ingest",
         }
@@ -72,6 +75,16 @@ pub enum SaccsError {
     /// shape cannot be served by this service configuration, ever — so it
     /// gets its own variant instead of masquerading as an outage.
     NoExtractor,
+    /// The request failed structural validation at the `sanitized()`
+    /// seam (mirroring `ServeConfig::sanitized`): a malformed filter
+    /// DSL, out-of-range θ, empty input, … Also a *caller* error —
+    /// reported before any stage runs, never silently clamped.
+    InvalidRequest {
+        /// Which request field was rejected (`"filter"`, `"input"`, …).
+        field: &'static str,
+        /// Why; filter DSL errors include byte-offset spans.
+        reason: String,
+    },
 }
 
 impl SaccsError {
@@ -83,6 +96,8 @@ impl SaccsError {
                     Stage::SearchApi
                 } else if e.site.ends_with("extract") {
                     Stage::Extract
+                } else if e.site.ends_with("filter") {
+                    Stage::Filter
                 } else {
                     Stage::Probe
                 }
@@ -92,6 +107,8 @@ impl SaccsError {
             | SaccsError::DeadlineExceeded { stage, .. }
             | SaccsError::Unavailable { stage } => *stage,
             SaccsError::NoExtractor => Stage::Extract,
+            // Rejected before any Algorithm-1 stage runs, like a shed.
+            SaccsError::InvalidRequest { .. } => Stage::Admission,
         }
     }
 }
@@ -121,6 +138,9 @@ impl fmt::Display for SaccsError {
             }
             SaccsError::NoExtractor => {
                 write!(f, "service was built index-only and has no extractor")
+            }
+            SaccsError::InvalidRequest { field, reason } => {
+                write!(f, "invalid request field `{field}`: {reason}")
             }
         }
     }

@@ -67,9 +67,10 @@ pub use profile::UserProfile;
 /// The typed rank request/response surface.
 pub use request::{RankInput, RankRequest, RankResponse, RankResult};
 /// Resilient-serving primitives and the degraded-response report.
-pub use resilient::{
-    Degradation, DegradationEvent, DegradeAction, RankOutcome, ResilienceConfig, RetryPolicy,
-};
+pub use resilient::{Degradation, DegradationEvent, DegradeAction, ResilienceConfig, RetryPolicy};
+/// The subjective query language, re-exported so request builders can
+/// construct filters without a direct `saccs-query` dependency.
+pub use saccs_query::{Filter, FilterExpr};
 /// The objective (non-subjective) search backend.
 pub use search_api::SearchApi;
 /// The ranking service and its configuration.

@@ -7,14 +7,15 @@
 //! [`RankRequest`] collapses that grid into one value the canonical
 //! [`crate::service::SaccsService::rank_request`] consumes, which is
 //! also the unit the `saccs-serve` front end queues, sheds, and
-//! micro-batches. The legacy entry points survive as thin deprecated
-//! wrappers.
+//! micro-batches. The legacy entry points are gone; every caller goes
+//! through this front door.
 
 use crate::dialog::Slots;
 use crate::error::SaccsError;
 use crate::profile::UserProfile;
 use crate::resilient::Degradation;
 use crate::service::SaccsConfig;
+use saccs_query::Filter;
 use saccs_text::SubjectiveTag;
 use std::time::Duration;
 
@@ -43,10 +44,20 @@ pub struct RankRequest {
     /// Per-request override of the service-level [`SaccsConfig`]
     /// (`top_k`, aggregation, padding). `None` uses the service's.
     pub config: Option<SaccsConfig>,
+    /// Subjective query filter: a typed AST (or parsed DSL) compiled
+    /// against the same pinned index snapshot the probes read, applied
+    /// as a pure selection on the objective candidates before ranking.
+    /// A filter that cannot be compiled degrades the request to
+    /// unfiltered (with a `Degradation` record) rather than erroring.
+    pub filter: Option<Filter>,
     /// Caller-assigned trace id for request-scoped tracing. `None` lets
     /// the serving layer derive one deterministically from the request
     /// content ([`trace_key`](Self::trace_key)) — never from wallclock.
     pub trace_id: Option<u64>,
+    /// A filter DSL string that failed to parse, retained so
+    /// [`sanitized`](Self::sanitized) can report the original error
+    /// (builders stay infallible; validation has one seam).
+    bad_dsl: Option<String>,
 }
 
 impl RankRequest {
@@ -57,7 +68,9 @@ impl RankRequest {
             slots: Slots::default(),
             profile: None,
             config: None,
+            filter: None,
             trace_id: None,
+            bad_dsl: None,
         }
     }
 
@@ -68,7 +81,9 @@ impl RankRequest {
             slots: Slots::default(),
             profile: None,
             config: None,
+            filter: None,
             trace_id: None,
+            bad_dsl: None,
         }
     }
 
@@ -88,6 +103,87 @@ impl RankRequest {
     pub fn with_config(mut self, config: SaccsConfig) -> Self {
         self.config = Some(config);
         self
+    }
+
+    /// Attach a subjective filter — the one front door for the query
+    /// language: the filter flows unchanged through
+    /// [`crate::service::SaccsService::rank_request`], the resilient
+    /// ladder, the `saccs-serve` workers, and the trace pipeline.
+    pub fn with_filter(mut self, filter: Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Parse `dsl` and attach the resulting filter. Parse errors are
+    /// *not* surfaced here (builders stay infallible); they are
+    /// reported — with byte-offset spans — by [`sanitized`](Self::sanitized)
+    /// as [`SaccsError::InvalidRequest`].
+    pub fn with_filter_dsl(self, dsl: &str) -> Self {
+        match Filter::parse(dsl) {
+            Ok(filter) => self.with_filter(filter),
+            // Keep the malformed source so sanitized() can report the
+            // original parse error instead of silently dropping it.
+            Err(_) => self
+                .with_filter(Filter::from_expr(saccs_query::FilterExpr::Opinion {
+                    word: String::new(),
+                    theta: 0.0,
+                }))
+                .with_bad_dsl(dsl),
+        }
+    }
+
+    fn with_bad_dsl(mut self, dsl: &str) -> Self {
+        self.bad_dsl = Some(dsl.to_string());
+        self
+    }
+
+    /// Validate the request without consuming it. Everything funnels
+    /// through here (and through [`sanitized`](Self::sanitized), the
+    /// owned form) so nothing is ever silently clamped: a malformed
+    /// filter, a non-finite profile boost or a zero `top_k` override
+    /// all come back as typed [`SaccsError::InvalidRequest`].
+    pub fn validate(&self) -> Result<(), SaccsError> {
+        if let Some(dsl) = &self.bad_dsl {
+            let reason = match Filter::parse(dsl) {
+                Err(e) => e.to_string(),
+                Ok(_) => "filter DSL failed to parse".to_string(),
+            };
+            return Err(SaccsError::InvalidRequest {
+                field: "filter",
+                reason,
+            });
+        }
+        if let Some(filter) = &self.filter {
+            filter.validate().map_err(|e| SaccsError::InvalidRequest {
+                field: "filter",
+                reason: e.to_string(),
+            })?;
+        }
+        if let Some((_, boost)) = &self.profile {
+            if !boost.is_finite() || *boost < 0.0 {
+                return Err(SaccsError::InvalidRequest {
+                    field: "profile",
+                    reason: format!("boost {boost} must be finite and non-negative"),
+                });
+            }
+        }
+        if let Some(config) = &self.config {
+            if config.top_k == 0 {
+                return Err(SaccsError::InvalidRequest {
+                    field: "config",
+                    reason: "top_k override must be at least 1".to_string(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The single validation seam, mirroring `ServeConfig::sanitized`:
+    /// the serving front end calls this before admission, so a bad
+    /// request is a typed error to the caller, never a queued job.
+    pub fn sanitized(self) -> Result<Self, SaccsError> {
+        self.validate()?;
+        Ok(self)
     }
 
     /// Assign an explicit trace id (tests and benches use the request
@@ -126,6 +222,12 @@ impl RankRequest {
             if let Some(v) = slot {
                 h = saccs_obs::trace::hash_bytes(h, v.as_bytes());
             }
+        }
+        if let Some(filter) = &self.filter {
+            // The canonical normal form, not the surface DSL: two
+            // spellings of the same filter share a trace key.
+            h = saccs_obs::trace::hash_bytes(h, b"f:");
+            h = saccs_obs::trace::hash_bytes(h, filter.normal().as_bytes());
         }
         h
     }
@@ -208,5 +310,73 @@ mod tests {
             RankRequest::tags(vec![SubjectiveTag::new("quiet", "room")]).trace_key()
         );
         assert_ne!(tags.trace_key(), a.trace_key());
+        let filtered = a.clone().with_filter_dsl("quiet AND NOT expensive");
+        assert_ne!(filtered.trace_key(), a.trace_key(), "filter feeds the key");
+        assert_eq!(
+            filtered.trace_key(),
+            a.clone()
+                .with_filter_dsl("quiet and not expensive")
+                .trace_key(),
+            "the normal form is hashed, not the surface spelling"
+        );
+    }
+
+    #[test]
+    fn sanitized_is_the_single_validation_seam() {
+        assert!(RankRequest::utterance("cheap ramen").sanitized().is_ok());
+        let ok = RankRequest::utterance("x")
+            .with_filter_dsl("delicious AND (quiet OR romantic), price<=2")
+            .sanitized();
+        assert!(ok.is_ok());
+
+        let bad_dsl = RankRequest::utterance("x")
+            .with_filter_dsl("price<=nine")
+            .sanitized();
+        match bad_dsl {
+            Err(SaccsError::InvalidRequest { field, reason }) => {
+                assert_eq!(field, "filter");
+                assert!(reason.contains("bytes 7..11"), "span surfaces: {reason}");
+            }
+            other => panic!("expected InvalidRequest, got {other:?}"),
+        }
+
+        let bad_theta = RankRequest::utterance("x")
+            .with_filter(Filter::from_expr(saccs_query::FilterExpr::Threshold {
+                tag: SubjectiveTag::new("quiet", "room"),
+                theta: 2.0,
+            }))
+            .sanitized();
+        assert!(matches!(
+            bad_theta,
+            Err(SaccsError::InvalidRequest {
+                field: "filter",
+                ..
+            })
+        ));
+
+        let bad_boost = RankRequest::utterance("x")
+            .with_profile(UserProfile::new(), f32::NAN)
+            .sanitized();
+        assert!(matches!(
+            bad_boost,
+            Err(SaccsError::InvalidRequest {
+                field: "profile",
+                ..
+            })
+        ));
+
+        let bad_top_k = RankRequest::utterance("x")
+            .with_config(SaccsConfig {
+                top_k: 0,
+                ..SaccsConfig::default()
+            })
+            .sanitized();
+        assert!(matches!(
+            bad_top_k,
+            Err(SaccsError::InvalidRequest {
+                field: "config",
+                ..
+            })
+        ));
     }
 }

@@ -6,18 +6,21 @@
 //!
 //! 1. **Retry** — transient stage failures are retried under
 //!    deterministic exponential backoff with bounded jitter.
-//! 2. **Drop the tag** — a single failing probe drops that tag's
+//! 2. **Unfiltered** — the request's subjective filter could not be
+//!    compiled or evaluated; the full ranking comes back with the
+//!    filter dropped.
+//! 3. **Drop the tag** — a single failing probe drops that tag's
 //!    subjective filter; the remaining tags still rank.
-//! 3. **Objective-only** — extraction (or every probe) down: return the
+//! 4. **Objective-only** — extraction (or every probe) down: return the
 //!    `search_api` order verbatim, exactly like a tag-less query.
-//! 4. **Partial results** — the deadline budget lapsed mid-request:
+//! 5. **Partial results** — the deadline budget lapsed mid-request:
 //!    return what is ranked so far instead of blocking.
-//! 5. **Empty** — the objective API itself is unreachable; there is
+//! 6. **Empty** — the objective API itself is unreachable; there is
 //!    nothing left to serve, but the response still explains why.
 //!
 //! Every rung is recorded as a [`DegradationEvent`] in the returned
-//! [`RankOutcome`], so callers (and the chaos suite) can tell a clean
-//! answer from a degraded one without log archaeology.
+//! [`crate::request::RankResponse`], so callers (and the chaos suite)
+//! can tell a clean answer from a degraded one without log archaeology.
 
 use crate::error::{SaccsError, Stage};
 use saccs_fault::{
@@ -57,6 +60,10 @@ pub struct ResilienceConfig {
 /// What the service gave up when a stage failed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DegradeAction {
+    /// The request's subjective filter could not be compiled or
+    /// evaluated; results came back unfiltered. The mildest rung: the
+    /// full ranking is intact, only the filter was sacrificed.
+    Unfiltered,
     /// One tag's subjective filter was dropped; the rest still rank.
     DroppedTag,
     /// Subjective ranking was skipped; the objective order came back.
@@ -71,6 +78,7 @@ impl DegradeAction {
     /// Stable lowercase name (for logs and metrics).
     pub fn label(self) -> &'static str {
         match self {
+            DegradeAction::Unfiltered => "unfiltered",
             DegradeAction::DroppedTag => "dropped_tag",
             DegradeAction::ObjectiveOnly => "objective_only",
             DegradeAction::Partial => "partial",
@@ -107,10 +115,11 @@ impl Degradation {
             .iter()
             .map(|e| e.action)
             .max_by_key(|a| match a {
-                DegradeAction::DroppedTag => 0,
-                DegradeAction::ObjectiveOnly => 1,
-                DegradeAction::Partial => 2,
-                DegradeAction::Empty => 3,
+                DegradeAction::Unfiltered => 0,
+                DegradeAction::DroppedTag => 1,
+                DegradeAction::ObjectiveOnly => 2,
+                DegradeAction::Partial => 3,
+                DegradeAction::Empty => 4,
             })
     }
 
@@ -125,17 +134,6 @@ impl Degradation {
             action,
         });
     }
-}
-
-/// A resilient ranking response: the results plus what (if anything)
-/// was sacrificed to produce them.
-#[derive(Debug, Clone, PartialEq)]
-pub struct RankOutcome {
-    /// `(entity, score)` pairs, best first — same shape as
-    /// [`crate::service::SaccsService::rank`].
-    pub results: Vec<(usize, f32)>,
-    /// Empty for a clean request.
-    pub degradation: Degradation,
 }
 
 /// One circuit breaker per failable stage, so a dead extractor does not
@@ -166,7 +164,10 @@ impl StageBreakers {
     /// block the in-memory path that still works).
     pub fn for_stage(&self, stage: Stage) -> Option<&SharedBreaker> {
         match stage {
-            Stage::Admission | Stage::Ingest => None,
+            // Filter compilation is pure in-memory compute over the
+            // pinned snapshot — its only failure mode is a bad request,
+            // which no breaker can shield the next request from.
+            Stage::Admission | Stage::Ingest | Stage::Filter => None,
             Stage::SearchApi => Some(&self.search_api),
             Stage::Extract => Some(&self.extract),
             Stage::Probe => Some(&self.probe),

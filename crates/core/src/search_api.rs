@@ -9,7 +9,9 @@
 //! what is measured.
 
 use crate::dialog::Slots;
+use saccs_data::entity::ATTRIBUTE_SCHEMA;
 use saccs_data::Entity;
+use saccs_query::ObjectiveCatalog;
 
 /// Objective search over the entity database.
 pub struct SearchApi<'a> {
@@ -66,6 +68,41 @@ impl<'a> SearchApi<'a> {
 
     pub fn is_empty(&self) -> bool {
         self.entities.is_empty()
+    }
+}
+
+/// The search API doubles as the planner's objective catalog: `price<=2`
+/// and friends are answered from the same entity database the slots
+/// search, so a compiled filter and the objective candidates can never
+/// disagree about an entity's attributes.
+impl ObjectiveCatalog for SearchApi<'_> {
+    fn universe(&self) -> usize {
+        // Entity ids, not slice positions: a sliced or reordered corpus
+        // (tests gate candidates that way) keeps its original ids.
+        self.entities.iter().map(|e| e.id + 1).max().unwrap_or(0)
+    }
+
+    fn attribute(&self, id: usize, name: &str) -> Option<&str> {
+        self.entity(id)?.attributes.get(name).copied()
+    }
+
+    fn stars(&self, id: usize) -> Option<f32> {
+        self.entity(id).map(|e| e.stars)
+    }
+
+    fn has_attribute(&self, name: &str) -> bool {
+        ATTRIBUTE_SCHEMA.iter().any(|(n, _)| *n == name)
+    }
+}
+
+impl SearchApi<'_> {
+    /// Entity by id. Full corpora sit at their id's position; sliced or
+    /// reordered ones fall back to a scan.
+    fn entity(&self, id: usize) -> Option<&Entity> {
+        self.entities
+            .get(id)
+            .filter(|e| e.id == id)
+            .or_else(|| self.entities.iter().find(|e| e.id == id))
     }
 }
 

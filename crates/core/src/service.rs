@@ -24,21 +24,21 @@
 //! ([`saccs_fault::SharedBreaker`]), and the (non-`Sync`) neural
 //! extractor is shared as a [`crate::SharedExtractor`] blueprint with
 //! bitwise-identical per-thread replicas. The canonical entry point is
-//! [`SaccsService::rank_request`]; the historical per-shape methods
-//! survive as thin deprecated wrappers over it.
+//! [`SaccsService::rank_request`] over a [`RankRequest`]; the historical
+//! per-shape methods (`rank`, `rank_utterance`, `rank_with_tags`, …) are
+//! gone — every request shape, including subjective filters, goes
+//! through the one front door.
 
-use crate::dialog::Slots;
 use crate::error::{SaccsError, Stage};
 use crate::extractor::TagExtractor;
-use crate::profile::UserProfile;
 use crate::request::{RankInput, RankRequest, RankResponse};
 use crate::resilient::{
-    call_with_retry, DeadlineClock, Degradation, DegradeAction, RankOutcome, ResilienceConfig,
-    StageBreakers,
+    call_with_retry, DeadlineClock, Degradation, DegradeAction, ResilienceConfig, StageBreakers,
 };
 use crate::search_api::SearchApi;
 use crate::shared_extractor::SharedExtractor;
 use saccs_index::{IngestReceipt, LiveIndex, LiveSnapshot, SubjectiveIndex};
+use saccs_query::{compile, CompiledFilter, Filter, JoinOrder};
 use saccs_text::SubjectiveTag;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -248,6 +248,8 @@ impl SaccsService {
     /// ([`ResilienceConfig`]). Failures degrade instead of erroring,
     /// walking the ladder documented in [`crate::resilient`]:
     ///
+    /// * an unevaluable subjective filter ranks unfiltered
+    ///   ([`DegradeAction::Unfiltered`]);
     /// * a failing probe drops that tag's filter ([`DegradeAction::DroppedTag`]);
     /// * failed extraction — or every probe failing — returns the
     ///   objective API order ([`DegradeAction::ObjectiveOnly`]);
@@ -296,7 +298,7 @@ impl SaccsService {
 
         // Stage 1: objective search — the floor of the ladder. If it is
         // unreachable there is nothing left to serve.
-        let api_results = {
+        let mut api_results = {
             let _search = saccs_obs::span!("algo1.search_api");
             let retry = &self.resilience.retry;
             let breaker = &self.breakers.search_api;
@@ -310,6 +312,35 @@ impl SaccsService {
                 }
             }
         };
+
+        // One pin for the whole request: the filter compiles against the
+        // exact segment set the probes below will answer from, however
+        // much is ingested mid-flight.
+        let pinned = self.pin_live();
+
+        // Stage 1b: the subjective filter, compiled against the pinned
+        // snapshot and applied as a pure selection on the objective
+        // candidates. A filter that cannot be compiled (malformed DSL
+        // admitted past `sanitized()`, unknown attribute, armed
+        // failpoint) costs only itself: the request continues unfiltered
+        // on the mildest ladder rung.
+        if let Some(filter) = &request.filter {
+            let _filter = saccs_obs::span!("algo1.filter");
+            let candidates = api_results.len() as u32;
+            match self.try_filter(filter, pinned.as_deref(), api) {
+                Ok(compiled) => {
+                    api_results.retain(|&e| compiled.contains(e));
+                    saccs_obs::trace::record(saccs_obs::trace::TraceEvent::FilterPlan {
+                        leaves: compiled.summary().leaves,
+                        candidates,
+                        passed: api_results.len() as u32,
+                    });
+                }
+                Err(err) => {
+                    degradation.record(Stage::Filter, err, DegradeAction::Unfiltered);
+                }
+            }
+        }
 
         // Stage 2: subjective tags. Pre-extracted tags skip the neural
         // stage entirely; an utterance goes through the extractor —
@@ -388,9 +419,6 @@ impl SaccsService {
         let mut probe_failures: Vec<SaccsError> = Vec::new();
         {
             let _probe = saccs_obs::span!("algo1.probe");
-            // One pin for the whole request: every probe answers from the
-            // same consistent segment set however much is ingested mid-flight.
-            let pinned = self.pin_live();
             let retry = &self.resilience.retry;
             let breaker = &self.breakers.probe;
             for (i, t) in tags.iter().enumerate() {
@@ -450,7 +478,8 @@ impl SaccsService {
     /// `saccs-obs` span: `algo1.search_api`, `algo1.extract`,
     /// `algo1.probe`, `algo1.aggregate`, `algo1.pad`, all nested inside
     /// `algo1.rank`). Utterance input on an extractor-less service is
-    /// [`SaccsError::NoExtractor`].
+    /// [`SaccsError::NoExtractor`]; an unevaluable filter is
+    /// [`SaccsError::InvalidRequest`] — no degradation here.
     pub fn rank_unguarded(
         &self,
         request: &RankRequest,
@@ -458,10 +487,22 @@ impl SaccsService {
     ) -> Result<RankResponse, SaccsError> {
         let _rank = saccs_obs::span!("algo1.rank");
         let clock = DeadlineClock::start(None);
-        let api_results = {
+        let mut api_results = {
             let _search = saccs_obs::span!("algo1.search_api");
             api.search(&request.slots)
         };
+        let pinned = self.pin_live();
+        if let Some(filter) = &request.filter {
+            let _filter = saccs_obs::span!("algo1.filter");
+            let candidates = api_results.len() as u32;
+            let compiled = self.try_filter(filter, pinned.as_deref(), api)?;
+            api_results.retain(|&e| compiled.contains(e));
+            saccs_obs::trace::record(saccs_obs::trace::TraceEvent::FilterPlan {
+                leaves: compiled.summary().leaves,
+                candidates,
+                passed: api_results.len() as u32,
+            });
+        }
         let tags: Vec<SubjectiveTag> = match &request.input {
             RankInput::Tags(tags) => tags.clone(),
             RankInput::Utterance(utterance) => {
@@ -476,110 +517,19 @@ impl SaccsService {
                 .map(|t| profile.weight(t, self.index.similarity(), *boost))
                 .collect()
         });
-        let results = self.rank_core(&tags, &api_results, weights.as_deref(), config);
+        let results = self.rank_core(
+            &tags,
+            &api_results,
+            weights.as_deref(),
+            config,
+            pinned.as_deref(),
+        );
         Ok(RankResponse {
             results,
             degradation: Degradation::default(),
             elapsed: clock.elapsed(),
             timings: saccs_obs::trace::current_stage_timings(),
         })
-    }
-
-    // ------------------------------------------------------------------
-    // Legacy entry points (thin wrappers)
-    // ------------------------------------------------------------------
-
-    /// Algorithm 1 with the utterance's tags already extracted (lines
-    /// 6–12). `api_results` is S_api. Returns `(entity, score)` sorted by
-    /// descending aggregated score, at most `top_k` entries.
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a `RankRequest::tags(..)` and call `rank_request` (or `rank_unguarded`)"
-    )]
-    pub fn rank_with_tags(
-        &self,
-        tags: &[SubjectiveTag],
-        api_results: &[usize],
-    ) -> Vec<(usize, f32)> {
-        self.rank_core(tags, api_results, None, &self.config)
-    }
-
-    /// Personalized Algorithm 1 (§7 extension): per-tag scores are scaled
-    /// by the user's profile weight before aggregation, so standing
-    /// interests tilt the ranking. `boost` bounds the tilt (0 = no
-    /// personalization; 0.5 = up to +50% weight on favorite dimensions).
-    #[deprecated(
-        since = "0.6.0",
-        note = "attach the profile via `RankRequest::with_profile` and call `rank_request`"
-    )]
-    pub fn rank_with_tags_profiled(
-        &self,
-        tags: &[SubjectiveTag],
-        api_results: &[usize],
-        profile: &UserProfile,
-        boost: f32,
-    ) -> Vec<(usize, f32)> {
-        let weights: Vec<f32> = tags
-            .iter()
-            .map(|t| profile.weight(t, self.index.similarity(), boost))
-            .collect();
-        self.rank_core(tags, api_results, Some(&weights), &self.config)
-    }
-
-    /// Complete Algorithm 1 from a raw utterance and dialog slots:
-    /// [`SaccsService::rank_unguarded`] flattened to the bare ranking.
-    /// `Err(NoExtractor)` if the service was built
-    /// [`SaccsService::index_only`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a `RankRequest::utterance(..)` and call `rank_unguarded` (or `rank_request`)"
-    )]
-    pub fn rank(
-        &self,
-        utterance: &str,
-        api: &SearchApi<'_>,
-        slots: &Slots,
-    ) -> Result<Vec<(usize, f32)>, SaccsError> {
-        let request = RankRequest::utterance(utterance).with_slots(slots.clone());
-        Ok(self.rank_unguarded(&request, api)?.results)
-    }
-
-    /// Hardened Algorithm 1 from a raw utterance:
-    /// [`SaccsService::rank_request`] adapted to the legacy
-    /// [`RankOutcome`] shape.
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a `RankRequest::utterance(..)` and call `rank_request`"
-    )]
-    pub fn rank_resilient(
-        &self,
-        utterance: &str,
-        api: &SearchApi<'_>,
-        slots: &Slots,
-    ) -> RankOutcome {
-        let request = RankRequest::utterance(utterance).with_slots(slots.clone());
-        let response = self.rank_request(&request, api);
-        RankOutcome {
-            results: response.results,
-            degradation: response.degradation,
-        }
-    }
-
-    /// Full Algorithm 1 from a raw utterance against an explicit
-    /// candidate list: extract tags with the neural pipeline, then
-    /// filter and rank. `Err(NoExtractor)` if the service was built
-    /// [`SaccsService::index_only`].
-    #[deprecated(
-        since = "0.6.0",
-        note = "build a `RankRequest::utterance(..)` and call `rank_request`"
-    )]
-    pub fn rank_utterance(
-        &self,
-        utterance: &str,
-        api_results: &[usize],
-    ) -> Result<Vec<(usize, f32)>, SaccsError> {
-        let tags = self.extract_tags(utterance)?;
-        Ok(self.rank_core(&tags, api_results, None, &self.config))
     }
 
     /// Extract tags from an utterance without ranking (for inspection).
@@ -603,6 +553,29 @@ impl SaccsService {
     /// path.
     fn pin_live(&self) -> Option<Arc<LiveSnapshot>> {
         self.live.as_ref().map(|l| l.pin())
+    }
+
+    /// Compile the request's filter against the same pinned snapshot the
+    /// probes read (or the static index), with the search API as the
+    /// objective catalog. Behind the `algo1.filter` failpoint so chaos
+    /// scenarios can force the unfiltered degradation rung.
+    fn try_filter(
+        &self,
+        filter: &Filter,
+        pinned: Option<&LiveSnapshot>,
+        api: &SearchApi<'_>,
+    ) -> Result<CompiledFilter, SaccsError> {
+        saccs_fault::failpoint!("algo1.filter")?;
+        let index = match (&self.live, pinned) {
+            (Some(_), Some(snap)) => snap.index(),
+            _ => &self.index,
+        };
+        compile(filter, index, api, JoinOrder::RarestFirst).map_err(|e| {
+            SaccsError::InvalidRequest {
+                field: "filter",
+                reason: e.to_string(),
+            }
+        })
     }
 
     /// Probe against the request's pinned snapshot (live backend) or the
@@ -630,12 +603,15 @@ impl SaccsService {
     /// Shared Algorithm-1 core: filter, aggregate, rank, with optional
     /// per-tag weights (the personalization hook). `config` is the
     /// *effective* config — the service's, or the request's override.
+    /// `pinned` is the request's snapshot pin, shared with the filter
+    /// stage so both read one consistent segment set.
     fn rank_core(
         &self,
         tags: &[SubjectiveTag],
         api_results: &[usize],
         weights: Option<&[f32]>,
         config: &SaccsConfig,
+        pinned: Option<&LiveSnapshot>,
     ) -> Vec<(usize, f32)> {
         if tags.is_empty() {
             // No subjective signal: return the API order as-is.
@@ -645,11 +621,10 @@ impl SaccsService {
         let mut per_tag: Vec<HashMap<usize, f32>> = Vec::with_capacity(tags.len());
         {
             let _probe = saccs_obs::span!("algo1.probe");
-            let pinned = self.pin_live();
             for (i, t) in tags.iter().enumerate() {
                 let w = weights.map_or(1.0, |ws| ws[i]);
                 per_tag.push(
-                    self.probe_at(pinned.as_deref(), t)
+                    self.probe_at(pinned, t)
                         .into_iter()
                         .map(|(e, s)| (e, s * w))
                         .collect(),
@@ -713,16 +688,40 @@ impl SaccsService {
 
 #[cfg(test)]
 mod tests {
-    // The legacy wrappers must keep their exact semantics — these tests
-    // exercise ranking behavior *through* them on purpose.
-    #![allow(deprecated)]
-
     use super::*;
+    use crate::profile::UserProfile;
     use saccs_index::index::{EntityEvidence, IndexConfig};
     use saccs_text::{ConceptualSimilarity, Domain, Lexicon};
 
     fn tag(op: &str, asp: &str) -> SubjectiveTag {
         SubjectiveTag::new(op, asp)
+    }
+
+    /// Entities with the given ids, in the given order — the search API
+    /// returns candidates in corpus order, so this is how tests gate and
+    /// order the candidate pool through the request front door.
+    fn entities_for(ids: &[usize]) -> Vec<saccs_data::Entity> {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let lex = Lexicon::new(Domain::Restaurants);
+        ids.iter()
+            .map(|&i| {
+                let mut rng = StdRng::seed_from_u64(5 + i as u64);
+                saccs_data::Entity::sample(i, &lex, &mut rng)
+            })
+            .collect()
+    }
+
+    /// Rank pre-extracted tags against an explicit candidate list via
+    /// the canonical request path.
+    fn rank_tags(
+        s: &SaccsService,
+        tags: Vec<SubjectiveTag>,
+        candidates: &[usize],
+    ) -> Vec<(usize, f32)> {
+        let ents = entities_for(candidates);
+        let api = SearchApi::new(&ents);
+        s.rank_request(&RankRequest::tags(tags), &api).results
     }
 
     /// Index with three entities: 0 is great food + nice staff, 1 is
@@ -773,7 +772,7 @@ mod tests {
     #[test]
     fn single_tag_ranks_by_degree() {
         let s = service();
-        let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[0, 1, 2]);
+        let ranked = rank_tags(&s, vec![tag("delicious", "food")], &[0, 1, 2]);
         let ids: Vec<usize> = ranked.iter().map(|(e, _)| *e).collect();
         assert!(ids.contains(&0) && ids.contains(&1));
         assert!(!ids.contains(&2) || ranked.iter().find(|(e, _)| *e == 2).unwrap().1 == 0.0);
@@ -782,8 +781,9 @@ mod tests {
     #[test]
     fn intersection_prefers_entities_matching_all_tags() {
         let s = service();
-        let ranked = s.rank_with_tags(
-            &[tag("delicious", "food"), tag("nice", "staff")],
+        let ranked = rank_tags(
+            &s,
+            vec![tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
         );
         assert_eq!(
@@ -795,8 +795,9 @@ mod tests {
     #[test]
     fn partial_matches_pad_below_full_matches() {
         let s = service();
-        let ranked = s.rank_with_tags(
-            &[tag("delicious", "food"), tag("nice", "staff")],
+        let ranked = rank_tags(
+            &s,
+            vec![tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
         );
         // All three entities appear (top_k 10, padding on), 0 first.
@@ -808,8 +809,9 @@ mod tests {
     fn padding_can_be_disabled() {
         let mut s = service();
         s.config.pad_partial_matches = false;
-        let ranked = s.rank_with_tags(
-            &[tag("delicious", "food"), tag("nice", "staff")],
+        let ranked = rank_tags(
+            &s,
+            vec![tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
         );
         assert_eq!(ranked.len(), 1);
@@ -865,14 +867,6 @@ mod tests {
             .expect_err("index_only service cannot extract");
         assert_eq!(err, SaccsError::NoExtractor);
         assert_eq!(
-            s.rank("delicious food", &api, &Slots::default()),
-            Err(SaccsError::NoExtractor)
-        );
-        assert_eq!(
-            s.rank_utterance("delicious food", &[0, 1, 2]),
-            Err(SaccsError::NoExtractor)
-        );
-        assert_eq!(
             s.extract_tags("delicious food"),
             Err(SaccsError::NoExtractor)
         );
@@ -881,14 +875,14 @@ mod tests {
     #[test]
     fn api_results_gate_the_candidates() {
         let s = service();
-        let ranked = s.rank_with_tags(&[tag("delicious", "food")], &[1]);
+        let ranked = rank_tags(&s, vec![tag("delicious", "food")], &[1]);
         assert!(ranked.iter().all(|(e, _)| *e == 1));
     }
 
     #[test]
     fn empty_tags_pass_api_order_through() {
         let s = service();
-        let ranked = s.rank_with_tags(&[], &[2, 0, 1]);
+        let ranked = rank_tags(&s, vec![], &[2, 0, 1]);
         assert_eq!(
             ranked.iter().map(|(e, _)| *e).collect::<Vec<_>>(),
             vec![2, 0, 1]
@@ -899,7 +893,7 @@ mod tests {
     fn unknown_tag_uses_similarity_fallback_and_history() {
         let s = service();
         // "scrumptious food" is not an index tag; similar to delicious food.
-        let ranked = s.rank_with_tags(&[tag("scrumptious", "food")], &[0, 1, 2]);
+        let ranked = rank_tags(&s, vec![tag("scrumptious", "food")], &[0, 1, 2]);
         assert!(!ranked.is_empty());
         assert_eq!(s.index().history().len(), 1);
     }
@@ -907,12 +901,12 @@ mod tests {
     #[test]
     fn aggregation_operators_differ() {
         let mut s = service();
-        let tags = [tag("delicious", "food"), tag("nice", "staff")];
-        let mean = s.rank_with_tags(&tags, &[0, 1, 2]);
+        let tags = vec![tag("delicious", "food"), tag("nice", "staff")];
+        let mean = rank_tags(&s, tags.clone(), &[0, 1, 2]);
         s.set_aggregation(Aggregation::Product);
-        let product = s.rank_with_tags(&tags, &[0, 1, 2]);
+        let product = rank_tags(&s, tags.clone(), &[0, 1, 2]);
         s.set_aggregation(Aggregation::Min);
-        let min = s.rank_with_tags(&tags, &[0, 1, 2]);
+        let min = rank_tags(&s, tags, &[0, 1, 2]);
         // Same top entity (0 matches everything), but different scores.
         assert_eq!(mean[0].0, 0);
         assert_eq!(product[0].0, 0);
@@ -925,38 +919,51 @@ mod tests {
         let s = service();
         // Query mentions both dimensions; entity 1 excels at food, entity
         // 2 at staff. A staff-obsessed profile must pull entity 2 above 1.
-        let tags = [tag("delicious", "food"), tag("nice", "staff")];
-        let mut profile = crate::profile::UserProfile::new();
+        let tags = vec![tag("delicious", "food"), tag("nice", "staff")];
+        let mut profile = UserProfile::new();
         for _ in 0..8 {
             profile.observe(&[tag("friendly", "staff")]);
         }
-        let ranked = s.rank_with_tags_profiled(&tags, &[1, 2], &profile, 2.0);
+        let ents = entities_for(&[1, 2]);
+        let api = SearchApi::new(&ents);
+        let ranked = s
+            .rank_request(
+                &RankRequest::tags(tags.clone()).with_profile(profile, 2.0),
+                &api,
+            )
+            .results;
         // Both entities match exactly one tag each; the profile weight on
         // the staff side must put entity 2 first.
         let pos1 = ranked.iter().position(|(e, _)| *e == 1).unwrap();
         let pos2 = ranked.iter().position(|(e, _)| *e == 2).unwrap();
         assert!(pos2 < pos1, "profile did not tilt ranking: {ranked:?}");
         // With boost 0 the order is purely score-based and deterministic.
-        let neutral = s.rank_with_tags_profiled(&tags, &[1, 2], &UserProfile::new(), 0.0);
+        let neutral = s
+            .rank_request(
+                &RankRequest::tags(tags).with_profile(UserProfile::new(), 0.0),
+                &api,
+            )
+            .results;
         assert_eq!(neutral.len(), 2);
     }
 
     #[test]
-    fn profiled_wrapper_matches_profiled_request() {
-        // The legacy profiled wrapper and the request-shaped profile
-        // path must agree bitwise (same weights, same core).
+    fn profiled_request_agrees_with_unguarded_path() {
+        // The resilient and unguarded paths share the probe/aggregate
+        // core; with no faults armed they must agree bitwise.
         let s = service();
         let ents = entities(3);
         let api = SearchApi::new(&ents);
         let tags = vec![tag("delicious", "food"), tag("nice", "staff")];
-        let mut profile = crate::profile::UserProfile::new();
+        let mut profile = UserProfile::new();
         for _ in 0..8 {
             profile.observe(&[tag("friendly", "staff")]);
         }
-        let api_results = api.search(&Slots::default());
-        let legacy = s.rank_with_tags_profiled(&tags, &api_results, &profile, 2.0);
-        let via_request = s.rank_request(&RankRequest::tags(tags).with_profile(profile, 2.0), &api);
-        assert_eq!(legacy, via_request.results);
+        let request = RankRequest::tags(tags).with_profile(profile, 2.0);
+        let resilient = s.rank_request(&request, &api);
+        let unguarded = s.rank_unguarded(&request, &api).expect("tags input");
+        assert_eq!(resilient.results, unguarded.results);
+        assert!(resilient.is_full_fidelity());
     }
 
     fn entities(n: usize) -> Vec<saccs_data::Entity> {
@@ -970,13 +977,13 @@ mod tests {
     }
 
     #[test]
-    fn rank_resilient_without_extractor_is_objective_only() {
+    fn utterance_request_without_extractor_is_objective_only() {
         // `index_only` services have no extractor; the unguarded path
         // errors, the resilient path degrades to the objective order.
         let ents = entities(3);
         let api = SearchApi::new(&ents);
         let s = service();
-        let out = s.rank_resilient("delicious food", &api, &Slots::default());
+        let out = s.rank_request(&RankRequest::utterance("delicious food"), &api);
         assert_eq!(out.results, vec![(0, 0.0), (1, 0.0), (2, 0.0)]);
         assert!(out.degradation.is_degraded());
         assert_eq!(out.degradation.worst(), Some(DegradeAction::ObjectiveOnly));
@@ -987,14 +994,14 @@ mod tests {
     }
 
     #[test]
-    fn rank_resilient_zero_deadline_reports_instead_of_blocking() {
+    fn zero_deadline_reports_instead_of_blocking() {
         let ents = entities(3);
         let api = SearchApi::new(&ents);
         let s = service().with_resilience(ResilienceConfig {
             deadline: Some(std::time::Duration::ZERO),
             ..ResilienceConfig::default()
         });
-        let out = s.rank_resilient("delicious food", &api, &Slots::default());
+        let out = s.rank_request(&RankRequest::utterance("delicious food"), &api);
         assert!(out.results.is_empty());
         assert_eq!(out.degradation.worst(), Some(DegradeAction::Empty));
         assert!(matches!(
@@ -1007,10 +1014,44 @@ mod tests {
     fn top_k_truncates() {
         let mut s = service();
         s.config.top_k = 1;
-        let ranked = s.rank_with_tags(
-            &[tag("delicious", "food"), tag("nice", "staff")],
+        let ranked = rank_tags(
+            &s,
+            vec![tag("delicious", "food"), tag("nice", "staff")],
             &[0, 1, 2],
         );
         assert_eq!(ranked.len(), 1);
+    }
+
+    #[test]
+    fn filter_retains_matches_and_degrades_when_uncompilable() {
+        let s = service();
+        let ents = entities(3);
+        let api = SearchApi::new(&ents);
+        // "delicious" matches the delicious-food postings: entities 0
+        // and 1. Entity 2 is cut before ranking, at full fidelity.
+        let req = RankRequest::tags(vec![tag("delicious", "food")]).with_filter_dsl("delicious");
+        let out = s.rank_request(&req, &api);
+        assert!(out.is_full_fidelity());
+        let ids = out.item_ids();
+        assert!(
+            ids.contains(&0) && ids.contains(&1) && !ids.contains(&2),
+            "{ids:?}"
+        );
+
+        // An unknown attribute cannot compile: the resilient path ranks
+        // unfiltered on the mildest rung, the unguarded path errors.
+        let bad =
+            RankRequest::tags(vec![tag("delicious", "food")]).with_filter_dsl("Parking=garage");
+        let out = s.rank_request(&bad, &api);
+        assert_eq!(out.degradation.worst(), Some(DegradeAction::Unfiltered));
+        assert!(!out.results.is_empty());
+        let err = s.rank_unguarded(&bad, &api).expect_err("unknown attribute");
+        assert!(matches!(
+            err,
+            SaccsError::InvalidRequest {
+                field: "filter",
+                ..
+            }
+        ));
     }
 }

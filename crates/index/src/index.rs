@@ -390,6 +390,38 @@ impl SubjectiveIndex {
         self.entries.get(tag).map(|v| v.as_slice())
     }
 
+    /// Exact posting-list length for a tag (`0` when the tag is not
+    /// indexed). The cost-based filter planner in `saccs-query` orders
+    /// intersections rarest-first on these per-tag statistics.
+    pub fn posting_len(&self, tag: &SubjectiveTag) -> usize {
+        self.entries.get(tag).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Iterate `(tag, posting length)` statistics in ascending tag
+    /// order — the planner's cardinality-estimation input.
+    pub fn posting_stats(&self) -> impl Iterator<Item = (&SubjectiveTag, usize)> {
+        self.entries.iter().map(|(t, v)| (t, v.len()))
+    }
+
+    /// Install a precomputed posting list for one tag from raw
+    /// `(entity_id, degree)` pairs, ordered and normalized exactly like
+    /// an indexing round (shared `finalize_postings`). Benches and
+    /// property tests use this to assemble synthetic corpora of known
+    /// posting shapes without fabricating review evidence.
+    pub fn install_postings(&mut self, tag: SubjectiveTag, raw: Vec<(usize, f32)>) {
+        let mut postings: Vec<IndexEntry> = raw
+            .into_iter()
+            .map(|(entity_id, degree_of_truth)| IndexEntry {
+                entity_id,
+                degree_of_truth,
+                normalized: 0.0,
+            })
+            .collect();
+        finalize_postings(&mut postings);
+        self.entries.insert(tag, postings);
+        self.rebuild_ann();
+    }
+
     /// Effective θ_filter for a probe tag (the §7 dynamic-threshold
     /// extension; equals the configured θ_filter when disabled).
     pub fn theta_filter_for(&self, tag: &SubjectiveTag) -> f32 {

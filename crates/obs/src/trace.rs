@@ -111,6 +111,17 @@ pub enum TraceEvent {
         /// stayed buffered in it (`buffered`).
         sealed: bool,
     },
+    /// A subjective filter compiled and applied to the candidate set
+    /// (the `algo1.filter` stage). All payloads are deterministic
+    /// functions of `(pinned index, catalog, filter)`, never of timing.
+    FilterPlan {
+        /// Predicate leaves in the compiled filter.
+        leaves: u32,
+        /// Candidate entities entering the filter (objective API hits).
+        candidates: u32,
+        /// Candidates surviving the filter.
+        passed: u32,
+    },
 }
 
 impl TraceEvent {
@@ -153,6 +164,13 @@ impl TraceEvent {
             }
             TraceEvent::Ingest { sealed } => {
                 let _ = write!(s, "ingest:{}", if *sealed { "sealed" } else { "buffered" });
+            }
+            TraceEvent::FilterPlan {
+                leaves,
+                candidates,
+                passed,
+            } => {
+                let _ = write!(s, "filter:{leaves}:{candidates}:{passed}");
             }
         }
         s
@@ -478,6 +496,14 @@ mod tests {
         };
         assert_eq!(ann.normal(), "probe_ann:12:3:40");
         assert_eq!(ann.full(), "probe_ann:12:3:40");
+        // Filter-plan payloads are likewise deterministic counts.
+        let plan = TraceEvent::FilterPlan {
+            leaves: 4,
+            candidates: 20,
+            passed: 7,
+        };
+        assert_eq!(plan.normal(), "filter:4:20:7");
+        assert_eq!(plan.full(), "filter:4:20:7");
     }
 
     #[test]

@@ -430,12 +430,15 @@ impl SaccsServer {
     ///
     /// Sheds — queue at capacity, or server shut down — return
     /// `SaccsError::Unavailable { stage: Admission }` without touching
-    /// Algorithm 1. Admitted requests always return a
-    /// [`RankResponse`]; stage failures surface as degradation events
-    /// inside it, exactly as [`SaccsService::rank_request`] reports
-    /// them.
+    /// Algorithm 1. Malformed requests (bad filter DSL, non-finite
+    /// boost, zero `top_k`) are rejected at the `sanitized()` seam as
+    /// `SaccsError::InvalidRequest` before admission — a bad request is
+    /// a typed error to the caller, never a queued job. Admitted
+    /// requests always return a [`RankResponse`]; stage failures
+    /// surface as degradation events inside it, exactly as
+    /// [`SaccsService::rank_request`] reports them.
     pub fn submit(&self, request: RankRequest) -> Result<RankResponse, SaccsError> {
-        self.shared.submit(request)
+        self.shared.submit(request.sanitized()?)
     }
 
     /// Submit one review for ingestion into the service's live index and

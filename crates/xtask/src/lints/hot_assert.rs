@@ -37,6 +37,10 @@ impl Lint for AssertInHotPath {
             || path == "crates/index/src/live.rs"
             || path == "crates/index/src/codec.rs"
             || path == "crates/index/src/segment.rs"
+            // The bitmap word loops and the planner's posting streams
+            // run per-word/per-posting on the filter stage.
+            || path == "crates/query/src/bitmap.rs"
+            || path == "crates/query/src/plan.rs"
     }
 
     fn run(&self, file: &SourceFile) -> Vec<Violation> {
@@ -130,6 +134,9 @@ mod tests {
         assert!(AssertInHotPath.applies("crates/index/src/live.rs"));
         assert!(AssertInHotPath.applies("crates/index/src/codec.rs"));
         assert!(AssertInHotPath.applies("crates/index/src/segment.rs"));
+        assert!(AssertInHotPath.applies("crates/query/src/bitmap.rs"));
+        assert!(AssertInHotPath.applies("crates/query/src/plan.rs"));
+        assert!(!AssertInHotPath.applies("crates/query/src/ast.rs"));
         assert!(!AssertInHotPath.applies("crates/index/src/index.rs"));
     }
 }

@@ -17,11 +17,14 @@ pub(crate) struct NoPanicInService;
 /// Files under the no-abort contract: the hardened service layer, the
 /// entire fault-injection crate, and the serving front end (a worker
 /// thread that aborts takes every queued request down with it).
-const SCOPED: [&str; 5] = [
+const SCOPED: [&str; 6] = [
     "crates/core/src/service.rs",
     "crates/core/src/resilient.rs",
     "crates/core/src/error.rs",
     "crates/fault/src/",
+    // The query planner runs inside the resilient filter stage; an
+    // abort there would bypass the unfiltered degradation rung.
+    "crates/query/src/",
     "crates/serve/src/",
 ];
 
@@ -115,6 +118,8 @@ mod tests {
         assert!(NoPanicInService.applies("crates/fault/src/registry.rs"));
         assert!(NoPanicInService.applies("crates/fault/src/breaker.rs"));
         assert!(NoPanicInService.applies("crates/serve/src/lib.rs"));
+        assert!(NoPanicInService.applies("crates/query/src/plan.rs"));
+        assert!(NoPanicInService.applies("crates/query/src/parse.rs"));
         assert!(!NoPanicInService.applies("crates/core/src/builder.rs"));
         assert!(!NoPanicInService.applies("crates/tagger/src/train.rs"));
         assert!(!NoPanicInService.applies("src/lib.rs"));

@@ -10,12 +10,13 @@
 use super::{Lint, Violation};
 use crate::scan::{seq, SourceFile};
 
-const CRATES: [&str; 7] = [
+const CRATES: [&str; 8] = [
     "crates/core/src/",
     "crates/fault/src/",
     "crates/index/src/",
     "crates/nn/src/",
     "crates/obs/src/",
+    "crates/query/src/",
     "crates/tagger/src/",
     "crates/pairing/src/",
 ];
@@ -125,5 +126,7 @@ mod tests {
         assert!(!NoUnwrapInLib.applies("crates/eval/src/ndcg.rs"));
         assert!(!NoUnwrapInLib.applies("vendor/rand/src/lib.rs"));
         assert!(NoUnwrapInLib.applies("crates/nn/src/var.rs"));
+        assert!(NoUnwrapInLib.applies("crates/query/src/plan.rs"));
+        assert!(!NoUnwrapInLib.applies("crates/query/tests/plan_equals_naive.rs"));
     }
 }

@@ -19,13 +19,14 @@ use crate::scan::{is_ident, is_punct, seq, SourceFile, TokenKind};
 pub(crate) struct NondetIteration;
 
 /// Crates whose outputs must be bit-stable across runs and widths.
-const SCOPED: [&str; 8] = [
+const SCOPED: [&str; 9] = [
     "crates/core/src/",
     "crates/embed/src/",
     "crates/index/src/",
     "crates/ir/src/",
     "crates/nn/src/",
     "crates/pairing/src/",
+    "crates/query/src/",
     "crates/tagger/src/",
     "crates/text/src/",
 ];
@@ -257,6 +258,7 @@ mod tests {
         assert!(NondetIteration.applies("crates/ir/src/bm25.rs"));
         assert!(NondetIteration.applies("crates/text/src/vocab.rs"));
         assert!(NondetIteration.applies("crates/index/src/index.rs"));
+        assert!(NondetIteration.applies("crates/query/src/plan.rs"));
         assert!(!NondetIteration.applies("crates/obs/src/export.rs"));
         assert!(!NondetIteration.applies("crates/serve/src/lib.rs"));
     }

@@ -27,6 +27,9 @@
 #                equivalence, crash recovery) + double ingest-bin run,
 #                deterministic exports byte-diffed, BENCH_ingest.json
 #                validated
+#  14. query     query-language suites (planner proptests, filtered
+#                serving equivalence) + double query-bin run, match-set
+#                exports byte-diffed, BENCH_query.json validated
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -178,5 +181,26 @@ SACCS_INGEST_OUT=INGEST_b.jsonl \
 diff INGEST_a.jsonl INGEST_b.jsonl || fail ingest
 rm -f INGEST_a.jsonl INGEST_b.jsonl
 cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_ingest.json || fail ingest
+
+# Query gate: the planner property suite (plan == naive evaluator, join-
+# order invariance) and the filtered-serving suite (bitwise stability
+# across widths/ANN/ingest states, degradation + admission paths); then
+# the query bin run twice — its JSON-lines export (match counts and
+# entity sets per corpus size; no timings) must be byte-identical or the
+# plans are not deterministic — and the planner-speedup snapshot
+# validated.
+stage query "query suites + double query run, exports diffed"
+cargo test "${OFFLINE[@]}" -q -p saccs-query || fail query
+cargo test "${OFFLINE[@]}" -q --test query || fail query
+rm -f QUERY_a.jsonl QUERY_b.jsonl BENCH_query.json
+SACCS_OBS=json SACCS_QUERY_OUT=QUERY_a.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin query \
+    || fail query
+SACCS_QUERY_OUT=QUERY_b.jsonl \
+    cargo run "${OFFLINE[@]}" -q --release -p saccs-bench --bin query \
+    >/dev/null || fail query
+diff QUERY_a.jsonl QUERY_b.jsonl || fail query
+rm -f QUERY_a.jsonl QUERY_b.jsonl
+cargo run "${OFFLINE[@]}" -q -p xtask -- check-bench BENCH_query.json || fail query
 
 printf '\n=== CI green: all stages passed ===\n'

@@ -49,6 +49,8 @@ pub use saccs_obs as obs;
 pub use saccs_pairing as pairing;
 /// Heuristic dependency-ish parsing for the tree pairing heuristic.
 pub use saccs_parse as parse;
+/// Subjective query language: typed AST, DSL, bitmap planner.
+pub use saccs_query as query;
 /// Work-stealing pool and the sanctioned dedicated-thread escape hatch.
 pub use saccs_rt as rt;
 /// Multi-worker serving front end: bounded admission, shedding, micro-batching.

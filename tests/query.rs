@@ -1,0 +1,357 @@
+//! Subjective query language suite: the filter front door end to end.
+//!
+//! The contract under test is the query PR's headline claim: a
+//! [`RankRequest::with_filter`] flows unchanged through the serving
+//! front end, compiles against the same pinned snapshot the probes
+//! read, and yields **bitwise identical** filtered rankings at serve
+//! widths 1, 2 and 8, with the ANN sidecar on or off, at every
+//! intermediate state of an interleaved ingest stream — always equal
+//! to a frozen index rebuilt from scratch over the same review log.
+//!
+//! Also covered: planner join-order invariance (rarest-first ==
+//! left-to-right == the naive per-entity evaluator), the unfiltered
+//! degradation rung for filters that cannot compile, admission-time
+//! rejection of malformed filter DSL at the `sanitized()` seam, and
+//! the `algo1.filter` stage span + `filter:` plan event in traces.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use saccs::core::{DegradeAction, RankRequest, SaccsConfig, SaccsError, SaccsService, SearchApi};
+use saccs::data::Entity;
+use saccs::index::index::{EntityEvidence, IndexConfig};
+use saccs::index::{LiveConfig, LiveIndex, ReviewRecord, SubjectiveIndex};
+use saccs::obs::trace::install;
+use saccs::obs::TraceContext;
+use saccs::query::{compile, naive_matches, Filter, JoinOrder};
+use saccs::serve::{SaccsServer, ServeConfig};
+use saccs::text::{ConceptualSimilarity, Domain, Lexicon, SubjectiveTag};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Metrics and (under the `fault` feature) the failpoint registry are
+/// process-global, so the tests serialize exactly like `tests/serve.rs`.
+fn global_lock() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn sim() -> ConceptualSimilarity {
+    ConceptualSimilarity::new(Lexicon::new(Domain::Restaurants))
+}
+
+fn tag(op: &str, asp: &str) -> SubjectiveTag {
+    SubjectiveTag::new(op, asp)
+}
+
+fn bits(ranked: &[(usize, f32)]) -> Vec<(usize, u32)> {
+    ranked.iter().map(|&(e, s)| (e, s.to_bits())).collect()
+}
+
+fn entities(n: usize) -> Vec<Entity> {
+    let lex = Lexicon::new(Domain::Restaurants);
+    let mut rng = StdRng::seed_from_u64(5);
+    (0..n).map(|i| Entity::sample(i, &lex, &mut rng)).collect()
+}
+
+fn index_tags() -> Vec<SubjectiveTag> {
+    vec![
+        tag("delicious", "food"),
+        tag("friendly", "staff"),
+        tag("cozy", "ambiance"),
+    ]
+}
+
+/// The interleaved review stream (same cadence as `tests/ingest.rs`:
+/// seals and at least one compaction merge at `seal_every=2`,
+/// `max_segments=3`).
+fn stream() -> Vec<(usize, Vec<SubjectiveTag>)> {
+    vec![
+        (0, vec![tag("delicious", "food"), tag("friendly", "staff")]),
+        (1, vec![tag("tasty", "meal")]),
+        (2, vec![tag("cozy", "ambiance"), tag("great", "service")]),
+        (0, vec![tag("deliciouz", "food")]),
+        (3, vec![tag("friendly", "staff"), tag("cozy", "ambiance")]),
+        (1, vec![tag("zorgle", "zzplace")]),
+        (4, vec![tag("delicious", "food")]),
+        (2, vec![tag("friendly", "service")]),
+        (3, vec![tag("tasty", "food"), tag("great", "staff")]),
+        (4, vec![tag("cozy", "ambiance"), tag("delicious", "meal")]),
+    ]
+}
+
+/// Filter DSL shapes spanning the grammar: bare opinion, thresholded
+/// tag, boolean connectives, negation, and objective predicates folded
+/// into the same plan.
+fn filter_dsls() -> Vec<&'static str> {
+    vec![
+        "delicious",
+        "cozy ambiance@0.05 OR friendly staff",
+        "delicious AND NOT cozy ambiance, price<=3",
+        "(delicious OR friendly staff@0.1) AND rating>=1.0",
+        "NOT Ambience=romantic",
+    ]
+}
+
+/// Filtered rank requests exercising each DSL shape against the
+/// subjective tags the stream populates.
+fn filtered_requests() -> Vec<RankRequest> {
+    filter_dsls()
+        .into_iter()
+        .map(|dsl| {
+            RankRequest::tags(vec![tag("delicious", "food"), tag("nice", "staff")])
+                .with_filter_dsl(dsl)
+        })
+        .collect()
+}
+
+/// The from-scratch comparator: replay the log the way the batch
+/// pipeline would and index the same tag set.
+fn rebuild(log: &[ReviewRecord], tags: &[SubjectiveTag], config: &IndexConfig) -> SubjectiveIndex {
+    let mut idx = SubjectiveIndex::new(sim(), config.clone());
+    let mut evidence: Vec<EntityEvidence> = Vec::new();
+    for record in log {
+        match evidence
+            .iter_mut()
+            .find(|e| e.entity_id == record.entity_id)
+        {
+            Some(ev) => {
+                ev.review_count += 1;
+                ev.review_tags.extend(record.tags.iter().cloned());
+            }
+            None => evidence.push(EntityEvidence {
+                entity_id: record.entity_id,
+                review_count: 1,
+                review_tags: record.tags.clone(),
+            }),
+        }
+    }
+    for ev in evidence {
+        idx.register_entity(ev);
+    }
+    idx.index_tags(tags);
+    idx
+}
+
+fn live_index(ann: bool) -> (Arc<LiveIndex>, IndexConfig) {
+    let config = IndexConfig {
+        ann_enabled: ann,
+        ..IndexConfig::default()
+    };
+    let live = LiveIndex::new(
+        sim(),
+        config.clone(),
+        LiveConfig {
+            seal_every: 2,
+            max_segments: 3,
+            background_compaction: false,
+        },
+    );
+    live.add_tags(&index_tags());
+    (Arc::new(live), config)
+}
+
+fn live_server(live: &Arc<LiveIndex>, workers: usize) -> (Arc<SaccsServer>, Vec<Entity>) {
+    let svc = Arc::new(SaccsService::with_live_index(
+        Arc::clone(live),
+        SaccsConfig::default(),
+    ));
+    let ents = entities(5);
+    let server = Arc::new(SaccsServer::start(
+        svc,
+        ents.clone(),
+        ServeConfig {
+            workers,
+            queue_depth: 64,
+            batch: 4,
+            ..ServeConfig::default()
+        },
+    ));
+    (server, ents)
+}
+
+/// The tentpole: filtered requests through the served admission queue,
+/// interleaved with ingest traffic, must answer bitwise identically to
+/// a frozen rebuild at every ingestion state, at serve widths 1, 2 and
+/// 8, with ANN on and off.
+#[test]
+fn filtered_rankings_are_bitwise_stable_across_widths_ann_and_ingest_states() {
+    let _serial = global_lock();
+    for ann in [false, true] {
+        for workers in [1usize, 2, 8] {
+            let (live, config) = live_index(ann);
+            let (server, ents) = live_server(&live, workers);
+            let api = SearchApi::new(&ents);
+            let mut log: Vec<ReviewRecord> = Vec::new();
+            for (entity_id, review_tags) in stream() {
+                let receipt = server
+                    .submit_ingest(entity_id, review_tags.clone())
+                    .expect("ingest admitted");
+                log.push(ReviewRecord {
+                    seq: receipt.seq,
+                    entity_id,
+                    tags: review_tags,
+                });
+                let frozen = SaccsService::index_only(
+                    rebuild(&log, &index_tags(), &config),
+                    SaccsConfig::default(),
+                );
+                for (served, reference) in filtered_requests().into_iter().zip(
+                    filtered_requests()
+                        .iter()
+                        .map(|r| frozen.rank_request(r, &api)),
+                ) {
+                    let dsl = served
+                        .filter
+                        .as_ref()
+                        .and_then(|f| f.source())
+                        .unwrap_or("<none>")
+                        .to_string();
+                    let response = server.submit(served).expect("rank admitted");
+                    assert!(
+                        response.is_full_fidelity(),
+                        "filter `{dsl}` degraded (workers={workers}, ann={ann})"
+                    );
+                    assert_eq!(
+                        bits(&response.results),
+                        bits(&reference.results),
+                        "served filtered ranking diverged from rebuild for `{dsl}` \
+                         after {} reviews (workers={workers}, ann={ann}, segments={})",
+                        log.len(),
+                        live.segment_count(),
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Join-order invariance: the cost-based rarest-first plan, the naive
+/// left-to-right plan and the per-entity reference evaluator agree on
+/// the exact match set for every DSL shape, against the same index the
+/// serving path uses.
+#[test]
+fn planner_join_order_never_changes_the_match_set() {
+    let _serial = global_lock();
+    let log: Vec<ReviewRecord> = stream()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (entity_id, tags))| ReviewRecord {
+            seq: i as u64,
+            entity_id,
+            tags,
+        })
+        .collect();
+    let idx = rebuild(&log, &index_tags(), &IndexConfig::default());
+    let ents = entities(5);
+    let api = SearchApi::new(&ents);
+    for dsl in filter_dsls() {
+        let filter = Filter::parse(dsl).expect("all suite DSLs parse");
+        let rare = compile(&filter, &idx, &api, JoinOrder::RarestFirst).expect("compiles");
+        let ltr = compile(&filter, &idx, &api, JoinOrder::LeftToRight).expect("compiles");
+        let reference = naive_matches(&filter, &idx, &api).expect("naive evaluates");
+        assert_eq!(
+            rare.bitmap().to_vec(),
+            ltr.bitmap().to_vec(),
+            "join order changed the match set for `{dsl}`"
+        );
+        assert_eq!(
+            rare.bitmap().to_vec(),
+            reference,
+            "planner disagrees with the naive evaluator for `{dsl}`"
+        );
+    }
+}
+
+/// A filter naming an attribute outside the schema cannot compile; the
+/// served request ranks unfiltered on the mildest degradation rung and
+/// its results equal the unfiltered request bitwise.
+#[test]
+fn uncompilable_filter_degrades_to_unfiltered_through_the_server() {
+    let _serial = global_lock();
+    let (live, _config) = live_index(false);
+    let (server, _ents) = live_server(&live, 2);
+    for (entity_id, review_tags) in stream() {
+        server
+            .submit_ingest(entity_id, review_tags)
+            .expect("ingest admitted");
+    }
+    let tags = vec![tag("delicious", "food")];
+    let unfiltered = server
+        .submit(RankRequest::tags(tags.clone()))
+        .expect("rank admitted");
+    let degraded = server
+        .submit(RankRequest::tags(tags).with_filter_dsl("Parking=garage"))
+        .expect("an uncompilable filter is degraded, not shed");
+    assert_eq!(
+        degraded.degradation.worst(),
+        Some(DegradeAction::Unfiltered)
+    );
+    assert_eq!(bits(&degraded.results), bits(&unfiltered.results));
+}
+
+/// Malformed filter DSL never becomes a queued job: `submit` rejects it
+/// at the `sanitized()` seam with the parse error's byte span, and the
+/// admission counters do not move.
+#[test]
+fn malformed_filter_dsl_is_rejected_at_admission() {
+    let _serial = global_lock();
+    let (live, _config) = live_index(false);
+    let (server, _ents) = live_server(&live, 1);
+    let before = server.stats();
+    let err = server
+        .submit(RankRequest::tags(vec![tag("delicious", "food")]).with_filter_dsl("price<=nine"))
+        .expect_err("malformed DSL must be rejected before admission");
+    match err {
+        SaccsError::InvalidRequest { field, reason } => {
+            assert_eq!(field, "filter");
+            assert!(reason.contains("bytes 7..11"), "span surfaces: {reason}");
+        }
+        other => panic!("expected InvalidRequest, got {other:?}"),
+    }
+    let after = server.stats();
+    assert_eq!(after.submitted, before.submitted, "never admitted");
+    assert_eq!(after.shed, before.shed, "a caller error is not a shed");
+}
+
+/// The filter stage is traced: the request's context carries the
+/// deterministic `filter:leaves:candidates:passed` plan event.
+#[test]
+fn filter_stage_emits_a_plan_trace_event() {
+    let _serial = global_lock();
+    let log: Vec<ReviewRecord> = stream()
+        .into_iter()
+        .enumerate()
+        .map(|(i, (entity_id, tags))| ReviewRecord {
+            seq: i as u64,
+            entity_id,
+            tags,
+        })
+        .collect();
+    let svc = SaccsService::index_only(
+        rebuild(&log, &index_tags(), &IndexConfig::default()),
+        SaccsConfig::default(),
+    );
+    let ents = entities(5);
+    let api = SearchApi::new(&ents);
+    let ctx = TraceContext::new(7);
+    let request = RankRequest::tags(vec![tag("delicious", "food")]).with_filter_dsl("delicious");
+    let normals: Vec<String> = {
+        let _scope = install(Arc::clone(&ctx));
+        let response = svc.rank_request(&request, &api);
+        assert!(response.is_full_fidelity());
+        ctx.events().iter().map(|e| e.normal()).collect()
+    };
+    let plan = normals
+        .iter()
+        .find(|n| n.starts_with("filter:"))
+        .expect("plan event recorded");
+    // One leaf, five objective candidates; the passed count must match
+    // the reference evaluator over the same index and catalog.
+    let expected = naive_matches(
+        request.filter.as_ref().expect("filter attached"),
+        svc.index(),
+        &api,
+    )
+    .expect("reference evaluates")
+    .len();
+    assert_eq!(plan, &format!("filter:1:5:{expected}"));
+}
